@@ -1,0 +1,54 @@
+// Command ablation runs the design-choice ablations DESIGN.md calls out:
+// the prefetch-strategy design space (the study the paper defers to its
+// companion report ES-401/96) and the controller command-priority
+// ablation (what happens when prefetches are queued like demand
+// requests). Rows are normalized to the non-prefetching I+D variant.
+//
+// Usage:
+//
+//	ablation [-app water] [-scale default]
+//	ablation -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/experiments"
+)
+
+func main() {
+	appName := flag.String("app", "water", "application to ablate")
+	all := flag.Bool("all", false, "run every application")
+	scale := flag.String("scale", "default", "problem scale: tiny, default, paper")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "tiny":
+		sc = experiments.ScaleTiny
+	case "default":
+		sc = experiments.ScaleDefault
+	case "paper":
+		sc = experiments.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "ablation: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	names := []string{*appName}
+	if *all {
+		names = apps.Names()
+	}
+	for _, name := range names {
+		rows, err := experiments.PrefetchAblation(name, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablation:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.FormatBreakdownRows(
+			fmt.Sprintf("Prefetch-strategy ablation: %s (normalized to I+D, no prefetching)", name), rows))
+	}
+}

@@ -1,0 +1,136 @@
+// Command dsmsim runs one application under one DSM protocol on the
+// simulated network of workstations and prints the paper-style execution
+// breakdown, protocol counters, and validation status.
+//
+// Usage:
+//
+//	dsmsim -app ocean -proto I+D -procs 16 [-scale default]
+//	dsmsim -app tsp -proto AURC+P
+//
+// Protocols: Base, I, I+D, P, I+P, I+P+D, AURC, AURC+P.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/dsm"
+	"dsm96/internal/params"
+	"dsm96/internal/stats"
+	"dsm96/internal/tmk"
+	"dsm96/internal/trace"
+)
+
+func main() {
+	appName := flag.String("app", "ocean", "application: tsp, water, radix, barnes, ocean, em3d")
+	proto := flag.String("proto", "Base", "protocol: Base, I, I+D, P, I+P, I+P+D, AURC, AURC+P")
+	procs := flag.Int("procs", 16, "number of processors")
+	scale := flag.String("scale", "default", "problem scale: tiny, default, paper")
+	netBW := flag.Float64("netbw", 0, "override network bandwidth (MB/s)")
+	memLat := flag.Float64("memlat", 0, "override memory latency (ns)")
+	msgOv := flag.Float64("msgov", 0, "override messaging overhead (us)")
+	verbose := flag.Bool("v", false, "print per-processor breakdown")
+	tracePg := flag.Int("trace", -1, "dump the protocol event history of this page (TreadMarks variants)")
+	traceN := flag.Int("tracen", 200, "how many trace events to retain")
+	flag.Parse()
+
+	var app dsm.App
+	var err error
+	switch *scale {
+	case "tiny":
+		app, err = apps.Tiny(*appName)
+	case "default":
+		app, err = apps.Default(*appName)
+	case "paper":
+		switch *appName {
+		case "tsp":
+			app = apps.PaperTSP()
+		case "water":
+			app = apps.PaperWater()
+		case "radix":
+			app = apps.PaperRadix()
+		case "barnes":
+			app = apps.PaperBarnes()
+		case "ocean":
+			app = apps.PaperOcean()
+		case "em3d":
+			app = apps.PaperEm3d()
+		default:
+			err = fmt.Errorf("unknown app %q", *appName)
+		}
+	default:
+		err = fmt.Errorf("unknown scale %q", *scale)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmsim:", err)
+		os.Exit(2)
+	}
+
+	var spec core.Spec
+	switch *proto {
+	case "AURC":
+		spec = core.AURC(false)
+	case "AURC+P":
+		spec = core.AURC(true)
+	default:
+		m, ok := tmk.ParseMode(*proto)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dsmsim: unknown protocol %q\n", *proto)
+			os.Exit(2)
+		}
+		spec = core.TM(m)
+	}
+
+	cfg := params.Default()
+	cfg.Processors = *procs
+	if *netBW > 0 {
+		cfg.SetNetworkBandwidthMBps(*netBW)
+	}
+	if *memLat > 0 {
+		cfg.SetMemoryLatencyNanos(*memLat)
+	}
+	if *msgOv > 0 {
+		cfg.SetMessagingOverheadMicros(*msgOv)
+	}
+
+	var tracer *trace.Buffer
+	if *tracePg >= 0 {
+		tracer = trace.New(*traceN)
+		tracer.Page = *tracePg
+		spec.Tracer = tracer
+	}
+	res, err := core.Run(cfg, spec, app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s under %s on %d processors\n", res.App, res.Protocol, *procs)
+	fmt.Printf("  running time:   %d cycles (%.2f ms at 100 MHz)\n",
+		res.RunningTime, float64(res.RunningTime)/1e5)
+	fmt.Printf("  result:         %v (sequential oracle %v, validated)\n", res.AppResult, res.SeqResult)
+	fmt.Printf("  network:        %d messages, %d bytes\n", res.Messages, res.Bytes)
+	fmt.Println("  breakdown:")
+	for _, c := range stats.Categories() {
+		fmt.Printf("    %-7s %6.1f%%\n", c, 100*res.Breakdown.Fraction(c))
+	}
+	fmt.Printf("    diff-ops %5.1f%% of execution time\n", res.Breakdown.DiffPercent())
+	fmt.Println("  counters:")
+	fmt.Print(res.Breakdown.CounterTable())
+	if tracer != nil {
+		fmt.Printf("  protocol trace for page %d (%d events recorded, last %d shown):\n",
+			*tracePg, tracer.Total(), len(tracer.Events()))
+		fmt.Print(tracer.String())
+	}
+	if *verbose {
+		fmt.Println("  per-processor:")
+		for i, ps := range res.Breakdown.PerProc {
+			fmt.Printf("    cpu%-2d busy %10d data %10d synch %10d ipc %10d others %10d\n",
+				i, ps.Cycles[stats.Busy], ps.Cycles[stats.Data],
+				ps.Cycles[stats.Synch], ps.Cycles[stats.IPC], ps.Cycles[stats.Other])
+		}
+	}
+}

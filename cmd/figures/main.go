@@ -1,0 +1,111 @@
+// Command figures regenerates the paper's tables and figures in text
+// form. By default it prints everything; flags select individual items.
+//
+// Usage:
+//
+//	figures [-scale tiny|default|paper] [-only table1,fig1,fig2,fig5-10,fig11-12,fig13,fig14,fig15,fig16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "problem scale: tiny, default, paper")
+	only := flag.String("only", "", "comma-separated subset of: table1,fig1,fig2,fig5-10,fig11-12,fig13,fig14,fig15,fig16")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "tiny":
+		sc = experiments.ScaleTiny
+	case "default":
+		sc = experiments.ScaleDefault
+	case "paper":
+		sc = experiments.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+
+	if sel("table1") {
+		fmt.Println(experiments.Table1())
+	}
+	if sel("fig1") {
+		data, err := experiments.Fig1(sc, []int{2, 4, 8, 16})
+		die(err)
+		fmt.Println(experiments.FormatFig1(data))
+	}
+	if sel("fig2") {
+		rows, err := experiments.Fig2(sc)
+		die(err)
+		fmt.Println(experiments.FormatBreakdownRows(
+			"Figure 2: Application Performance under TreadMarks DSM on 16 processors", rows))
+	}
+	if sel("fig5-10") {
+		figNo := map[string]int{"tsp": 5, "water": 6, "radix": 7, "barnes": 8, "em3d": 9, "ocean": 10}
+		for _, app := range apps.Names() {
+			rows, err := experiments.Fig5to10(app, sc)
+			die(err)
+			fmt.Println(experiments.FormatBreakdownRows(
+				fmt.Sprintf("Figure %d: Overlapping Techniques for %s under TreadMarks (normalized to Base)",
+					figNo[app], app), rows))
+		}
+	}
+	if sel("fig11-12") {
+		data, err := experiments.Fig11_12(sc)
+		die(err)
+		for _, app := range apps.Names() {
+			fmt.Println(experiments.FormatBreakdownRows(
+				fmt.Sprintf("Figures 11-12: %s — Overlapping TM (I+D) vs AURC vs AURC+P (normalized to I+D)", app),
+				data[app]))
+		}
+	}
+	if sel("fig13") {
+		pts, err := experiments.Fig13(sc, []float64{0.5, 1, 2, 4, 8, 20, 40})
+		die(err)
+		fmt.Println(experiments.FormatSweep(
+			"Figure 13: Effect of Messaging Overhead on Em3d (pessimistic: AURC updates pay full overhead)",
+			"latency(us)", pts))
+		opt, err := experiments.Fig13Optimistic(sc, []float64{0.5, 1, 2, 4, 8, 20, 40})
+		die(err)
+		fmt.Println(experiments.FormatSweep(
+			"Figure 13 (optimistic: AURC updates cost 1 cycle, the paper's default)",
+			"latency(us)", opt))
+	}
+	if sel("fig14") {
+		pts, err := experiments.Fig14(sc, []float64{20, 50, 100, 150, 200})
+		die(err)
+		fmt.Println(experiments.FormatSweep("Figure 14: Effect of Network Bandwidth on Em3d", "MB/s", pts))
+	}
+	if sel("fig15") {
+		pts, err := experiments.Fig15(sc, []float64{40, 100, 150, 200})
+		die(err)
+		fmt.Println(experiments.FormatSweep("Figure 15: Effect of Memory Latency on Em3d", "ns", pts))
+	}
+	if sel("fig16") {
+		pts, err := experiments.Fig16(sc, []float64{60, 94, 150, 200})
+		die(err)
+		fmt.Println(experiments.FormatSweep("Figure 16: Effect of Memory Bandwidth on Em3d", "MB/s", pts))
+	}
+}

@@ -1,0 +1,91 @@
+// Command profile runs one application under one protocol and prints the
+// per-page sharing profile: the hottest pages by fault count, their
+// invalidation and diff traffic, and how many processors read and write
+// them — the analysis view used to explain why an application behaves
+// the way it does under page-based DSM (false sharing, migratory pages,
+// producer/consumer pages).
+//
+// Usage:
+//
+//	profile -app radix -proto Base -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/dsm"
+	"dsm96/internal/params"
+	"dsm96/internal/stats"
+	"dsm96/internal/tmk"
+)
+
+func loadApp(name, scale string) (dsm.App, error) {
+	switch scale {
+	case "tiny":
+		return apps.Tiny(name)
+	case "default":
+		return apps.Default(name)
+	case "paper":
+		switch name {
+		case "tsp":
+			return apps.PaperTSP(), nil
+		case "water":
+			return apps.PaperWater(), nil
+		case "radix":
+			return apps.PaperRadix(), nil
+		case "barnes":
+			return apps.PaperBarnes(), nil
+		case "ocean":
+			return apps.PaperOcean(), nil
+		case "em3d":
+			return apps.PaperEm3d(), nil
+		}
+		return nil, fmt.Errorf("unknown app %q", name)
+	}
+	return nil, fmt.Errorf("unknown scale %q", scale)
+}
+
+func main() {
+	appName := flag.String("app", "radix", "application: tsp, water, radix, barnes, ocean, em3d")
+	proto := flag.String("proto", "Base", "protocol: Base, I, I+D, P, I+P, I+P+D, AURC, AURC+P")
+	procs := flag.Int("procs", 16, "number of processors")
+	top := flag.Int("top", 15, "how many pages to list")
+	scale := flag.String("scale", "default", "problem scale: tiny, default, paper")
+	flag.Parse()
+
+	var spec core.Spec
+	switch *proto {
+	case "AURC":
+		spec = core.AURC(false)
+	case "AURC+P":
+		spec = core.AURC(true)
+	default:
+		m, ok := tmk.ParseMode(*proto)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "profile: unknown protocol %q\n", *proto)
+			os.Exit(2)
+		}
+		spec = core.TM(m)
+	}
+
+	app, err := loadApp(*appName, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(2)
+	}
+
+	cfg := params.Default()
+	cfg.Processors = *procs
+	res, err := core.Run(cfg, spec, app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profile:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s under %s on %d processors: %d cycles, %d shared pages touched\n\n",
+		res.App, res.Protocol, *procs, res.RunningTime, len(res.Pages))
+	fmt.Print(stats.FormatPageProfiles(res.Pages, *top))
+}

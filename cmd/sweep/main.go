@@ -1,0 +1,81 @@
+// Command sweep reproduces the architectural sensitivity studies of
+// Section 5.3 (Figures 13-16): the effect of messaging overhead, network
+// bandwidth, memory latency, and memory bandwidth on Em3d under the
+// overlapping TreadMarks (I+D) and AURC.
+//
+// Usage:
+//
+//	sweep -messaging            # Figure 13
+//	sweep -netbw                # Figure 14
+//	sweep -memlat               # Figure 15
+//	sweep -membw                # Figure 16
+//	sweep -all [-scale tiny]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsm96/internal/experiments"
+)
+
+func main() {
+	messaging := flag.Bool("messaging", false, "sweep messaging overhead (Figure 13)")
+	netbw := flag.Bool("netbw", false, "sweep network bandwidth (Figure 14)")
+	memlat := flag.Bool("memlat", false, "sweep memory latency (Figure 15)")
+	membw := flag.Bool("membw", false, "sweep memory bandwidth (Figure 16)")
+	all := flag.Bool("all", false, "run all four sweeps")
+	scale := flag.String("scale", "default", "problem scale: tiny, default, paper")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "tiny":
+		sc = experiments.ScaleTiny
+	case "default":
+		sc = experiments.ScaleDefault
+	case "paper":
+		sc = experiments.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *all || *messaging {
+		pts, err := experiments.Fig13(sc, []float64{0.5, 1, 2, 4, 8, 20, 40})
+		die(err)
+		fmt.Println(experiments.FormatSweep(
+			"Figure 13: Messaging Overhead vs Em3d running time (AURC updates pay full overhead)",
+			"latency(us)", pts))
+		opt, err := experiments.Fig13Optimistic(sc, []float64{0.5, 1, 2, 4, 8, 20, 40})
+		die(err)
+		fmt.Println(experiments.FormatSweep(
+			"Figure 13 (optimistic AURC updates, 1-cycle overhead — the default)",
+			"latency(us)", opt))
+	}
+	if *all || *netbw {
+		pts, err := experiments.Fig14(sc, []float64{20, 50, 100, 150, 200})
+		die(err)
+		fmt.Println(experiments.FormatSweep("Figure 14: Network Bandwidth vs Em3d running time", "MB/s", pts))
+	}
+	if *all || *memlat {
+		pts, err := experiments.Fig15(sc, []float64{40, 100, 150, 200})
+		die(err)
+		fmt.Println(experiments.FormatSweep("Figure 15: Memory Latency vs Em3d running time", "ns", pts))
+	}
+	if *all || *membw {
+		pts, err := experiments.Fig16(sc, []float64{60, 94, 150, 200})
+		die(err)
+		fmt.Println(experiments.FormatSweep("Figure 16: Memory Bandwidth vs Em3d running time", "MB/s", pts))
+	}
+	if !*all && !*messaging && !*netbw && !*memlat && !*membw {
+		flag.Usage()
+	}
+}

@@ -1,0 +1,99 @@
+// Command validate runs the repository's correctness gates outside the
+// test harness: every application under every protocol at several
+// machine sizes, plus a batch of random data-race-free programs, all
+// checked against the sequential oracle. Exit status 0 means every
+// configuration validated.
+//
+// Usage:
+//
+//	validate [-procs 4,16] [-seeds 8] [-scale tiny]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/params"
+	"dsm96/internal/randprog"
+	"dsm96/internal/tmk"
+)
+
+func protocols() []core.Spec {
+	return []core.Spec{
+		core.TM(tmk.Base), core.TM(tmk.I), core.TM(tmk.ID),
+		core.TM(tmk.P), core.TM(tmk.IP), core.TM(tmk.IPD),
+		core.AURC(false), core.AURC(true),
+	}
+}
+
+func main() {
+	procsFlag := flag.String("procs", "4,16", "comma-separated machine sizes")
+	seeds := flag.Int("seeds", 4, "random-program seeds to fuzz")
+	scale := flag.String("scale", "tiny", "application scale: tiny, default")
+	flag.Parse()
+
+	var sizes []int
+	for _, tok := range strings.Split(*procsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "validate: bad -procs %q\n", *procsFlag)
+			os.Exit(2)
+		}
+		sizes = append(sizes, v)
+	}
+
+	total, failed := 0, 0
+	check := func(name string, spec core.Spec, procs int, run func() error) {
+		total++
+		if err := run(); err != nil {
+			failed++
+			fmt.Printf("FAIL %-14s %-16s %2dp: %v\n", name, spec, procs, err)
+		}
+	}
+
+	for _, name := range apps.Names() {
+		for _, spec := range protocols() {
+			for _, procs := range sizes {
+				name, spec, procs := name, spec, procs
+				check(name, spec, procs, func() error {
+					var app, err = apps.Tiny(name)
+					if *scale == "default" {
+						app, err = apps.Default(name)
+					}
+					if err != nil {
+						return err
+					}
+					cfg := params.Default()
+					cfg.Processors = procs
+					_, err = core.Run(cfg, spec, app)
+					return err
+				})
+			}
+		}
+	}
+
+	for seed := 1; seed <= *seeds; seed++ {
+		for _, spec := range protocols() {
+			for _, procs := range sizes {
+				seed, spec, procs := seed, spec, procs
+				check(fmt.Sprintf("randprog-%d", seed), spec, procs, func() error {
+					prog := randprog.New(uint64(seed), 12, 4096, 4)
+					cfg := params.Default()
+					cfg.Processors = procs
+					_, err := core.Run(cfg, spec, prog)
+					return err
+				})
+			}
+		}
+	}
+
+	fmt.Printf("validate: %d configurations, %d failures\n", total, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

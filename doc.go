@@ -1,0 +1,13 @@
+// Package dsm96 is a from-scratch reproduction of "Hiding Communication
+// Latency and Coherence Overhead in Software DSMs" (Bianchini,
+// Kontothanassis, Pinto, De Maria, Abud, Amorim — ASPLOS 1996): an
+// execution-driven simulator of a 16-node network of workstations, the
+// TreadMarks lazy-release-consistency DSM with the paper's six overlap
+// variants (protocol controller, hardware diffs, diff prefetching), the
+// AURC automatic-update DSM, the six applications of the evaluation, and
+// a harness that regenerates every table and figure.
+//
+// The root package carries the benchmark harness (see bench_test.go);
+// the implementation lives under internal/ and the runnable tools under
+// cmd/. Start with README.md, DESIGN.md and EXPERIMENTS.md.
+package dsm96

@@ -1,0 +1,60 @@
+// Protocol comparison: run one of the paper's applications under every
+// protocol this repository implements — the six TreadMarks overlap
+// variants and AURC with and without prefetching — and print a compact
+// scoreboard (normalized running time, like the paper's bar charts).
+//
+//	go run ./examples/protocol-compare [-app water]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/params"
+	"dsm96/internal/stats"
+	"dsm96/internal/tmk"
+)
+
+func main() {
+	appName := flag.String("app", "water", "application: tsp, water, radix, barnes, ocean, em3d")
+	flag.Parse()
+
+	specs := []core.Spec{
+		core.TM(tmk.Base), core.TM(tmk.I), core.TM(tmk.ID),
+		core.TM(tmk.P), core.TM(tmk.IP), core.TM(tmk.IPD),
+		core.AURC(false), core.AURC(true),
+	}
+
+	fmt.Printf("%s on the default 16-node machine (normalized to Base TreadMarks)\n\n", *appName)
+	fmt.Printf("%-8s %12s %8s %8s %8s %8s %10s\n",
+		"protocol", "cycles", "norm", "synch%", "data%", "ipc%", "prefetches")
+
+	var baseline int64
+	for _, spec := range specs {
+		app, err := apps.Default(*appName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(params.Default(), spec, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = res.RunningTime
+		}
+		s := res.Breakdown.Sum()
+		fmt.Printf("%-8s %12d %7.0f%% %7.1f%% %7.1f%% %7.1f%% %10d\n",
+			res.Protocol, res.RunningTime,
+			100*float64(res.RunningTime)/float64(baseline),
+			100*res.Breakdown.Fraction(stats.Synch),
+			100*res.Breakdown.Fraction(stats.Data),
+			100*res.Breakdown.Fraction(stats.IPC),
+			s.Prefetches)
+	}
+	fmt.Println("\nExpected shape (paper, Section 5): I+D wins or ties for most")
+	fmt.Println("applications; P alone can hurt (useless prefetches, inflated")
+	fmt.Println("synchronization); AURC+P is always worse than AURC.")
+}

@@ -1,0 +1,3 @@
+module dsm96
+
+go 1.22

@@ -1,0 +1,102 @@
+// Package apps implements the paper's application workload against the
+// DSM API: TSP, Water, Radix, Barnes, Ocean, and Em3d (Section 4.2).
+// Each application is written exactly once and runs unchanged under the
+// sequential oracle, every TreadMarks variant, and AURC; results are
+// designed to be independent of the processor count so that the
+// sequential run validates every parallel one.
+//
+// Problem sizes default to scaled-down versions of the paper's inputs
+// (the paper itself scaled down against Iftode et al. for simulation
+// time); constructors accept explicit sizes, and Paper* constructors
+// reproduce the published inputs.
+package apps
+
+import (
+	"fmt"
+
+	"dsm96/internal/dsm"
+)
+
+// rng is a small deterministic PCG-style generator so that workloads are
+// bit-identical across runs and independent of Go's rand package.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed*2654435761 + 1} }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	x := r.s
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// f64 returns a value in [0, 1).
+func (r *rng) f64() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// blockRange splits n items into nprocs nearly equal contiguous blocks
+// and returns processor id's [lo, hi) range.
+func blockRange(n, nprocs, id int) (lo, hi int) {
+	per := n / nprocs
+	rem := n % nprocs
+	lo = id*per + min(id, rem)
+	hi = lo + per
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Default returns the scaled default instance of the named application
+// (the names match the paper's figures: tsp, water, radix, barnes,
+// ocean, em3d).
+func Default(name string) (dsm.App, error) {
+	switch name {
+	case "tsp":
+		return DefaultTSP(), nil
+	case "water":
+		return DefaultWater(), nil
+	case "radix":
+		return DefaultRadix(), nil
+	case "barnes":
+		return DefaultBarnes(), nil
+	case "ocean":
+		return DefaultOcean(), nil
+	case "em3d":
+		return DefaultEm3d(), nil
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// Names lists the applications in the paper's order.
+func Names() []string { return []string{"tsp", "water", "radix", "barnes", "em3d", "ocean"} }
+
+// Tiny returns a very small instance of the named application, for tests.
+func Tiny(name string) (dsm.App, error) {
+	switch name {
+	case "tsp":
+		return NewTSP(7), nil
+	case "water":
+		return NewWater(24, 2), nil
+	case "radix":
+		return NewRadix(4096, 256), nil
+	case "barnes":
+		return NewBarnes(48, 2), nil
+	case "ocean":
+		return NewOcean(34, 6), nil
+	case "em3d":
+		return NewEm3d(512, 3, 4, 0.10), nil
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}

@@ -1,0 +1,176 @@
+package apps_test
+
+import (
+	"testing"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/dsm"
+	"dsm96/internal/params"
+	"dsm96/internal/tmk"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := apps.Names()
+	if len(names) != 6 {
+		t.Fatalf("expected the paper's 6 applications, got %v", names)
+	}
+	for _, n := range names {
+		if _, err := apps.Default(n); err != nil {
+			t.Errorf("Default(%q): %v", n, err)
+		}
+		if _, err := apps.Tiny(n); err != nil {
+			t.Errorf("Tiny(%q): %v", n, err)
+		}
+	}
+	if _, err := apps.Default("nope"); err == nil {
+		t.Error("unknown app did not error")
+	}
+}
+
+func TestSequentialResultsStable(t *testing.T) {
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a1, _ := apps.Tiny(name)
+			a2, _ := apps.Tiny(name)
+			r1 := dsm.RunSequential(a1, 4096)
+			r2 := dsm.RunSequential(a2, 4096)
+			if r1 != r2 {
+				t.Fatalf("sequential result not reproducible: %v vs %v", r1, r2)
+			}
+			if r1 == 0 {
+				t.Fatalf("suspicious zero result for %s", name)
+			}
+		})
+	}
+}
+
+func TestTSPKnownOptimum(t *testing.T) {
+	// Brute-force the same instance independently.
+	app := apps.NewTSP(7)
+	got := dsm.RunSequential(app, 4096)
+	want := bruteForceTSP(7)
+	if got != float64(want) {
+		t.Fatalf("TSP = %v, brute force = %d", got, want)
+	}
+}
+
+// bruteForceTSP recomputes the optimum with plain Go over the same
+// deterministic distance matrix (replicates the app's generator).
+func bruteForceTSP(n int) int {
+	app := apps.NewTSP(n)
+	dist := app.DistancesForTest()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := 1 << 30
+	var rec func(k, cost int)
+	rec = func(k, cost int) {
+		if cost >= best {
+			return
+		}
+		if k == n {
+			if total := cost + dist[perm[n-1]][perm[0]]; total < best {
+				best = total
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k+1, cost+dist[perm[k-1]][perm[k]])
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(1, 0)
+	return best
+}
+
+func TestRadixActuallySorts(t *testing.T) {
+	// The radix checksum multiplies by a sortedness flag; a nonzero
+	// result therefore proves sorted output.
+	app := apps.NewRadix(2048, 64)
+	if got := dsm.RunSequential(app, 4096); got == 0 {
+		t.Fatal("radix output not sorted (checksum zeroed)")
+	}
+}
+
+// TestAllAppsUnderBaseTM is the central validation matrix: every
+// application's parallel result must match its sequential oracle.
+func TestAllAppsUnderBaseTM(t *testing.T) {
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			app, _ := apps.Tiny(name)
+			cfg := params.Default()
+			cfg.Processors = 4
+			r, err := core.Run(cfg, core.TM(tmk.Base), app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.RunningTime <= 0 {
+				t.Fatal("no simulated time elapsed")
+			}
+		})
+	}
+}
+
+func TestAllAppsUnderIPD(t *testing.T) {
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			app, _ := apps.Tiny(name)
+			cfg := params.Default()
+			cfg.Processors = 4
+			if _, err := core.Run(cfg, core.TM(tmk.IPD), app); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllAppsUnderAURC(t *testing.T) {
+	for _, name := range apps.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			app, _ := apps.Tiny(name)
+			cfg := params.Default()
+			cfg.Processors = 4
+			if _, err := core.Run(cfg, core.AURC(false), app); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAppsScaleWithProcs(t *testing.T) {
+	// The same tiny instance must validate at several machine sizes.
+	for _, procs := range []int{1, 2, 8} {
+		app, _ := apps.Tiny("ocean")
+		cfg := params.Default()
+		cfg.Processors = procs
+		if _, err := core.Run(cfg, core.TM(tmk.Base), app); err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+	}
+}
+
+func TestPaperConstructorsExist(t *testing.T) {
+	checks := []struct {
+		name string
+		app  dsm.App
+	}{
+		{"tsp", apps.PaperTSP()},
+		{"water", apps.PaperWater()},
+		{"radix", apps.PaperRadix()},
+		{"barnes", apps.PaperBarnes()},
+		{"ocean", apps.PaperOcean()},
+		{"em3d", apps.PaperEm3d()},
+	}
+	for _, c := range checks {
+		if c.app.Name() != c.name {
+			t.Errorf("paper constructor for %s misnamed: %s", c.name, c.app.Name())
+		}
+	}
+}

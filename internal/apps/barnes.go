@@ -1,0 +1,341 @@
+package apps
+
+import (
+	"math"
+
+	"dsm96/internal/dsm"
+	"dsm96/internal/lrc"
+)
+
+// Barnes is the SPLASH-2 Barnes-Hut hierarchical N-body simulation. As in
+// the paper (which had to modify Barnes to run correctly on a software
+// DSM, eliminating its busy-wait synchronization), the octree is built by
+// one processor between barriers; the force phase then traverses the
+// shared tree read-only in parallel, and owners integrate their bodies.
+// The octree pages are the classic irregular-sharing stress test.
+type Barnes struct {
+	Bodies int
+	Steps  int
+	Theta  float64
+	// ComputePerVisit models per-tree-node instruction cost.
+	ComputePerVisit int64
+
+	posBase, velBase, accBase int64 // 3 f64 per body
+	massBase                  int64 // f64 per body
+	// Tree: nodes with centre-of-mass xyz, mass, half-size, 8 children.
+	nodeBase  int64
+	nodeCount int64 // i32
+	outAddr   int64
+
+	maxNodes int
+	result   float64
+}
+
+const (
+	bnCOM   = 0  // 3 f64: centre of mass
+	bnMass  = 24 // f64
+	bnHalf  = 32 // f64: half of the cell's side
+	bnBody  = 40 // i32: body index for leaves, -1 for cells
+	bnKids  = 44 // 8 i32 child indices (-1 empty)
+	bnBytes = 80
+)
+
+// NewBarnes builds an instance.
+func NewBarnes(bodies, steps int) *Barnes {
+	return &Barnes{Bodies: bodies, Steps: steps, Theta: 0.6, ComputePerVisit: 160}
+}
+
+// DefaultBarnes is the scaled default (paper: 4K bodies, 4 steps).
+func DefaultBarnes() *Barnes { return NewBarnes(256, 2) }
+
+// PaperBarnes reproduces the published input.
+func PaperBarnes() *Barnes { return NewBarnes(4096, 4) }
+
+// Name implements dsm.App.
+func (b *Barnes) Name() string { return "barnes" }
+
+// Setup implements dsm.App.
+func (b *Barnes) Setup(h *lrc.Heap) {
+	b.result = 0
+	n := b.Bodies
+	b.maxNodes = 4 * n
+	b.posBase = h.AllocPages((24*n + 4095) / 4096)
+	b.velBase = h.AllocPages((24*n + 4095) / 4096)
+	b.accBase = h.AllocPages((24*n + 4095) / 4096)
+	b.massBase = h.AllocPages((8*n + 4095) / 4096)
+	b.nodeBase = h.AllocPages((bnBytes*b.maxNodes + 4095) / 4096)
+	b.nodeCount = h.AllocPages(1)
+	b.outAddr = b.nodeCount + 64
+}
+
+func (b *Barnes) node(i int) int64 { return b.nodeBase + int64(bnBytes*i) }
+
+// Body implements dsm.App.
+func (b *Barnes) Body(env *dsm.Env) {
+	n := b.Bodies
+	lo, hi := blockRange(n, env.NProcs(), env.ID)
+
+	if env.ID == 0 {
+		r := newRNG(999)
+		for i := 0; i < n; i++ {
+			for d := 0; d < 3; d++ {
+				env.WF(vec(b.posBase, i, d), r.f64()*100)
+				env.WF(vec(b.velBase, i, d), (r.f64()-0.5)*0.01)
+			}
+			env.WF(b.massBase+int64(8*i), 1.0+r.f64())
+		}
+	}
+	env.Barrier(0)
+
+	for step := 0; step < b.Steps; step++ {
+		if env.ID == 0 {
+			b.buildTree(env)
+		}
+		env.Barrier(10 + 3*step)
+
+		for i := lo; i < hi; i++ {
+			b.force(env, i)
+		}
+		env.Barrier(11 + 3*step)
+
+		const dt = 0.01
+		for i := lo; i < hi; i++ {
+			env.Compute(30)
+			for d := 0; d < 3; d++ {
+				v := env.RF(vec(b.velBase, i, d)) + dt*env.RF(vec(b.accBase, i, d))
+				env.WF(vec(b.velBase, i, d), v)
+				env.WF(vec(b.posBase, i, d), env.RF(vec(b.posBase, i, d))+dt*v)
+			}
+		}
+		env.Barrier(12 + 3*step)
+	}
+
+	if env.ID == 0 {
+		// Observable: total kinetic energy + centre of mass checksum.
+		ke, cm := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			env.Compute(20)
+			m := env.RF(b.massBase + int64(8*i))
+			for d := 0; d < 3; d++ {
+				v := env.RF(vec(b.velBase, i, d))
+				ke += 0.5 * m * v * v
+				cm += m * env.RF(vec(b.posBase, i, d))
+			}
+		}
+		env.WF(b.outAddr, ke+cm*1e-6)
+		b.result = env.RF(b.outAddr)
+	}
+	env.Barrier(1)
+}
+
+// buildTree constructs the octree sequentially on processor 0.
+func (b *Barnes) buildTree(env *dsm.Env) {
+	n := b.Bodies
+	// Bounding cube.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	pos := make([][3]float64, n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			v := env.RF(vec(b.posBase, i, d))
+			pos[i][d] = v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	half := (hi - lo) / 2
+	var cx = [3]float64{lo + half, lo + half, lo + half}
+
+	count := 0
+	newNode := func(c [3]float64, h float64) int {
+		idx := count
+		count++
+		if count > b.maxNodes {
+			panic("barnes: tree overflow")
+		}
+		a := b.node(idx)
+		for d := 0; d < 3; d++ {
+			env.WF(a+int64(8*d), 0)
+		}
+		env.WF(a+bnMass, 0)
+		env.WF(a+bnHalf, h)
+		env.WI(a+bnBody, -1)
+		for k := 0; k < 8; k++ {
+			env.WI(a+bnKids+int64(4*k), -1)
+		}
+		// Remember the geometric centre privately via the COM slots
+		// until the mass pass overwrites them.
+		for d := 0; d < 3; d++ {
+			env.WF(a+int64(8*d), c[d])
+		}
+		return idx
+	}
+	root := newNode(cx, half+1e-9)
+
+	centre := make([][3]float64, 0, b.maxNodes)
+	centre = append(centre, cx)
+
+	var insert func(node, body int)
+	insert = func(node, body int) {
+		env.Compute(b.ComputePerVisit)
+		a := b.node(node)
+		existing := env.RI(a + bnBody)
+		h := env.RF(a + bnHalf)
+		c := centre[node]
+		oct := func(p [3]float64) int {
+			o := 0
+			for d := 0; d < 3; d++ {
+				if p[d] >= c[d] {
+					o |= 1 << d
+				}
+			}
+			return o
+		}
+		if existing == -1 && env.RI(a+bnKids) == -1 && isLeafEmpty(env, a) {
+			env.WI(a+bnBody, body)
+			return
+		}
+		if existing >= 0 {
+			if h < 1e-6 {
+				// Bodies virtually coincident: splitting would recurse
+				// forever. Leave the resident body; the newcomer's mass is
+				// negligible at this scale and the choice is deterministic
+				// (identical in sequential and parallel runs).
+				return
+			}
+			// Split: push the resident body down.
+			env.WI(a+bnBody, -1)
+			b.pushChild(env, a, oct(pos[existing]), existing, c, h, &count, &centre, insert, pos)
+		}
+		b.pushChild(env, a, oct(pos[body]), body, c, h, &count, &centre, insert, pos)
+	}
+	for i := 0; i < n; i++ {
+		insert(root, i)
+	}
+
+	// Bottom-up mass/centre-of-mass (post-order over the array works
+	// because children always have larger indices).
+	for i := count - 1; i >= 0; i-- {
+		env.Compute(b.ComputePerVisit)
+		a := b.node(i)
+		if body := env.RI(a + bnBody); body >= 0 {
+			m := env.RF(b.massBase + int64(8*body))
+			env.WF(a+bnMass, m)
+			for d := 0; d < 3; d++ {
+				env.WF(a+int64(8*d), pos[body][d])
+			}
+			continue
+		}
+		var m float64
+		var com [3]float64
+		for k := 0; k < 8; k++ {
+			ch := env.RI(a + bnKids + int64(4*k))
+			if ch < 0 {
+				continue
+			}
+			ca := b.node(ch)
+			cm := env.RF(ca + bnMass)
+			m += cm
+			for d := 0; d < 3; d++ {
+				com[d] += cm * env.RF(ca+int64(8*d))
+			}
+		}
+		if m > 0 {
+			for d := 0; d < 3; d++ {
+				env.WF(a+int64(8*d), com[d]/m)
+			}
+		}
+		env.WF(a+bnMass, m)
+	}
+	env.WI(b.nodeCount, count)
+}
+
+func isLeafEmpty(env *dsm.Env, a int64) bool {
+	for k := 0; k < 8; k++ {
+		if env.RI(a+bnKids+int64(4*k)) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *Barnes) pushChild(env *dsm.Env, a int64, oct, body int, c [3]float64, h float64,
+	count *int, centres *[][3]float64, insert func(int, int), pos [][3]float64) {
+	ch := env.RI(a + bnKids + int64(4*oct))
+	if ch < 0 {
+		ch = *count
+		*count++
+		if *count > b.maxNodes {
+			panic("barnes: tree overflow")
+		}
+		var cc [3]float64
+		for d := 0; d < 3; d++ {
+			if oct&(1<<d) != 0 {
+				cc[d] = c[d] + h/2
+			} else {
+				cc[d] = c[d] - h/2
+			}
+		}
+		*centres = append(*centres, cc)
+		ca := b.node(ch)
+		for d := 0; d < 3; d++ {
+			env.WF(ca+int64(8*d), 0)
+		}
+		env.WF(ca+bnMass, 0)
+		env.WF(ca+bnHalf, h/2)
+		env.WI(ca+bnBody, body)
+		for k := 0; k < 8; k++ {
+			env.WI(ca+bnKids+int64(4*k), -1)
+		}
+		env.WI(a+bnKids+int64(4*oct), ch)
+		return
+	}
+	insert(ch, body)
+}
+
+// force computes body i's acceleration by traversing the shared tree.
+func (b *Barnes) force(env *dsm.Env, i int) {
+	var pi [3]float64
+	for d := 0; d < 3; d++ {
+		pi[d] = env.RF(vec(b.posBase, i, d))
+	}
+	var acc [3]float64
+	var walk func(node int)
+	walk = func(node int) {
+		env.Compute(b.ComputePerVisit)
+		a := b.node(node)
+		m := env.RF(a + bnMass)
+		if m == 0 {
+			return
+		}
+		var dr [3]float64
+		r2 := 1.0 // Plummer softening: bounds the force at close range
+		for d := 0; d < 3; d++ {
+			dr[d] = env.RF(a+int64(8*d)) - pi[d]
+			r2 += dr[d] * dr[d]
+		}
+		h := env.RF(a + bnHalf)
+		body := env.RI(a + bnBody)
+		if body == i {
+			return
+		}
+		if body >= 0 || (2*h)*(2*h) < b.Theta*b.Theta*r2 {
+			inv := m / (r2 * math.Sqrt(r2))
+			for d := 0; d < 3; d++ {
+				acc[d] += dr[d] * inv
+			}
+			return
+		}
+		for k := 0; k < 8; k++ {
+			if ch := env.RI(a + bnKids + int64(4*k)); ch >= 0 {
+				walk(ch)
+			}
+		}
+	}
+	walk(0)
+	for d := 0; d < 3; d++ {
+		env.WF(vec(b.accBase, i, d), acc[d])
+	}
+}
+
+// Result implements dsm.App.
+func (b *Barnes) Result() float64 { return b.result }

@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"dsm96/internal/dsm"
+	"dsm96/internal/lrc"
+)
+
+// Em3d simulates electromagnetic-wave propagation through 3-D objects
+// (Culler et al., Split-C): a bipartite graph of electric and magnetic
+// nodes, randomly wired, where each iteration updates every E node from
+// its H dependencies and then every H node from its E dependencies, with
+// a barrier between half-steps. A fixed fraction of the edges cross
+// processor boundaries (the paper wires 10% of neighbours remotely).
+//
+// The dependency graph is generated against a fixed virtual partitioning
+// (independent of the actual processor count), so results validate
+// against the sequential oracle exactly.
+type Em3d struct {
+	NodesPerKind int // E nodes and H nodes each
+	Iters        int
+	Degree       int
+	RemoteFrac   float64
+	// ComputePerDep models per-edge instruction cost.
+	ComputePerDep int64
+
+	eVals, hVals int64 // f64 per node
+	eDeps, hDeps int64 // Degree i32 per node
+	outAddr      int64
+
+	result float64
+}
+
+// em3dVirtualParts is the fixed partitioning the wiring is generated
+// against (the paper's machine size).
+const em3dVirtualParts = 16
+
+// NewEm3d builds an instance.
+func NewEm3d(nodesPerKind, iters, degree int, remoteFrac float64) *Em3d {
+	return &Em3d{NodesPerKind: nodesPerKind, Iters: iters, Degree: degree,
+		RemoteFrac: remoteFrac, ComputePerDep: 80}
+}
+
+// DefaultEm3d is the scaled default (paper: 40064 objects, 6 iterations,
+// 10% remote neighbours).
+func DefaultEm3d() *Em3d { return NewEm3d(4096, 6, 4, 0.10) }
+
+// PaperEm3d reproduces the published input.
+func PaperEm3d() *Em3d { return NewEm3d(20032, 6, 4, 0.10) }
+
+// Name implements dsm.App.
+func (e *Em3d) Name() string { return "em3d" }
+
+// Setup implements dsm.App.
+func (e *Em3d) Setup(h *lrc.Heap) {
+	e.result = 0
+	n := e.NodesPerKind
+	e.eVals = h.AllocPages((8*n + 4095) / 4096)
+	e.hVals = h.AllocPages((8*n + 4095) / 4096)
+	e.eDeps = h.AllocPages((4*n*e.Degree + 4095) / 4096)
+	e.hDeps = h.AllocPages((4*n*e.Degree + 4095) / 4096)
+	e.outAddr = h.AllocPages(1)
+}
+
+// wire picks a dependency for node i: usually inside i's virtual
+// partition, remote with probability RemoteFrac.
+func (e *Em3d) wire(r *rng, i int) int {
+	n := e.NodesPerKind
+	per := (n + em3dVirtualParts - 1) / em3dVirtualParts
+	part := i / per
+	if r.f64() < e.RemoteFrac {
+		// Remote: any node in a different virtual partition.
+		for {
+			j := r.intn(n)
+			if j/per != part {
+				return j
+			}
+		}
+	}
+	lo := part * per
+	hi := min(lo+per, n)
+	return lo + r.intn(hi-lo)
+}
+
+// Body implements dsm.App.
+func (e *Em3d) Body(env *dsm.Env) {
+	n := e.NodesPerKind
+	lo, hi := blockRange(n, env.NProcs(), env.ID)
+
+	if env.ID == 0 {
+		r := newRNG(271828)
+		for i := 0; i < n; i++ {
+			env.WF(e.eVals+int64(8*i), r.f64())
+			env.WF(e.hVals+int64(8*i), r.f64())
+			for d := 0; d < e.Degree; d++ {
+				env.WI(e.eDeps+int64(4*(i*e.Degree+d)), e.wire(r, i))
+				env.WI(e.hDeps+int64(4*(i*e.Degree+d)), e.wire(r, i))
+			}
+		}
+	}
+	env.Barrier(0)
+
+	coeff := 1.0 / float64(e.Degree+1)
+	for it := 0; it < e.Iters; it++ {
+		// E half-step: E[i] -= coeff * sum(H[dep]).
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for d := 0; d < e.Degree; d++ {
+				env.Compute(e.ComputePerDep)
+				dep := env.RI(e.eDeps + int64(4*(i*e.Degree+d)))
+				s += env.RF(e.hVals + int64(8*dep))
+			}
+			env.WF(e.eVals+int64(8*i), env.RF(e.eVals+int64(8*i))-coeff*s)
+		}
+		env.Barrier(10 + 2*it)
+		// H half-step.
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for d := 0; d < e.Degree; d++ {
+				env.Compute(e.ComputePerDep)
+				dep := env.RI(e.hDeps + int64(4*(i*e.Degree+d)))
+				s += env.RF(e.eVals + int64(8*dep))
+			}
+			env.WF(e.hVals+int64(8*i), env.RF(e.hVals+int64(8*i))-coeff*s)
+		}
+		env.Barrier(11 + 2*it)
+	}
+
+	if env.ID == 0 {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			env.Compute(4)
+			sum += env.RF(e.eVals+int64(8*i)) + env.RF(e.hVals+int64(8*i))
+		}
+		env.WF(e.outAddr, sum)
+		e.result = env.RF(e.outAddr)
+	}
+	env.Barrier(1)
+}
+
+// Result implements dsm.App.
+func (e *Em3d) Result() float64 { return e.result }

@@ -1,0 +1,84 @@
+package apps_test
+
+import (
+	"testing"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/params"
+	"dsm96/internal/tmk"
+)
+
+// TestValidationMatrix is the repository's central correctness gate:
+// every application, under every protocol, at several machine sizes,
+// must compute the same answer as the sequential oracle. Each of the
+// staleness bugs found during development (notice batches poisoned by
+// vector-timestamp skips, diff tag collisions, diff spans crossing
+// remote applies, late-bound coverage claims, invalidations lost during
+// twin setup) would fail this matrix.
+func TestValidationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is expensive; run without -short")
+	}
+	protocols := []core.Spec{
+		core.TM(tmk.Base), core.TM(tmk.I), core.TM(tmk.ID),
+		core.TM(tmk.P), core.TM(tmk.IP), core.TM(tmk.IPD),
+		core.AURC(false), core.AURC(true),
+	}
+	for _, name := range apps.Names() {
+		for _, spec := range protocols {
+			for _, procs := range []int{3, 8, 16} {
+				name, spec, procs := name, spec, procs
+				t.Run(name+"/"+spec.String()+"/"+itoa(procs), func(t *testing.T) {
+					t.Parallel()
+					app, err := apps.Tiny(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := params.Default()
+					cfg.Processors = procs
+					if _, err := core.Run(cfg, spec, app); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDefaultScaleMatrix validates the figure-generating configurations.
+func TestDefaultScaleMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is expensive; run without -short")
+	}
+	for _, name := range apps.Names() {
+		for _, spec := range []core.Spec{core.TM(tmk.Base), core.TM(tmk.IPD), core.AURC(false)} {
+			name, spec := name, spec
+			t.Run(name+"/"+spec.String(), func(t *testing.T) {
+				t.Parallel()
+				app, err := apps.Default(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := params.Default()
+				if _, err := core.Run(cfg, spec, app); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"dsm96/internal/dsm"
+	"dsm96/internal/lrc"
+)
+
+// Ocean is the SPLASH-2 ocean-current simulation reduced to its dominant
+// kernel and sharing pattern: red-black Gauss-Seidel relaxation over a
+// 2-D grid, row-partitioned across processors, with two barriers per
+// iteration. Neighbouring processors share the boundary-row pages, so
+// every iteration moves one page's worth of diffs per boundary — little
+// computation per byte communicated, which is why Ocean shows the worst
+// speedup in Figure 1.
+type Ocean struct {
+	N     int // grid side (paper: 258, i.e. 256 interior + boundary)
+	Iters int
+	// ComputePerPoint models the stencil's instruction cost.
+	ComputePerPoint int64
+
+	grid    int64 // N*N f64, row-major
+	outAddr int64
+
+	result float64
+}
+
+// NewOcean builds an instance.
+func NewOcean(n, iters int) *Ocean {
+	return &Ocean{N: n, Iters: iters, ComputePerPoint: 25}
+}
+
+// DefaultOcean is the scaled default (paper: 258x258).
+func DefaultOcean() *Ocean { return NewOcean(130, 12) }
+
+// PaperOcean reproduces the published input.
+func PaperOcean() *Ocean { return NewOcean(258, 30) }
+
+// Name implements dsm.App.
+func (o *Ocean) Name() string { return "ocean" }
+
+// Setup implements dsm.App.
+func (o *Ocean) Setup(h *lrc.Heap) {
+	o.result = 0
+	o.grid = h.AllocPages((8*o.N*o.N + 4095) / 4096)
+	o.outAddr = h.AllocPages(1)
+}
+
+func (o *Ocean) at(i, j int) int64 { return o.grid + int64(8*(i*o.N+j)) }
+
+// Body implements dsm.App.
+func (o *Ocean) Body(env *dsm.Env) {
+	n := o.N
+	// Interior rows 1..n-2 are partitioned contiguously.
+	lo, hi := blockRange(n-2, env.NProcs(), env.ID)
+	lo, hi = lo+1, hi+1
+
+	if env.ID == 0 {
+		r := newRNG(31415)
+		// Boundary conditions on the rim; interior starts at zero.
+		for i := 0; i < n; i++ {
+			env.WF(o.at(i, 0), r.f64())
+			env.WF(o.at(i, n-1), r.f64())
+			env.WF(o.at(0, i), r.f64())
+			env.WF(o.at(n-1, i), r.f64())
+		}
+	}
+	env.Barrier(0)
+
+	for it := 0; it < o.Iters; it++ {
+		for colour := 0; colour < 2; colour++ {
+			for i := lo; i < hi; i++ {
+				for j := 1 + (i+colour)%2; j < n-1; j += 2 {
+					env.Compute(o.ComputePerPoint)
+					v := 0.25 * (env.RF(o.at(i-1, j)) + env.RF(o.at(i+1, j)) +
+						env.RF(o.at(i, j-1)) + env.RF(o.at(i, j+1)))
+					env.WF(o.at(i, j), v)
+				}
+			}
+			env.Barrier(10 + 2*it + colour)
+		}
+	}
+
+	if env.ID == 0 {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				env.Compute(4)
+				sum += env.RF(o.at(i, j))
+			}
+		}
+		env.WF(o.outAddr, sum)
+		o.result = env.RF(o.outAddr)
+	}
+	env.Barrier(1)
+}
+
+// Result implements dsm.App.
+func (o *Ocean) Result() float64 { return o.result }

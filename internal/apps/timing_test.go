@@ -1,0 +1,32 @@
+package apps_test
+
+import (
+	"testing"
+	"time"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/params"
+	"dsm96/internal/tmk"
+)
+
+// TestDefaultTimings runs every application at the figure-generating
+// default scale under base TreadMarks — a regression gate for both
+// correctness and simulator throughput.
+func TestDefaultTimings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale runs are expensive; run without -short")
+	}
+	for _, name := range apps.Names() {
+		app, _ := apps.Default(name)
+		cfg := params.Default()
+		start := time.Now()
+		r, err := core.Run(cfg, core.TM(tmk.Base), app)
+		el := time.Since(start)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		t.Logf("%-8s wall=%8v cycles=%12d msgs=%8d", name, el.Round(time.Millisecond), r.RunningTime, r.Messages)
+	}
+}

@@ -1,0 +1,305 @@
+package apps
+
+import (
+	"fmt"
+
+	"dsm96/internal/dsm"
+	"dsm96/internal/lrc"
+)
+
+// TSP solves the traveling-salesman problem with branch and bound, the
+// TreadMarks distribution's flagship application: a lock-protected shared
+// work queue of partial tours, a shared best-so-far bound that prunes the
+// search, and long stretches of independent computation between
+// synchronization points (which is why it speeds up so well in Figure 1).
+//
+// Partial tours above the depth cutoff are expanded back into the queue;
+// deeper ones are solved locally by exhaustive DFS pruned against the
+// shared bound. The answer (the optimum tour cost) is identical no matter
+// how the search interleaves, so validation is exact.
+type TSP struct {
+	Cities int
+	// CutoffDepth: queue entries with fewer than this many fixed cities
+	// are expanded rather than solved.
+	CutoffDepth int
+	// ComputePerEdge models the instruction cost of one edge evaluation.
+	ComputePerEdge int64
+
+	dist [][]int // private copy of the distance matrix (read-only data)
+
+	// Shared layout.
+	distBase  int64 // Cities*Cities i32, initialized by proc 0
+	queueBase int64 // records
+	qState    int64 // head, tail, outstanding (i32 each)
+	bestAddr  int64 // current best bound (i32)
+	outAddr   int64 // final answer
+
+	recWords int
+	maxRecs  int
+	result   float64
+
+	// DebugShadow, when enabled, tracks the lock-ordered expected values
+	// of the queue state and panics on the first stale in-CS read.
+	DebugShadow                         bool
+	shadowHead, shadowTail, shadowOutst int
+}
+
+// Locks and barriers used by TSP.
+const (
+	tspQueueLock = 1
+	tspBestLock  = 2
+)
+
+// NewTSP builds an instance with n cities.
+func NewTSP(n int) *TSP {
+	return &TSP{Cities: n, CutoffDepth: 3, ComputePerEdge: 800}
+}
+
+// DefaultTSP is the scaled default (the paper tours 18 cities; full
+// branch and bound over 18 cities is too deep for simulation here, as it
+// was for the authors' simulator budget).
+func DefaultTSP() *TSP { return NewTSP(11) }
+
+// PaperTSP reproduces the published input size.
+func PaperTSP() *TSP { return NewTSP(18) }
+
+// Name implements dsm.App.
+func (t *TSP) Name() string { return "tsp" }
+
+// Setup implements dsm.App.
+func (t *TSP) Setup(h *lrc.Heap) {
+	t.result = 0
+	n := t.Cities
+	// Deterministic distance matrix (symmetric, positive).
+	r := newRNG(12345)
+	t.dist = make([][]int, n)
+	for i := range t.dist {
+		t.dist[i] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := 10 + r.intn(90)
+			t.dist[i][j] = d
+			t.dist[j][i] = d
+		}
+	}
+	t.recWords = 2 + n // cost, depth, tour[0..n)
+	t.maxRecs = 4096
+	t.distBase = h.AllocPages((4*n*n + 4095) / 4096)
+	t.queueBase = h.AllocPages((4*t.recWords*t.maxRecs + 4095) / 4096)
+	t.qState = h.AllocPages(1)
+	t.bestAddr = h.AllocPages(1)
+	t.outAddr = h.AllocPages(1)
+}
+
+func (t *TSP) recAddr(i int) int64 { return t.queueBase + int64(4*t.recWords*i) }
+
+// Body implements dsm.App.
+func (t *TSP) Body(env *dsm.Env) {
+	n := t.Cities
+	if env.ID == 0 {
+		// Publish the distance matrix and seed the queue with the root
+		// tour (city 0 fixed as start).
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				env.WI(t.distBase+int64(4*(i*n+j)), t.dist[i][j])
+			}
+		}
+		env.WI(t.bestAddr, 1<<30)
+		root := t.recAddr(0)
+		env.WI(root, 0)       // cost so far
+		env.WI(root+4, 1)     // depth: city 0 fixed
+		env.WI(root+8, 0)     // tour[0] = 0
+		env.WI(t.qState, 0)   // head
+		env.WI(t.qState+4, 1) // tail
+		env.WI(t.qState+8, 1) // outstanding work items
+		t.shadowHead, t.shadowTail, t.shadowOutst = 0, 1, 1
+	}
+	env.Barrier(0)
+
+	emptyPolls := 0
+	for {
+		// Pop a work item or decide we are done.
+		env.Lock(tspQueueLock)
+		head := env.RI(t.qState)
+		tail := env.RI(t.qState + 4)
+		outstanding := env.RI(t.qState + 8)
+		if t.DebugShadow && (head != t.shadowHead || tail != t.shadowTail || outstanding != t.shadowOutst) {
+			panic(fmt.Sprintf("tsp shadow: proc %d read h=%d t=%d o=%d, want h=%d t=%d o=%d",
+				env.ID, head, tail, outstanding, t.shadowHead, t.shadowTail, t.shadowOutst))
+		}
+		if head == tail {
+			env.Unlock(tspQueueLock)
+			if outstanding == 0 {
+				break
+			}
+			emptyPolls++
+			if emptyPolls > 200000 {
+				panic(fmt.Sprintf("tsp: proc %d polled %d times with outstanding=%d head=%d tail=%d — protocol livelock",
+					env.ID, emptyPolls, outstanding, head, tail))
+			}
+			env.Compute(300) // back off and poll again
+			continue
+		}
+		emptyPolls = 0
+		env.WI(t.qState, head+1)
+		t.shadowHead = head + 1
+		rec := t.recAddr(head % t.maxRecs)
+		cost := env.RI(rec)
+		depth := env.RI(rec + 4)
+		tour := make([]int, depth)
+		for i := 0; i < depth; i++ {
+			tour[i] = env.RI(rec + int64(8+4*i))
+		}
+		env.Unlock(tspQueueLock)
+		if depth < 1 || depth > n {
+			panic(fmt.Sprintf("tsp: proc %d popped head=%d tail=%d cost=%d depth=%d", env.ID, head, tail, cost, depth))
+		}
+
+		best := env.RI(t.bestAddr)
+		if cost >= best {
+			t.finishItem(env)
+			continue
+		}
+		if depth < t.CutoffDepth && depth < n {
+			t.expand(env, cost, tour)
+		} else {
+			t.solve(env, cost, tour, best)
+		}
+		t.finishItem(env)
+	}
+
+	env.Barrier(1)
+	if env.ID == 0 {
+		env.WI(t.outAddr, env.RI(t.bestAddr))
+		t.result = float64(env.RI(t.outAddr))
+	}
+	env.Barrier(2)
+}
+
+// finishItem retires one work item.
+func (t *TSP) finishItem(env *dsm.Env) {
+	env.Lock(tspQueueLock)
+	o := env.RI(t.qState + 8)
+	if t.DebugShadow && o != t.shadowOutst {
+		panic(fmt.Sprintf("tsp shadow: proc %d finish read o=%d want %d", env.ID, o, t.shadowOutst))
+	}
+	env.WI(t.qState+8, o-1)
+	t.shadowOutst = o - 1
+	env.Unlock(tspQueueLock)
+}
+
+// expand pushes every feasible extension of the partial tour.
+func (t *TSP) expand(env *dsm.Env, cost int, tour []int) {
+	n := t.Cities
+	used := make([]bool, n)
+	for _, c := range tour {
+		used[c] = true
+	}
+	last := tour[len(tour)-1]
+	for next := 0; next < n; next++ {
+		if used[next] {
+			continue
+		}
+		env.Compute(t.ComputePerEdge)
+		ncost := cost + t.dist[last][next]
+		if ncost >= env.RI(t.bestAddr) {
+			continue
+		}
+		env.Lock(tspQueueLock)
+		tail := env.RI(t.qState + 4)
+		if tail-env.RI(t.qState) >= t.maxRecs {
+			env.Unlock(tspQueueLock)
+			// Queue full: solve the child locally instead.
+			t.solve(env, ncost, append(append([]int(nil), tour...), next), env.RI(t.bestAddr))
+			continue
+		}
+		rec := t.recAddr(tail % t.maxRecs)
+		env.WI(rec, ncost)
+		env.WI(rec+4, len(tour)+1)
+		for i, c := range tour {
+			env.WI(rec+int64(8+4*i), c)
+		}
+		env.WI(rec+int64(8+4*len(tour)), next)
+		o := env.RI(t.qState + 8)
+		if t.DebugShadow && (tail != t.shadowTail || o != t.shadowOutst) {
+			panic(fmt.Sprintf("tsp shadow: proc %d push read t=%d o=%d want t=%d o=%d",
+				env.ID, tail, o, t.shadowTail, t.shadowOutst))
+		}
+		env.WI(t.qState+4, tail+1)
+		env.WI(t.qState+8, o+1)
+		t.shadowTail = tail + 1
+		t.shadowOutst = o + 1
+		env.Unlock(tspQueueLock)
+	}
+}
+
+// solve exhausts the subtree below the partial tour with DFS, pruning
+// against the shared bound (reread occasionally, updated under a lock).
+func (t *TSP) solve(env *dsm.Env, cost int, tour []int, best int) {
+	n := t.Cities
+	used := make([]bool, n)
+	path := make([]int, n)
+	copy(path, tour)
+	for _, c := range tour {
+		used[c] = true
+	}
+	var dfs func(depth, cost int)
+	dfs = func(depth, cost int) {
+		env.Compute(t.ComputePerEdge)
+		if cost >= best {
+			return
+		}
+		if depth == n {
+			total := cost + t.dist[path[n-1]][path[0]]
+			if total < best {
+				env.Lock(tspBestLock)
+				if total < env.RI(t.bestAddr) {
+					env.WI(t.bestAddr, total)
+				}
+				best = env.RI(t.bestAddr)
+				env.Unlock(tspBestLock)
+			}
+			return
+		}
+		last := path[depth-1]
+		for next := 0; next < n; next++ {
+			if used[next] {
+				continue
+			}
+			used[next] = true
+			path[depth] = next
+			dfs(depth+1, cost+t.dist[last][next])
+			used[next] = false
+		}
+	}
+	dfs(len(tour), cost)
+}
+
+// Result implements dsm.App.
+func (t *TSP) Result() float64 { return t.result }
+
+// DistancesForTest exposes the deterministic distance matrix so tests can
+// verify the optimum independently. Setup must not have been bypassed.
+func (t *TSP) DistancesForTest() [][]int {
+	if t.dist == nil {
+		var h lrc.Heap
+		_ = h
+		// Generate without allocating shared space: replicate Setup's
+		// generator.
+		n := t.Cities
+		r := newRNG(12345)
+		t.dist = make([][]int, n)
+		for i := range t.dist {
+			t.dist[i] = make([]int, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := 10 + r.intn(90)
+				t.dist[i][j] = d
+				t.dist[j][i] = d
+			}
+		}
+	}
+	return t.dist
+}

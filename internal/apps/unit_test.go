@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: blockRange partitions [0,n) exactly — contiguous, disjoint,
+// covering, and balanced within one element.
+func TestBlockRangeProperty(t *testing.T) {
+	f := func(rawN, rawP uint8) bool {
+		n := int(rawN)
+		procs := int(rawP)%16 + 1
+		prevHi := 0
+		minSz, maxSz := 1<<30, -1
+		for id := 0; id < procs; id++ {
+			lo, hi := blockRange(n, procs, id)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			prevHi = hi
+			if sz := hi - lo; sz < minSz {
+				minSz = sz
+			} else if sz > maxSz {
+				maxSz = sz
+			}
+			_ = maxSz
+		}
+		if prevHi != n {
+			return false
+		}
+		// Balance: sizes differ by at most 1.
+		sizes := map[int]bool{}
+		for id := 0; id < procs; id++ {
+			lo, hi := blockRange(n, procs, id)
+			sizes[hi-lo] = true
+		}
+		if len(sizes) > 2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterministicAndSpread(t *testing.T) {
+	a, b := newRNG(5), newRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	// Crude spread check: values in [0,16) hit many buckets.
+	r := newRNG(6)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[r.intn(16)] = true
+	}
+	if len(seen) < 12 {
+		t.Fatalf("poor spread: %d/16 buckets", len(seen))
+	}
+	// f64 in [0,1).
+	for i := 0; i < 100; i++ {
+		if v := r.f64(); v < 0 || v >= 1 {
+			t.Fatalf("f64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRadixDigits(t *testing.T) {
+	cases := []struct {
+		radix, want int
+	}{
+		{256, 3},  // 8 bits -> ceil(20/8)
+		{1024, 2}, // 10 bits
+		{16, 5},   // 4 bits
+		{2, 20},
+	}
+	for _, c := range cases {
+		r := NewRadix(1024, c.radix)
+		if got := r.digits(); got != c.want {
+			t.Errorf("digits(radix=%d) = %d, want %d", c.radix, got, c.want)
+		}
+	}
+}
+
+func TestEm3dWireVirtualPartitioning(t *testing.T) {
+	e := NewEm3d(1600, 1, 4, 0.25)
+	r := newRNG(1)
+	per := (e.NodesPerKind + em3dVirtualParts - 1) / em3dVirtualParts
+	remote := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		src := r.intn(e.NodesPerKind)
+		dep := e.wire(r, src)
+		if dep < 0 || dep >= e.NodesPerKind {
+			t.Fatalf("dep %d out of range", dep)
+		}
+		if dep/per != src/per {
+			remote++
+		}
+	}
+	frac := float64(remote) / trials
+	if frac < 0.18 || frac > 0.32 {
+		t.Fatalf("remote fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestTSPDistanceMatrixSymmetric(t *testing.T) {
+	app := NewTSP(9)
+	d := app.DistancesForTest()
+	for i := 0; i < 9; i++ {
+		if d[i][i] != 0 {
+			t.Errorf("d[%d][%d] = %d, want 0", i, i, d[i][i])
+		}
+		for j := 0; j < 9; j++ {
+			if d[i][j] != d[j][i] {
+				t.Errorf("asymmetric: d[%d][%d]=%d d[%d][%d]=%d", i, j, d[i][j], j, i, d[j][i])
+			}
+			if i != j && (d[i][j] < 10 || d[i][j] > 99) {
+				t.Errorf("distance %d out of the generator's range", d[i][j])
+			}
+		}
+	}
+}
+
+func TestVecAddressing(t *testing.T) {
+	// vec lays out 3 contiguous f64 per element.
+	if vec(1000, 0, 0) != 1000 || vec(1000, 0, 2) != 1016 || vec(1000, 1, 0) != 1024 {
+		t.Fatal("vec layout wrong")
+	}
+}
+
+func TestOceanGridAddressing(t *testing.T) {
+	o := NewOcean(10, 1)
+	o.grid = 0
+	if o.at(0, 0) != 0 || o.at(0, 1) != 8 || o.at(1, 0) != 80 {
+		t.Fatal("ocean addressing wrong")
+	}
+}
+
+func TestBarnesNodeLayout(t *testing.T) {
+	b := NewBarnes(8, 1)
+	b.nodeBase = 0
+	if b.node(0) != 0 || b.node(1) != bnBytes {
+		t.Fatal("node stride wrong")
+	}
+	// The record ends with 4 bytes of padding so consecutive records keep
+	// their f64 fields 8-byte aligned.
+	if bnKids+4*8 > bnBytes || bnBytes%8 != 0 {
+		t.Fatalf("record layout inconsistent: kids end at %d, record is %d bytes", bnKids+32, bnBytes)
+	}
+}

@@ -1,0 +1,155 @@
+package apps
+
+import (
+	"dsm96/internal/dsm"
+	"dsm96/internal/lrc"
+)
+
+// Water is the SPLASH-2 molecular-dynamics simulation, reduced to its
+// sharing pattern: n molecules with position/velocity/force state, an
+// O(n²) pairwise force computation, barrier-separated phases, and a
+// short lock-protected critical section per step (the global potential-
+// energy reduction) — the kind of critical section the paper shows
+// prefetching makes "extremely expensive".
+//
+// Each molecule's force is accumulated entirely by its owning processor,
+// scanning partners in ascending order, so floating-point results do not
+// depend on the processor count.
+type Water struct {
+	Molecules int
+	Steps     int
+	// ComputePerPair models the instruction cost of one interaction.
+	ComputePerPair int64
+
+	posBase, velBase, frcBase int64 // 3 f64 each per molecule
+	peAddr                    int64 // global potential energy (f64)
+	outAddr                   int64
+
+	result float64
+}
+
+const (
+	waterPELock = 3
+	waterDT     = 1e-3
+)
+
+// NewWater builds an instance.
+func NewWater(molecules, steps int) *Water {
+	return &Water{Molecules: molecules, Steps: steps, ComputePerPair: 400}
+}
+
+// DefaultWater is the scaled default (paper: 512 molecules).
+func DefaultWater() *Water { return NewWater(128, 3) }
+
+// PaperWater reproduces the published input.
+func PaperWater() *Water { return NewWater(512, 2) }
+
+// Name implements dsm.App.
+func (w *Water) Name() string { return "water" }
+
+// Setup implements dsm.App.
+func (w *Water) Setup(h *lrc.Heap) {
+	w.result = 0
+	n := w.Molecules
+	bytes := 24 * n
+	w.posBase = h.AllocPages((bytes + 4095) / 4096)
+	w.velBase = h.AllocPages((bytes + 4095) / 4096)
+	w.frcBase = h.AllocPages((bytes + 4095) / 4096)
+	w.peAddr = h.AllocPages(1)
+	w.outAddr = h.AllocPages(1)
+}
+
+func vec(base int64, i, d int) int64 { return base + int64(24*i+8*d) }
+
+// Body implements dsm.App.
+func (w *Water) Body(env *dsm.Env) {
+	n := w.Molecules
+	lo, hi := blockRange(n, env.NProcs(), env.ID)
+
+	if env.ID == 0 {
+		r := newRNG(777)
+		for i := 0; i < n; i++ {
+			for d := 0; d < 3; d++ {
+				env.WF(vec(w.posBase, i, d), r.f64()*10)
+				env.WF(vec(w.velBase, i, d), (r.f64()-0.5)*0.1)
+			}
+		}
+	}
+	env.Barrier(0)
+
+	for step := 0; step < w.Steps; step++ {
+		if env.ID == 0 {
+			env.WF(w.peAddr, 0)
+		}
+		env.Barrier(10 + 4*step)
+
+		// Force phase: O(n²) interactions; each processor owns a block
+		// of molecules and reads every other molecule's position.
+		localPE := 0.0
+		for i := lo; i < hi; i++ {
+			var f [3]float64
+			var pi [3]float64
+			for d := 0; d < 3; d++ {
+				pi[d] = env.RF(vec(w.posBase, i, d))
+			}
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				env.Compute(w.ComputePerPair)
+				var dr [3]float64
+				r2 := 1e-6
+				for d := 0; d < 3; d++ {
+					dr[d] = pi[d] - env.RF(vec(w.posBase, j, d))
+					r2 += dr[d] * dr[d]
+				}
+				inv := 1.0 / r2
+				for d := 0; d < 3; d++ {
+					f[d] += dr[d] * inv
+				}
+				localPE += inv
+			}
+			for d := 0; d < 3; d++ {
+				env.WF(vec(w.frcBase, i, d), f[d])
+			}
+		}
+
+		// Short lock-protected global reduction (the paper's expensive
+		// critical section under prefetching).
+		env.Lock(waterPELock)
+		env.WF(w.peAddr, env.RF(w.peAddr)+localPE)
+		env.Unlock(waterPELock)
+
+		env.Barrier(11 + 4*step)
+
+		// Integration phase: owners advance their molecules.
+		for i := lo; i < hi; i++ {
+			env.Compute(30)
+			for d := 0; d < 3; d++ {
+				v := env.RF(vec(w.velBase, i, d)) + waterDT*env.RF(vec(w.frcBase, i, d))
+				env.WF(vec(w.velBase, i, d), v)
+				env.WF(vec(w.posBase, i, d), env.RF(vec(w.posBase, i, d))+waterDT*v)
+			}
+		}
+		env.Barrier(12 + 4*step)
+	}
+
+	if env.ID == 0 {
+		// Final observable: potential energy of the last step plus total
+		// kinetic energy, in a fixed summation order.
+		ke := 0.0
+		for i := 0; i < n; i++ {
+			env.Compute(20)
+			for d := 0; d < 3; d++ {
+				v := env.RF(vec(w.velBase, i, d))
+				ke += v * v
+			}
+		}
+		env.WF(w.outAddr, env.RF(w.peAddr)+0.5*ke)
+		w.result = env.RF(w.outAddr)
+	}
+	env.Barrier(1)
+}
+
+// Result implements dsm.App.
+func (w *Water) Result() float64 { return w.result }

@@ -1,0 +1,189 @@
+package aurc_test
+
+import (
+	"testing"
+
+	"dsm96/internal/aurc"
+	"dsm96/internal/core"
+	"dsm96/internal/dsm"
+	"dsm96/internal/lrc"
+	"dsm96/internal/network"
+	"dsm96/internal/params"
+	"dsm96/internal/sim"
+)
+
+// pairApp: two processors ping-pong increments on one page under a lock —
+// the pairwise-sharing sweet spot (no page fetches needed once mapped).
+type pairApp struct {
+	total  int
+	cell   int64
+	result float64
+}
+
+func (a *pairApp) Name() string { return "pair" }
+func (a *pairApp) Setup(h *lrc.Heap) {
+	a.result = 0
+	a.cell = h.AllocPages(1)
+}
+func (a *pairApp) Body(env *dsm.Env) {
+	for r := env.ID; r < a.total; r += env.NProcs() {
+		env.Lock(1)
+		env.WI(a.cell, env.RI(a.cell)+1)
+		env.Unlock(1)
+	}
+	env.Barrier(0)
+	if env.ID == 0 {
+		a.result = float64(env.RI(a.cell))
+	}
+	env.Barrier(1)
+}
+func (a *pairApp) Result() float64 { return a.result }
+
+// spreadApp: every processor updates its stripe of a shared array and
+// everyone reads everything — forces the home-based (>2 sharers) phase.
+type spreadApp struct {
+	n      int
+	iters  int
+	data   int64
+	result float64
+}
+
+func (a *spreadApp) Name() string { return "spread" }
+func (a *spreadApp) Setup(h *lrc.Heap) {
+	a.result = 0
+	a.data = h.AllocPages((4*a.n + 4095) / 4096)
+}
+func (a *spreadApp) Body(env *dsm.Env) {
+	np := env.NProcs()
+	for it := 0; it < a.iters; it++ {
+		for i := env.ID; i < a.n; i += np {
+			env.WI(a.data+int64(4*i), env.RI(a.data+int64(4*i))+1)
+		}
+		env.Barrier(it)
+	}
+	if env.ID == 0 {
+		total := 0
+		for i := 0; i < a.n; i++ {
+			total += env.RI(a.data + int64(4*i))
+		}
+		a.result = float64(total)
+	}
+	env.Barrier(1000)
+}
+func (a *spreadApp) Result() float64 { return a.result }
+
+func cfgN(procs int) params.Config {
+	c := params.Default()
+	c.Processors = procs
+	return c
+}
+
+func TestPairwiseCounter(t *testing.T) {
+	app := &pairApp{total: 12}
+	r, err := core.Run(cfgN(2), core.AURC(false), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AppResult != 12 {
+		t.Fatalf("counter = %v, want 12", r.AppResult)
+	}
+	// Two sharers: automatic updates keep both copies fresh, so faults
+	// should be rare (initial mapping only).
+	s := r.Breakdown.Sum()
+	if s.PageFaults > 6 {
+		t.Errorf("pairwise sharing still took %d page faults", s.PageFaults)
+	}
+}
+
+func TestHomedSharing(t *testing.T) {
+	app := &spreadApp{n: 4096, iters: 2}
+	r, err := core.Run(cfgN(4), core.AURC(false), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(4096 * 2)
+	if r.AppResult != want {
+		t.Fatalf("result = %v, want %v", r.AppResult, want)
+	}
+	s := r.Breakdown.Sum()
+	if s.PageFaults == 0 {
+		t.Error("homed sharing produced no page fetches")
+	}
+	if s.DiffsCreated != 0 || s.TwinsCreated != 0 {
+		t.Error("AURC must not create diffs or twins")
+	}
+}
+
+func TestAURCWithPrefetch(t *testing.T) {
+	app := &spreadApp{n: 8192, iters: 3}
+	r, err := core.Run(cfgN(4), core.AURC(true), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Breakdown.Sum()
+	if s.Prefetches == 0 {
+		t.Error("AURC+P issued no prefetches")
+	}
+}
+
+func TestAURCDeterminism(t *testing.T) {
+	run := func() int64 {
+		app := &spreadApp{n: 2048, iters: 2}
+		r, err := core.Run(cfgN(4), core.AURC(false), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.RunningTime
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestDirectoryStateMachine(t *testing.T) {
+	// Directly exercise the directory: private -> pairwise -> home-based,
+	// with a stable home (the first sharer).
+	cfg := cfgN(4)
+	eng := sim.NewEngine()
+	net := network.New(&cfg, eng, 4)
+	pr := aurc.New(&cfg, eng, net, false)
+	d := pr.TouchDirectoryForTest(0, 0)
+	if got := d.Phase(); got != 0 { // private
+		t.Fatalf("phase after 1 sharer = %d", got)
+	}
+	if d.RouteTo(0) != -1 {
+		t.Fatal("sole sharer should propagate nowhere")
+	}
+	d = pr.TouchDirectoryForTest(0, 1)
+	if !d.IsPairwise() || d.RouteTo(0) != 1 || d.RouteTo(1) != 0 {
+		t.Fatal("two sharers should map bi-directionally")
+	}
+	// Third sharer: revert to write-through to the (stable) home.
+	d = pr.TouchDirectoryForTest(0, 2)
+	if !d.IsHomed() || d.Home() != 0 {
+		t.Fatalf("third sharer should force home-based write-through at home 0, got phase=%d home=%d", d.Phase(), d.Home())
+	}
+	if d.RouteTo(0) != -1 {
+		t.Fatal("home routed to itself")
+	}
+	if d.RouteTo(1) != 0 || d.RouteTo(2) != 0 {
+		t.Fatal("non-home writers must route to home")
+	}
+	// Re-touching by an existing sharer changes nothing.
+	d = pr.TouchDirectoryForTest(0, 2)
+	if !d.IsHomed() || d.Home() != 0 {
+		t.Fatal("repeat touch changed directory state")
+	}
+}
+
+func TestUpdateTrafficExists(t *testing.T) {
+	app := &pairApp{total: 10}
+	r, err := core.Run(cfgN(2), core.AURC(false), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Updates plus lock traffic; updates dominate messages for this app.
+	if r.Messages < 10 {
+		t.Errorf("expected automatic-update traffic, got %d messages", r.Messages)
+	}
+}

@@ -1,0 +1,26 @@
+package aurc
+
+// DirView is a read-only view of a page's sharing-directory entry,
+// exposed for tests and inspection tools.
+type DirView struct{ d *pageDir }
+
+// TouchDirectoryForTest runs the sharing state machine for (page, node)
+// exactly as an access would, and returns a view of the entry.
+func (pr *Protocol) TouchDirectoryForTest(pg, id int) DirView {
+	return DirView{pr.touchDirectory(pg, id)}
+}
+
+// Phase returns 0 (private), 1 (pairwise) or 2 (home-based).
+func (v DirView) Phase() int { return v.d.phase }
+
+// IsPairwise reports a two-sharer bi-directional mapping.
+func (v DirView) IsPairwise() bool { return v.d.phase == phPairwise }
+
+// IsHomed reports home-based write-through.
+func (v DirView) IsHomed() bool { return v.d.phase == phHomed }
+
+// Home returns the home node (meaningful when IsHomed).
+func (v DirView) Home() int { return v.d.home }
+
+// RouteTo returns where node id's writes propagate (-1 for nowhere).
+func (v DirView) RouteTo(id int) int { return v.d.routeTo(id) }

@@ -1,0 +1,136 @@
+package aurc
+
+import (
+	"dsm96/internal/sim"
+)
+
+// fault brings an invalid page back. AURC has no diffs: the faulting
+// processor waits until every automatic update currently in flight toward
+// the data holder has drained (the flush/lock-timestamp check), then
+// fetches the whole page from the home node or pairwise partner.
+func (n *anode) fault(p *sim.Proc, pg int, pe *page, d *pageDir) {
+	n.fp.Flush(p)
+	p.SleepReason(n.pr.cfg.InterruptTime, reasonInterrupt)
+	n.st.PageFaults++
+	n.pr.profile(pg).Faults++
+	if f := pe.fetch; f != nil {
+		if f.prefetch {
+			n.st.UsefulPrefetch++
+			f.prefetch = false
+		}
+		f.gate.Wait(p, reasonFetch)
+		return
+	}
+	f := &fetchOp{}
+	pe.fetch = f
+	n.startFetch(p, pg, pe, d, f)
+	f.gate.Wait(p, reasonFetch)
+}
+
+// startFetch launches the page transaction; p is the requesting
+// processor when called from processor context, nil from engine context.
+// It never blocks; completion opens f.gate.
+func (n *anode) startFetch(p *sim.Proc, pg int, pe *page, d *pageDir, f *fetchOp) {
+	f.snap = n.vts.Clone()
+	src := d.source(n.id)
+	if src < 0 || src == n.id {
+		// This node is the data holder (home or pairwise member): its
+		// copy is correct once in-flight updates have landed.
+		n.waitUpdatesDrained(func() {
+			n.completeFetch(pg, pe, f)
+		})
+		return
+	}
+	holder := n.pr.nodes[src]
+	reason := reasonFetch
+	if f.prefetch {
+		reason = reasonPrefetch
+	}
+	// Flush our own write cache first: any of our updates still buffered
+	// (or in flight) must reach the holder before it captures the page,
+	// or the incoming copy would clobber them. The holder's update drain
+	// covers them once they are on the wire.
+	n.wc.flushAll()
+	deliver := func() {
+		holder.servePageReq(n.id, pg, f)
+	}
+	if p != nil {
+		n.sendFromProc(p, reason, src, requestWireBytes, deliver)
+	} else {
+		n.sendAsync(src, requestWireBytes, deliver)
+	}
+}
+
+// servePageReq services a whole-page fetch at the data holder: the
+// processor is interrupted (page requests — and particularly prefetch
+// floods — need processor intervention, which is why prefetching hurts
+// AURC), in-flight updates toward the holder drain, the page streams off
+// memory, and the reply carries the full page.
+func (n *anode) servePageReq(from, pg int, f *fetchOp) {
+	cfg := n.pr.cfg
+	requester := n.pr.nodes[from]
+	n.serveCPU(pageReqCost, func() {
+		n.waitUpdatesDrained(func() {
+			// Capture the page at this instant.
+			data := append([]byte(nil), n.frames.Page(pg)...)
+			n.mem.MemTouch(cfg.PageSize)
+			bytes := updateHeaderBytes + cfg.PageSize
+			n.sendAsync(from, bytes, func() {
+				requester.receivePage(pg, data, f)
+			})
+		})
+	})
+}
+
+// receivePage lands the page at the requester.
+func (n *anode) receivePage(pg int, data []byte, f *fetchOp) {
+	pe := n.page(pg)
+	n.frames.CopyPage(pg, data)
+	n.mem.DMA(len(data))
+	n.mem.InvalidatePage(int64(pg) * int64(n.pr.cfg.PageSize))
+	n.completeFetch(pg, pe, f)
+}
+
+// completeFetch finalizes: everything known as of the fault-time vector
+// timestamp is now reflected locally.
+func (n *anode) completeFetch(pg int, pe *page, f *fetchOp) {
+	for o := range pe.applied {
+		if f.snap[o] > pe.applied[o] {
+			pe.applied[o] = f.snap[o]
+		}
+	}
+	kept := pe.pending[:0]
+	for _, wn := range pe.pending {
+		if pe.applied[wn.Owner] < wn.Seq {
+			kept = append(kept, wn)
+		}
+	}
+	pe.pending = kept
+	if len(pe.pending) == 0 {
+		pe.state = stValid
+		pe.prefetchedUnused = f.prefetch
+	}
+	pe.fetch = nil
+	f.gate.Open(n.pr.eng)
+}
+
+// issuePrefetches mirrors the TreadMarks heuristic: after an acquire or
+// barrier, fetch the invalidated pages this processor had cached and
+// referenced. AURC prefetches whole pages from their homes; the home
+// processor must service every one of them.
+func (n *anode) issuePrefetches(p *sim.Proc) {
+	queue := n.prefetchQueue
+	n.prefetchQueue = nil
+	for _, pg := range queue {
+		pe := n.page(pg)
+		pe.queuedPrefetch = false
+		if pe.state != stInvalid || !pe.referenced || pe.fetch != nil {
+			continue
+		}
+		d := n.pr.pageDir(pg)
+		n.st.Prefetches++
+		f := &fetchOp{prefetch: true}
+		pe.fetch = f
+		n.startFetch(p, pg, pe, d, f)
+	}
+}

@@ -1,0 +1,149 @@
+package aurc
+
+import (
+	"testing"
+
+	"dsm96/internal/network"
+	"dsm96/internal/params"
+	"dsm96/internal/sim"
+)
+
+func newTestAURC(procs int) (*Protocol, *sim.Engine) {
+	cfg := params.Default()
+	cfg.Processors = procs
+	eng := sim.NewEngine()
+	net := network.New(&cfg, eng, procs)
+	return New(&cfg, eng, net, false), eng
+}
+
+func TestWriteCacheCombining(t *testing.T) {
+	pr, eng := newTestAURC(2)
+	n := pr.nodes[0]
+	eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		// Two writes to the same 32-byte block combine into one entry.
+		n.wc.add(p, 1, 0, 4)
+		n.wc.add(p, 1, 4, 4)
+		if len(n.wc.entries) != 1 {
+			t.Errorf("entries = %d, want 1 (combined)", len(n.wc.entries))
+		}
+		// A different block is a second entry.
+		n.wc.add(p, 1, 32, 4)
+		if len(n.wc.entries) != 2 {
+			t.Errorf("entries = %d, want 2", len(n.wc.entries))
+		}
+		// An 8-byte write crossing a block boundary touches two blocks:
+		// word 60 combines into the existing block-32 entry, word 64
+		// opens a third entry.
+		n.wc.add(p, 1, 60, 8)
+		if len(n.wc.entries) != 3 {
+			t.Errorf("entries = %d, want 3 (low word combined, high word new)", len(n.wc.entries))
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCacheEvictionFIFO(t *testing.T) {
+	pr, eng := newTestAURC(2)
+	n := pr.nodes[0]
+	sentBefore := n.updatesSent[1]
+	eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		// Capacity is 4 (Table 1): the fifth distinct block evicts the
+		// oldest entry onto the network.
+		for i := int64(0); i < 5; i++ {
+			n.wc.add(p, 1, i*32, 4)
+		}
+		if len(n.wc.entries) != 4 {
+			t.Errorf("entries = %d, want 4 (capacity)", len(n.wc.entries))
+		}
+		if n.updatesSent[1] != sentBefore+1 {
+			t.Errorf("updatesSent = %d, want exactly one eviction flush", n.updatesSent[1]-sentBefore)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushAllDelivers(t *testing.T) {
+	pr, eng := newTestAURC(2)
+	n0, n1 := pr.nodes[0], pr.nodes[1]
+	eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		n0.frames.WriteU32(100, 7777)
+		n0.wc.add(p, 1, 100, 4)
+		n0.wc.flushAll()
+		if len(n0.wc.entries) != 0 {
+			t.Error("flushAll left entries")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n1.frames.ReadU32(100); got != 7777 {
+		t.Fatalf("update not applied at destination: %d", got)
+	}
+	if n1.updatesArrived != 1 {
+		t.Fatalf("arrived = %d, want 1", n1.updatesArrived)
+	}
+}
+
+func TestDrainWaiters(t *testing.T) {
+	pr, eng := newTestAURC(2)
+	n0, n1 := pr.nodes[0], pr.nodes[1]
+	var drainedAt sim.Time = -1
+	eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		n0.wc.add(p, 1, 0, 4)
+		n0.wc.flushAll() // one update in flight toward node 1
+		n1.waitUpdatesDrained(func() { drainedAt = eng.Now() })
+		if drainedAt >= 0 {
+			t.Error("drain reported before the update arrived")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if drainedAt < 0 {
+		t.Fatal("drain waiter never fired")
+	}
+	// With nothing in flight the callback fires immediately.
+	fired := false
+	n1.waitUpdatesDrained(func() { fired = true })
+	if !fired {
+		t.Fatal("empty drain did not fire synchronously")
+	}
+}
+
+func TestCategoryForAURC(t *testing.T) {
+	if categoryFor(reasonFetch).String() != "data" {
+		t.Error("fetch not data")
+	}
+	if categoryFor(reasonBarrier).String() != "synch" {
+		t.Error("barrier not synch")
+	}
+	if categoryFor(reasonSteal).String() != "ipc" {
+		t.Error("steal not ipc")
+	}
+	if categoryFor("???").String() != "others" {
+		t.Error("unknown not others")
+	}
+}
+
+func TestUpdateHeaderAccounting(t *testing.T) {
+	pr, eng := newTestAURC(2)
+	n := pr.nodes[0]
+	eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		msgs := n.st.MsgsSent
+		n.wc.add(p, 1, 0, 4)
+		n.wc.flushAll()
+		if n.st.MsgsSent != msgs+1 {
+			t.Errorf("messages = %d, want +1", n.st.MsgsSent-msgs)
+		}
+		if n.st.BytesSent < uint64(updateHeaderBytes+4) {
+			t.Errorf("bytes = %d too small", n.st.BytesSent)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package controller
+
+import (
+	"testing"
+
+	"dsm96/internal/memsys"
+	"dsm96/internal/params"
+	"dsm96/internal/sim"
+)
+
+func newCtrl() (*Controller, *sim.Engine, *params.Config) {
+	cfg := params.Default()
+	eng := sim.NewEngine()
+	node := memsys.NewNode(0, &cfg, eng)
+	return New(0, &cfg, node), eng, &cfg
+}
+
+func TestSnoopMarksWords(t *testing.T) {
+	c, _, cfg := newCtrl()
+	c.SnoopWrite(0)
+	c.SnoopWrite(4)
+	c.SnoopWrite(4)                   // idempotent
+	c.SnoopWrite(int64(cfg.PageSize)) // next page, word 0
+	if got := c.Vector(0).Count(); got != 2 {
+		t.Fatalf("page 0 marked words = %d, want 2", got)
+	}
+	if got := c.Vector(1).Count(); got != 1 {
+		t.Fatalf("page 1 marked words = %d, want 1", got)
+	}
+}
+
+func TestHWDiffCostTracksVector(t *testing.T) {
+	c, _, cfg := newCtrl()
+	if got := c.HWDiffCreateCost(0); got != cfg.DMADiffBaseCycles {
+		t.Fatalf("clean page cost = %d, want %d", got, cfg.DMADiffBaseCycles)
+	}
+	for w := 0; w < cfg.PageWords(); w++ {
+		c.SnoopWrite(int64(w * params.WordBytes))
+	}
+	if got := c.HWDiffCreateCost(0); got != cfg.DMADiffFullCycles {
+		t.Fatalf("full page cost = %d, want %d", got, cfg.DMADiffFullCycles)
+	}
+}
+
+func TestHWDiffApplyCost(t *testing.T) {
+	c, _, cfg := newCtrl()
+	if got := c.HWDiffApplyCost(0); got != cfg.DMADiffBaseCycles {
+		t.Fatalf("empty apply = %d", got)
+	}
+	if c.HWDiffApplyCost(512) >= c.HWDiffApplyCost(1024) {
+		t.Fatal("apply cost not monotone")
+	}
+}
+
+// The paper's headline hardware claim: the DMA diff is far cheaper than
+// the ~7K-instruction software diff, and twins vanish entirely.
+func TestHardwareBeatsSoftware(t *testing.T) {
+	c, _, cfg := newCtrl()
+	for w := 0; w < cfg.PageWords(); w++ {
+		c.SnoopWrite(int64(w * params.WordBytes))
+	}
+	hw := c.HWDiffCreateCost(0)
+	sw := SoftDiffCreateCost(cfg)
+	if hw >= sw {
+		t.Fatalf("hw diff %d not cheaper than sw %d", hw, sw)
+	}
+	if sw < 7000 {
+		t.Fatalf("software diff %d below paper's ~7K cycles", sw)
+	}
+	if TwinCost(cfg) != 5*1024 {
+		t.Fatalf("twin cost = %d, want 5120", TwinCost(cfg))
+	}
+	if SoftDiffApplyCost(cfg, 10) != 70 {
+		t.Fatalf("apply cost = %d, want 70", SoftDiffApplyCost(cfg, 10))
+	}
+}
+
+func TestQueuePriorities(t *testing.T) {
+	c, eng, _ := newCtrl()
+	var order []string
+	eng.At(0, func() {
+		c.Submit(eng, &sim.Job{Name: "pf1", Priority: sim.PriorityLow, Service: 100,
+			Done: func() { order = append(order, "pf1") }})
+		c.Submit(eng, &sim.Job{Name: "pf2", Priority: sim.PriorityLow, Service: 100,
+			Done: func() { order = append(order, "pf2") }})
+	})
+	eng.At(50, func() {
+		c.Submit(eng, &sim.Job{Name: "demand", Priority: sim.PriorityHigh, Service: 100,
+			Done: func() { order = append(order, "demand") }})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// pf1 was already in service; the demand request overtakes pf2.
+	want := []string{"pf1", "demand", "pf2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestVectorClearAfterDiff(t *testing.T) {
+	c, _, cfg := newCtrl()
+	c.SnoopWrite(8)
+	v := c.Vector(0)
+	if v.Count() != 1 {
+		t.Fatal("mark lost")
+	}
+	v.Clear() // generating the diff resets all bits (Section 3.1)
+	if c.HWDiffCreateCost(0) != cfg.DMADiffBaseCycles {
+		t.Fatal("cost not reset after clear")
+	}
+}

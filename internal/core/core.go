@@ -1,0 +1,190 @@
+// Package core is the public facade of the simulator: it wires an
+// application, a protocol (a TreadMarks overlap variant or AURC), and a
+// machine configuration into a run, validates the computed result against
+// a sequential execution, and returns the paper-style time breakdown.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dsm96/internal/aurc"
+	"dsm96/internal/dsm"
+	"dsm96/internal/network"
+	"dsm96/internal/params"
+	"dsm96/internal/sim"
+	"dsm96/internal/stats"
+	"dsm96/internal/tmk"
+	"dsm96/internal/trace"
+)
+
+// Kind selects the protocol family.
+type Kind int
+
+const (
+	// KindTM runs a TreadMarks overlap variant.
+	KindTM Kind = iota
+	// KindAURC runs the automatic-update protocol.
+	KindAURC
+)
+
+// Spec names a protocol configuration.
+type Spec struct {
+	Kind Kind
+	// TMMode selects the TreadMarks variant (KindTM).
+	TMMode tmk.Mode
+	// TMOptions tunes the TreadMarks variant beyond the paper's fixed
+	// design (prefetch strategy, controller priority ablation).
+	TMOptions tmk.Options
+	// Prefetch enables page prefetching (KindAURC).
+	Prefetch bool
+	// Tracer, when set, receives structured protocol events from
+	// protocols that support tracing (the TreadMarks variants).
+	Tracer *trace.Buffer
+}
+
+// String returns the paper's label for the protocol.
+func (s Spec) String() string {
+	if s.Kind == KindAURC {
+		if s.Prefetch {
+			return "AURC+P"
+		}
+		return "AURC"
+	}
+	label := s.TMMode.String()
+	if s.TMMode.Prefetch() && s.TMOptions.Strategy != tmk.PrefetchReferenced {
+		label += "(" + s.TMOptions.Strategy.String() + ")"
+	}
+	if s.TMOptions.NoPrefetchPriority {
+		label += "(noprio)"
+	}
+	if s.TMOptions.LazyHybrid {
+		label += "(hybrid)"
+	}
+	return label
+}
+
+// TM builds a TreadMarks spec.
+func TM(m tmk.Mode) Spec { return Spec{Kind: KindTM, TMMode: m} }
+
+// TMOpt builds a TreadMarks spec with explicit options.
+func TMOpt(m tmk.Mode, o tmk.Options) Spec { return Spec{Kind: KindTM, TMMode: m, TMOptions: o} }
+
+// AURC builds an AURC spec.
+func AURC(prefetch bool) Spec { return Spec{Kind: KindAURC, Prefetch: prefetch} }
+
+// Result is the outcome of one simulated run.
+type Result struct {
+	// RunningTime is the parallel execution time in cycles.
+	RunningTime sim.Time
+	// Breakdown holds the per-processor accounting.
+	Breakdown *stats.Breakdown
+	// AppResult and SeqResult are the application's answer under the
+	// protocol and under the sequential oracle.
+	AppResult, SeqResult float64
+	// Messages and Bytes summarize network traffic.
+	Messages, Bytes uint64
+	// Protocol is the spec's label.
+	Protocol string
+	// App is the application's name.
+	App string
+	// Pages holds the per-page sharing profile (faults, invalidations,
+	// diff traffic, reader/writer sets).
+	Pages []stats.PageProfile
+}
+
+// Validated reports whether the parallel answer matches the sequential
+// one within floating-point reduction tolerance.
+func (r *Result) Validated() bool {
+	a, b := r.AppResult, r.SeqResult
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return false
+	}
+	return math.Abs(a-b)/scale < 1e-6
+}
+
+// system is what core needs from a protocol implementation.
+type system interface {
+	dsm.System
+	InstallProc(id int, p *sim.Proc)
+	FinishProc(id int, p *sim.Proc)
+	Breakdown(t sim.Time) *stats.Breakdown
+}
+
+// Run simulates app under the given protocol and machine configuration.
+// The application's answer is validated against a sequential execution of
+// the same code.
+func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Sequential oracle first (the app's Setup must reset all state).
+	seq := dsm.RunSequential(app, cfg.PageSize)
+
+	eng := sim.NewEngine()
+	net := network.New(&cfg, eng, cfg.Processors)
+	var sys system
+	switch spec.Kind {
+	case KindTM:
+		sys = tmk.NewWithOptions(&cfg, eng, net, spec.TMMode, spec.TMOptions)
+	case KindAURC:
+		sys = aurc.New(&cfg, eng, net, spec.Prefetch)
+	default:
+		return nil, fmt.Errorf("core: unknown protocol kind %d", spec.Kind)
+	}
+
+	if spec.Tracer != nil {
+		if tr, ok := sys.(interface{ SetTracer(*trace.Buffer) }); ok {
+			tr.SetTracer(spec.Tracer)
+		}
+	}
+	app.Setup(sys.Heap())
+	for id := 0; id < cfg.Processors; id++ {
+		id := id
+		var proc *sim.Proc
+		proc = eng.NewProc(id, fmt.Sprintf("cpu%d", id), 0, func(p *sim.Proc) {
+			app.Body(&dsm.Env{ID: id, P: p, Sys: sys})
+			sys.FinishProc(id, p)
+		})
+		sys.InstallProc(id, proc)
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("core: %s/%s: %w", app.Name(), spec, err)
+	}
+	var pages []stats.PageProfile
+	if pp, ok := sys.(stats.PageProfiler); ok {
+		pages = pp.PageProfiles()
+	}
+	res := &Result{
+		RunningTime: eng.Now(),
+		Pages:       pages,
+		Breakdown:   sys.Breakdown(eng.Now()),
+		AppResult:   app.Result(),
+		SeqResult:   seq,
+		Messages:    net.Messages,
+		Bytes:       net.Bytes,
+		Protocol:    spec.String(),
+		App:         app.Name(),
+	}
+	if !res.Validated() {
+		return res, fmt.Errorf("core: %s under %s computed %v, sequential oracle %v",
+			app.Name(), spec, res.AppResult, res.SeqResult)
+	}
+	return res, nil
+}
+
+// SequentialCycles runs the app on a single processor under base
+// TreadMarks (no remote communication) and returns its running time —
+// the denominator the paper's speedup figures use.
+func SequentialCycles(cfg params.Config, app dsm.App) (sim.Time, error) {
+	cfg.Processors = 1
+	r, err := Run(cfg, TM(tmk.Base), app)
+	if err != nil {
+		return 0, err
+	}
+	return r.RunningTime, nil
+}

@@ -1,0 +1,242 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"dsm96/internal/core"
+	"dsm96/internal/dsm"
+	"dsm96/internal/lrc"
+	"dsm96/internal/params"
+	"dsm96/internal/tmk"
+	"dsm96/internal/trace"
+)
+
+// pingpong bounces a value between two processors through locks.
+type pingpong struct {
+	rounds int
+	cell   int64
+	result float64
+}
+
+func (a *pingpong) Name() string { return "pingpong" }
+func (a *pingpong) Setup(h *lrc.Heap) {
+	a.result = 0
+	a.cell = h.AllocPages(1)
+}
+func (a *pingpong) Body(env *dsm.Env) {
+	for r := env.ID; r < a.rounds; r += env.NProcs() {
+		env.Lock(0)
+		env.WI(a.cell, env.RI(a.cell)+1)
+		env.Unlock(0)
+	}
+	env.Barrier(0)
+	if env.ID == 0 {
+		a.result = float64(env.RI(a.cell))
+	}
+	env.Barrier(1)
+}
+func (a *pingpong) Result() float64 { return a.result }
+
+// broken computes a wrong answer in parallel runs (reads without
+// synchronizing), to prove validation rejects it.
+type broken struct {
+	cell   int64
+	result float64
+}
+
+func (a *broken) Name() string { return "broken" }
+func (a *broken) Setup(h *lrc.Heap) {
+	a.result = 0
+	a.cell = h.AllocPages(1)
+}
+func (a *broken) Body(env *dsm.Env) {
+	// The last processor overwrites the cell, but processor 0 reads it
+	// without synchronizing: sequentially it sees the overwrite (9),
+	// in parallel it reads its own stale 7.
+	if env.ID == 0 {
+		env.WI(a.cell, 7)
+	}
+	if env.ID == env.NProcs()-1 {
+		env.WI(a.cell, 9)
+	}
+	if env.ID == 0 {
+		a.result = float64(env.RI(a.cell))
+	}
+}
+func (a *broken) Result() float64 { return a.result }
+
+func TestRunValidates(t *testing.T) {
+	cfg := params.Default()
+	cfg.Processors = 4
+	r, err := core.Run(cfg, core.TM(tmk.Base), &pingpong{rounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Validated() || r.AppResult != 8 {
+		t.Fatalf("result = %v (validated=%v)", r.AppResult, r.Validated())
+	}
+	if r.Protocol != "Base" || r.App != "pingpong" {
+		t.Fatalf("labels wrong: %q %q", r.Protocol, r.App)
+	}
+}
+
+func TestRunRejectsWrongAnswers(t *testing.T) {
+	cfg := params.Default()
+	cfg.Processors = 8
+	_, err := core.Run(cfg, core.TM(tmk.Base), &broken{})
+	if err == nil {
+		t.Fatal("racy application validated against the oracle")
+	}
+	if !strings.Contains(err.Error(), "oracle") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := params.Default()
+	cfg.Processors = 0
+	if _, err := core.Run(cfg, core.TM(tmk.Base), &pingpong{rounds: 2}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSpecStrings(t *testing.T) {
+	cases := map[string]core.Spec{
+		"Base":   core.TM(tmk.Base),
+		"I+P+D":  core.TM(tmk.IPD),
+		"AURC":   core.AURC(false),
+		"AURC+P": core.AURC(true),
+	}
+	for want, spec := range cases {
+		if got := spec.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSequentialCycles(t *testing.T) {
+	cfg := params.Default()
+	c, err := core.SequentialCycles(cfg, &pingpong{rounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Fatalf("sequential cycles = %d", c)
+	}
+	// A 4-processor run of the same workload should take less wall time
+	// than 4x the sequential run (some speedup) — sanity, not precision.
+	cfg.Processors = 4
+	r, err := core.Run(cfg, core.TM(tmk.Base), &pingpong{rounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RunningTime <= 0 {
+		t.Fatal("no parallel time")
+	}
+}
+
+func TestValidatedTolerance(t *testing.T) {
+	r := &core.Result{AppResult: 1.0000000001, SeqResult: 1.0}
+	if !r.Validated() {
+		t.Error("tiny FP difference rejected")
+	}
+	r = &core.Result{AppResult: 1.1, SeqResult: 1.0}
+	if r.Validated() {
+		t.Error("10% difference accepted")
+	}
+	r = &core.Result{AppResult: 0, SeqResult: 0}
+	if !r.Validated() {
+		t.Error("exact zero match rejected")
+	}
+	r = &core.Result{AppResult: 0, SeqResult: 1}
+	if r.Validated() {
+		t.Error("zero vs nonzero accepted")
+	}
+}
+
+func TestRunAURCKind(t *testing.T) {
+	cfg := params.Default()
+	cfg.Processors = 4
+	r, err := core.Run(cfg, core.AURC(false), &pingpong{rounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Protocol != "AURC" {
+		t.Fatalf("protocol = %q", r.Protocol)
+	}
+}
+
+func TestSpecOptionLabels(t *testing.T) {
+	s := core.TMOpt(tmk.IPD, tmk.Options{Strategy: tmk.PrefetchAlways})
+	if s.String() != "I+P+D(always)" {
+		t.Errorf("label = %q", s.String())
+	}
+	s = core.TMOpt(tmk.IPD, tmk.Options{NoPrefetchPriority: true})
+	if s.String() != "I+P+D(noprio)" {
+		t.Errorf("label = %q", s.String())
+	}
+	// Non-prefetching modes don't advertise a strategy.
+	s = core.TMOpt(tmk.ID, tmk.Options{Strategy: tmk.PrefetchAlways})
+	if s.String() != "I+D" {
+		t.Errorf("label = %q", s.String())
+	}
+}
+
+func TestRunWithOptions(t *testing.T) {
+	cfg := params.Default()
+	cfg.Processors = 4
+	for _, strat := range []tmk.PrefetchStrategy{tmk.PrefetchReferenced, tmk.PrefetchAlways, tmk.PrefetchAdaptive} {
+		spec := core.TMOpt(tmk.IPD, tmk.Options{Strategy: strat})
+		if _, err := core.Run(cfg, spec, &pingpong{rounds: 8}); err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+	}
+}
+
+func TestResultCarriesPageProfiles(t *testing.T) {
+	cfg := params.Default()
+	cfg.Processors = 4
+	r, err := core.Run(cfg, core.TM(tmk.Base), &pingpong{rounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pages) == 0 {
+		t.Fatal("no page profiles collected")
+	}
+	var faults uint64
+	for _, p := range r.Pages {
+		faults += p.Faults
+	}
+	if faults == 0 {
+		t.Fatal("page profiles empty")
+	}
+	// AURC collects them too.
+	r, err = core.Run(cfg, core.AURC(false), &pingpong{rounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pages) == 0 {
+		t.Fatal("AURC collected no page profiles")
+	}
+}
+
+func TestTracerPlumbing(t *testing.T) {
+	cfg := params.Default()
+	cfg.Processors = 4
+	buf := trace.New(64)
+	spec := core.TM(tmk.Base)
+	spec.Tracer = buf
+	if _, err := core.Run(cfg, spec, &pingpong{rounds: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Total() == 0 {
+		t.Fatal("tracer received no events")
+	}
+	evs := buf.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatal("trace not chronological")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package dsm defines the programming interface the applications are
+// written against — the moral equivalent of the TreadMarks API (Tmk_malloc,
+// Tmk_lock_acquire, Tmk_barrier, plus shared loads/stores). Protocols
+// (TreadMarks variants, AURC) implement System; applications receive an
+// Env bound to one simulated processor.
+package dsm
+
+import (
+	"math"
+
+	"dsm96/internal/lrc"
+	"dsm96/internal/sim"
+)
+
+// Addr is an address in the shared space.
+type Addr = int64
+
+// System is the protocol-side interface. id is the calling processor.
+// All calls are made from that processor's sim.Proc context and may block
+// in simulated time.
+type System interface {
+	// Read32/Write32 access a 4-byte shared word.
+	Read32(p *sim.Proc, id int, addr Addr) uint32
+	Write32(p *sim.Proc, id int, addr Addr, v uint32)
+	// Read64/Write64 access an 8-byte shared value (two words).
+	Read64(p *sim.Proc, id int, addr Addr) uint64
+	Write64(p *sim.Proc, id int, addr Addr, v uint64)
+	// Compute models local (private-data) computation of the given cost.
+	Compute(p *sim.Proc, id int, cycles sim.Time)
+	// Lock/Unlock acquire and release a global lock.
+	Lock(p *sim.Proc, id int, lock int)
+	Unlock(p *sim.Proc, id int, lock int)
+	// Barrier blocks until every processor arrives.
+	Barrier(p *sim.Proc, id int, barrier int)
+	// Heap is the shared allocator. Allocation happens deterministically
+	// (typically before the parallel phase), so addresses agree globally.
+	Heap() *lrc.Heap
+	// Procs returns the number of processors.
+	Procs() int
+}
+
+// Env is an application's view of one processor.
+type Env struct {
+	ID  int
+	P   *sim.Proc
+	Sys System
+}
+
+// NProcs returns the machine size.
+func (e *Env) NProcs() int { return e.Sys.Procs() }
+
+// R32 reads a shared 32-bit word.
+func (e *Env) R32(a Addr) uint32 { return e.Sys.Read32(e.P, e.ID, a) }
+
+// W32 writes a shared 32-bit word.
+func (e *Env) W32(a Addr, v uint32) { e.Sys.Write32(e.P, e.ID, a, v) }
+
+// RI reads a shared int32 as int.
+func (e *Env) RI(a Addr) int { return int(int32(e.R32(a))) }
+
+// WI writes an int as int32.
+func (e *Env) WI(a Addr, v int) { e.W32(a, uint32(int32(v))) }
+
+// RF reads a shared float64.
+func (e *Env) RF(a Addr) float64 { return math.Float64frombits(e.Sys.Read64(e.P, e.ID, a)) }
+
+// WF writes a shared float64.
+func (e *Env) WF(a Addr, v float64) { e.Sys.Write64(e.P, e.ID, a, math.Float64bits(v)) }
+
+// Compute models c cycles of private computation.
+func (e *Env) Compute(c sim.Time) { e.Sys.Compute(e.P, e.ID, c) }
+
+// Lock acquires lock l.
+func (e *Env) Lock(l int) { e.Sys.Lock(e.P, e.ID, l) }
+
+// Unlock releases lock l.
+func (e *Env) Unlock(l int) { e.Sys.Unlock(e.P, e.ID, l) }
+
+// Barrier waits on barrier b.
+func (e *Env) Barrier(b int) { e.Sys.Barrier(e.P, e.ID, b) }
+
+// App is a runnable workload: it sizes its shared data via Setup (called
+// once, before processors start), runs Body on every processor, and
+// reports a scalar Result (written by processor 0 through the DSM) that
+// validation compares against a sequential reference.
+type App interface {
+	// Name is the application's short name (as in the paper's figures).
+	Name() string
+	// Setup allocates shared data on the heap. It runs before time zero.
+	Setup(h *lrc.Heap)
+	// Body is executed by every processor.
+	Body(env *Env)
+	// Result returns the final answer recorded by the run (valid after
+	// every Body has returned).
+	Result() float64
+}

@@ -1,0 +1,82 @@
+package dsm
+
+import (
+	"testing"
+
+	"dsm96/internal/lrc"
+)
+
+// sumApp adds the integers 1..n through shared memory.
+type sumApp struct {
+	n      int
+	data   Addr
+	out    Addr
+	result float64
+}
+
+func (a *sumApp) Name() string { return "sum" }
+func (a *sumApp) Setup(h *lrc.Heap) {
+	a.result = 0
+	a.data = h.Alloc(4*a.n, 8)
+	a.out = h.Alloc(8, 8)
+}
+func (a *sumApp) Body(env *Env) {
+	n := env.NProcs()
+	for i := env.ID; i < a.n; i += n {
+		env.WI(a.data+Addr(4*i), i+1)
+	}
+	env.Barrier(0)
+	if env.ID == 0 {
+		total := 0
+		for i := 0; i < a.n; i++ {
+			total += env.RI(a.data + Addr(4*i))
+		}
+		env.WF(a.out, float64(total))
+		a.result = env.RF(a.out)
+	}
+	env.Barrier(1)
+}
+func (a *sumApp) Result() float64 { return a.result }
+
+func TestRunSequential(t *testing.T) {
+	app := &sumApp{n: 100}
+	got := RunSequential(app, 4096)
+	if got != 5050 {
+		t.Fatalf("sum = %v, want 5050", got)
+	}
+}
+
+func TestSeqSystemRW(t *testing.T) {
+	s := NewSeqSystem(4096)
+	env := &Env{ID: 0, Sys: s}
+	env.WI(16, -7)
+	if env.RI(16) != -7 {
+		t.Fatal("int roundtrip failed")
+	}
+	env.WF(24, 2.5)
+	if env.RF(24) != 2.5 {
+		t.Fatal("float roundtrip failed")
+	}
+	env.W32(0, 99)
+	if env.R32(0) != 99 {
+		t.Fatal("u32 roundtrip failed")
+	}
+	if env.NProcs() != 1 {
+		t.Fatal("seq system must report one processor")
+	}
+	// Heap allocations are visible through the frames.
+	a := s.Heap().Alloc(8, 8)
+	env.WF(a, 1.25)
+	if s.Frames().ReadF64(a) != 1.25 {
+		t.Fatal("frames do not back the env")
+	}
+}
+
+func TestSeqSetupResets(t *testing.T) {
+	app := &sumApp{n: 10}
+	first := RunSequential(app, 4096)
+	second := RunSequential(app, 4096)
+	if first != second || first != 55 {
+		t.Fatalf("reruns differ: %v vs %v", first, second)
+	}
+}

@@ -1,0 +1,64 @@
+package dsm
+
+import (
+	"dsm96/internal/lrc"
+	"dsm96/internal/sim"
+)
+
+// SeqSystem is a zero-cost, single-processor, purely functional System:
+// loads and stores go straight to one set of page frames, and
+// synchronization is a no-op. It exists to produce the sequential
+// reference result every application run is validated against, and the
+// "perfect shared memory" baseline for sanity checks.
+type SeqSystem struct {
+	frames *lrc.Frames
+	heap   *lrc.Heap
+}
+
+// NewSeqSystem builds a sequential system with the given page size.
+func NewSeqSystem(pageSize int) *SeqSystem {
+	return &SeqSystem{frames: lrc.NewFrames(pageSize), heap: lrc.NewHeap(pageSize)}
+}
+
+// Read32 implements System.
+func (s *SeqSystem) Read32(_ *sim.Proc, _ int, a Addr) uint32 { return s.frames.ReadU32(a) }
+
+// Write32 implements System.
+func (s *SeqSystem) Write32(_ *sim.Proc, _ int, a Addr, v uint32) { s.frames.WriteU32(a, v) }
+
+// Read64 implements System.
+func (s *SeqSystem) Read64(_ *sim.Proc, _ int, a Addr) uint64 { return s.frames.ReadU64(a) }
+
+// Write64 implements System.
+func (s *SeqSystem) Write64(_ *sim.Proc, _ int, a Addr, v uint64) { s.frames.WriteU64(a, v) }
+
+// Compute implements System (free in the functional model).
+func (s *SeqSystem) Compute(_ *sim.Proc, _ int, _ sim.Time) {}
+
+// Lock implements System (no contention with one processor).
+func (s *SeqSystem) Lock(_ *sim.Proc, _ int, _ int) {}
+
+// Unlock implements System.
+func (s *SeqSystem) Unlock(_ *sim.Proc, _ int, _ int) {}
+
+// Barrier implements System (trivial with one processor).
+func (s *SeqSystem) Barrier(_ *sim.Proc, _ int, _ int) {}
+
+// Heap implements System.
+func (s *SeqSystem) Heap() *lrc.Heap { return s.heap }
+
+// Procs implements System.
+func (s *SeqSystem) Procs() int { return 1 }
+
+// Frames exposes the backing store (tests peek at it).
+func (s *SeqSystem) Frames() *lrc.Frames { return s.frames }
+
+// RunSequential executes the application to completion on the functional
+// system and returns its result. This is the oracle used to validate
+// every protocol run.
+func RunSequential(app App, pageSize int) float64 {
+	sys := NewSeqSystem(pageSize)
+	app.Setup(sys.heap)
+	app.Body(&Env{ID: 0, P: nil, Sys: sys})
+	return app.Result()
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dsm96/internal/stats"
+)
+
+func TestTable1Render(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{"Table 1", "4096 bytes", "200 cycles", "128 entries",
+		"5 cycles/word", "7 cycles/word", "6 cycles/element"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1Tiny(t *testing.T) {
+	data, err := Fig1(ScaleTiny, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 6 {
+		t.Fatalf("got %d apps, want 6", len(data))
+	}
+	for name, pts := range data {
+		if len(pts) != 2 {
+			t.Errorf("%s has %d points, want 2", name, len(pts))
+		}
+		for _, p := range pts {
+			if p.Speedup <= 0 {
+				t.Errorf("%s speedup at %d procs = %v", name, p.Procs, p.Speedup)
+			}
+		}
+	}
+	txt := FormatFig1(data)
+	if !strings.Contains(txt, "Figure 1") || !strings.Contains(txt, "ocean") {
+		t.Errorf("bad render:\n%s", txt)
+	}
+}
+
+func TestFig2Tiny(t *testing.T) {
+	rows, err := Fig2(ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		sum := 0.0
+		for _, c := range stats.Categories() {
+			sum += r.Fraction[c]
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s fractions sum to %v", r.App, sum)
+		}
+		if r.Normalized != 100 {
+			t.Errorf("%s normalized = %v, want 100 (self-baseline)", r.App, r.Normalized)
+		}
+	}
+	txt := FormatBreakdownRows("Figure 2", rows)
+	if !strings.Contains(txt, "busy") || !strings.Contains(txt, "diff-ops") {
+		t.Errorf("bad render:\n%s", txt)
+	}
+}
+
+func TestFig5to10Tiny(t *testing.T) {
+	rows, err := Fig5to10("ocean", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d variants, want 6", len(rows))
+	}
+	if rows[0].Protocol != "Base" || rows[0].Normalized != 100 {
+		t.Errorf("first row should be Base at 100%%: %+v", rows[0])
+	}
+	labels := []string{"Base", "I", "I+D", "P", "I+P", "I+P+D"}
+	for i, r := range rows {
+		if r.Protocol != labels[i] {
+			t.Errorf("row %d = %s, want %s", i, r.Protocol, labels[i])
+		}
+	}
+}
+
+func TestFig11_12Tiny(t *testing.T) {
+	data, err := Fig11_12(ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 6 {
+		t.Fatalf("got %d apps, want 6", len(data))
+	}
+	for name, rows := range data {
+		if len(rows) != 3 {
+			t.Errorf("%s has %d protocols, want 3", name, len(rows))
+		}
+		if rows[0].Protocol != "I+D" || rows[1].Protocol != "AURC" || rows[2].Protocol != "AURC+P" {
+			t.Errorf("%s protocol order wrong: %s %s %s", name,
+				rows[0].Protocol, rows[1].Protocol, rows[2].Protocol)
+		}
+	}
+}
+
+func TestSweepTiny(t *testing.T) {
+	pts, err := Fig14(ScaleTiny, []float64{50, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Lower bandwidth must not be faster for either protocol.
+	if pts[0].TMCycles < pts[1].TMCycles {
+		t.Errorf("TM faster at 50MB/s (%d) than 200MB/s (%d)", pts[0].TMCycles, pts[1].TMCycles)
+	}
+	if pts[0].AURCCycles < pts[1].AURCCycles {
+		t.Errorf("AURC faster at 50MB/s (%d) than 200MB/s (%d)", pts[0].AURCCycles, pts[1].AURCCycles)
+	}
+	txt := FormatSweep("Figure 14", "MB/s", pts)
+	if !strings.Contains(txt, "Em3d-AURC") {
+		t.Errorf("bad render:\n%s", txt)
+	}
+}
+
+func TestAppAtScales(t *testing.T) {
+	for _, sc := range []Scale{ScaleTiny, ScaleDefault, ScalePaper} {
+		for _, n := range []string{"tsp", "water", "radix", "barnes", "ocean", "em3d"} {
+			if _, err := appAt(n, sc); err != nil {
+				t.Errorf("appAt(%s, %d): %v", n, sc, err)
+			}
+		}
+	}
+	if _, err := appAt("bogus", ScalePaper); err == nil {
+		t.Error("bogus app accepted")
+	}
+}
+
+func TestPrefetchAblationTiny(t *testing.T) {
+	rows, err := PrefetchAblation("ocean", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	want := []string{"I+D", "I+P+D", "I+P+D(always)", "I+P+D(adaptive)", "I+P+D(noprio)", "I+D(hybrid)"}
+	for i, r := range rows {
+		if r.Protocol != want[i] {
+			t.Errorf("row %d = %q, want %q", i, r.Protocol, want[i])
+		}
+	}
+	if rows[0].Normalized != 100 {
+		t.Errorf("baseline not 100%%: %v", rows[0].Normalized)
+	}
+}

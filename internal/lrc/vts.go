@@ -1,0 +1,93 @@
+// Package lrc provides the lazy-release-consistency machinery shared by
+// the DSM protocols: vector timestamps, intervals, write notices,
+// word-granularity diffs, and per-node page frames holding the actual
+// data of the shared address space.
+package lrc
+
+import "fmt"
+
+// VTS is a vector timestamp: entry i counts the intervals of processor i
+// that the holder has seen (i.e. whose modifications are reflected,
+// directly or transitively, in the holder's view).
+type VTS []int32
+
+// NewVTS returns a zero vector for n processors.
+func NewVTS(n int) VTS { return make(VTS, n) }
+
+// Clone returns an independent copy.
+func (v VTS) Clone() VTS {
+	c := make(VTS, len(v))
+	copy(c, v)
+	return c
+}
+
+// Covers reports whether v >= o pointwise: the holder of v has seen
+// everything the holder of o has.
+func (v VTS) Covers(o VTS) bool {
+	for i := range v {
+		if v[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversEntry reports whether v has seen interval seq of processor p.
+func (v VTS) CoversEntry(p int, seq int32) bool { return v[p] >= seq }
+
+// Max folds o into v pointwise.
+func (v VTS) Max(o VTS) {
+	for i := range v {
+		if o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+}
+
+// Equal reports pointwise equality.
+func (v VTS) Equal(o VTS) bool {
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the vector compactly for debugging.
+func (v VTS) String() string { return fmt.Sprintf("%v", []int32(v)) }
+
+// WireBytes is the size of a vector timestamp on the network.
+func (v VTS) WireBytes() int { return 4 * len(v) }
+
+// WriteNotice tells a processor that page Page was modified during
+// interval Seq of processor Owner. Receiving one obliges the receiver to
+// invalidate its copy of the page before its next use.
+type WriteNotice struct {
+	Page  int
+	Owner int
+	Seq   int32
+}
+
+// WireBytes is the size of a write notice on the network.
+const WriteNoticeWireBytes = 12
+
+// Interval is the unit of the LRC partial order: the stretch of a
+// processor's execution between two of its synchronization operations.
+type Interval struct {
+	Owner int
+	Seq   int32
+	// VTS is the owner's vector timestamp when the interval started.
+	VTS VTS
+	// Pages modified during the interval (in first-write order).
+	Pages []int
+}
+
+// Notices expands the interval into per-page write notices.
+func (iv *Interval) Notices() []WriteNotice {
+	out := make([]WriteNotice, len(iv.Pages))
+	for i, pg := range iv.Pages {
+		out[i] = WriteNotice{Page: pg, Owner: iv.Owner, Seq: iv.Seq}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package memsys models each workstation's memory system in the detail
+// the paper's back end simulates: a first-level direct-mapped data cache,
+// a finite write buffer, a TLB, DRAM with setup+streaming costs, a shared
+// memory bus with contention, and the PCI bus the protocol controller and
+// network interface sit on.
+package memsys
+
+// Addr is a simulated physical/virtual address (the DSM uses a single
+// flat shared address space).
+type Addr = int64
+
+// Cache is a direct-mapped, tag-only timing model of the first-level data
+// cache. Data values are not stored: the DSM keeps page contents in
+// per-node page frames; the cache decides hit/miss timing only.
+type Cache struct {
+	lineSize int
+	nLines   int
+	tags     []Addr // tags[i] = line address (addr / lineSize), -1 invalid
+	dirty    []bool
+
+	Hits, Misses, Evictions, WriteBacks, Invalidations uint64
+}
+
+// NewCache builds a cache of totalBytes capacity with lineBytes lines.
+func NewCache(totalBytes, lineBytes int) *Cache {
+	n := totalBytes / lineBytes
+	c := &Cache{lineSize: lineBytes, nLines: n,
+		tags: make([]Addr, n), dirty: make([]bool, n)}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// Lines returns the number of lines.
+func (c *Cache) Lines() int { return c.nLines }
+
+func (c *Cache) index(line Addr) int { return int(line % Addr(c.nLines)) }
+
+// Lookup reports whether addr hits without changing state.
+func (c *Cache) Lookup(addr Addr) bool {
+	line := addr / Addr(c.lineSize)
+	return c.tags[c.index(line)] == line
+}
+
+// Access simulates a reference to addr. It returns whether it hit and, on
+// a miss that evicted a dirty line, evictedDirty=true (the caller models
+// the write-back bus traffic).
+//
+// markDirty applies to the (possibly newly filled) line — used for
+// write-back caching of writes. allocate=false models write-no-allocate
+// (write-through writes do not fill the cache on a miss).
+func (c *Cache) Access(addr Addr, markDirty, allocate bool) (hit, evictedDirty bool) {
+	line := addr / Addr(c.lineSize)
+	i := c.index(line)
+	if c.tags[i] == line {
+		c.Hits++
+		if markDirty {
+			c.dirty[i] = true
+		}
+		return true, false
+	}
+	c.Misses++
+	if !allocate {
+		return false, false
+	}
+	if c.tags[i] != -1 {
+		c.Evictions++
+		if c.dirty[i] {
+			c.WriteBacks++
+			evictedDirty = true
+		}
+	}
+	c.tags[i] = line
+	c.dirty[i] = markDirty
+	return false, evictedDirty
+}
+
+// InvalidateRange drops every line overlapping [addr, addr+n). The
+// computation processor must snoop and invalidate data written to local
+// memory by the protocol controller (Section 3.1), e.g. when a remote
+// diff is applied to a local page. Dirty data in the invalidated range is
+// discarded: the protocol guarantees the incoming version supersedes it.
+func (c *Cache) InvalidateRange(addr Addr, n int) int {
+	first := addr / Addr(c.lineSize)
+	last := (addr + Addr(n) - 1) / Addr(c.lineSize)
+	dropped := 0
+	for line := first; line <= last; line++ {
+		i := c.index(line)
+		if c.tags[i] == line {
+			c.tags[i] = -1
+			c.dirty[i] = false
+			dropped++
+		}
+	}
+	c.Invalidations += uint64(dropped)
+	return dropped
+}
+
+// Flush empties the whole cache (used between runs/phases in tests).
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = -1
+		c.dirty[i] = false
+	}
+}
+
+// TLB is a FIFO-replacement translation buffer over page numbers.
+type TLB struct {
+	size    int
+	present map[Addr]bool
+	fifo    []Addr
+
+	Hits, Misses uint64
+}
+
+// NewTLB builds a TLB with the given number of entries.
+func NewTLB(entries int) *TLB {
+	return &TLB{size: entries, present: make(map[Addr]bool, entries)}
+}
+
+// Access touches the translation for page and reports whether it hit.
+func (t *TLB) Access(page Addr) (hit bool) {
+	if t.present[page] {
+		t.Hits++
+		return true
+	}
+	t.Misses++
+	if len(t.fifo) >= t.size {
+		victim := t.fifo[0]
+		copy(t.fifo, t.fifo[1:])
+		t.fifo = t.fifo[:len(t.fifo)-1]
+		delete(t.present, victim)
+	}
+	t.present[page] = true
+	t.fifo = append(t.fifo, page)
+	return false
+}
+
+// Entries returns the number of resident translations.
+func (t *TLB) Entries() int { return len(t.fifo) }

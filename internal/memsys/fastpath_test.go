@@ -1,0 +1,131 @@
+package memsys
+
+import (
+	"testing"
+
+	"dsm96/internal/params"
+	"dsm96/internal/sim"
+	"dsm96/internal/stats"
+)
+
+func TestFastPathLazyBusy(t *testing.T) {
+	n, eng, _ := newTestNode()
+	f := NewFastPath(n)
+	var st stats.ProcStats
+	var afterHits, afterFlush sim.Time
+	eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		n.TLB.Access(0)
+		f.Read(p, 0, &st) // miss: flushes + stalls
+		base := p.Now()
+		for i := 0; i < 10; i++ {
+			f.Read(p, 0, &st) // hits: no time advances
+		}
+		afterHits = p.Now() - base
+		f.Flush(p)
+		afterFlush = p.Now() - base
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if afterHits != 0 {
+		t.Fatalf("hits advanced time by %d, want 0 (lazy)", afterHits)
+	}
+	if afterFlush != 10 {
+		t.Fatalf("flush slept %d, want 10", afterFlush)
+	}
+	if st.SharedReads != 11 || st.CacheMisses != 1 {
+		t.Fatalf("reads=%d misses=%d", st.SharedReads, st.CacheMisses)
+	}
+}
+
+func TestFastPathMissMatchesNodeRead(t *testing.T) {
+	// The fast path's miss timing must equal Node.Read's: 1 busy + line.
+	cfg := params.Default()
+	eng := sim.NewEngine()
+	n := NewNode(0, &cfg, eng)
+	f := NewFastPath(n)
+	var st stats.ProcStats
+	var took sim.Time
+	eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		n.TLB.Access(0)
+		start := p.Now()
+		f.Read(p, 64, &st)
+		f.Flush(p)
+		took = p.Now() - start
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if took != 1+cfg.MemLineTime() {
+		t.Fatalf("miss took %d, want %d", took, 1+cfg.MemLineTime())
+	}
+}
+
+func TestFastPathWriteThroughStalls(t *testing.T) {
+	cfg := params.Default()
+	cfg.WriteBufferSize = 1
+	eng := sim.NewEngine()
+	n := NewNode(0, &cfg, eng)
+	f := NewFastPath(n)
+	var st stats.ProcStats
+	eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		n.TLB.Access(0)
+		f.WriteThrough(p, 0, &st)
+		f.WriteThrough(p, 4, &st) // buffer of 1: must stall
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st.WriteBuffStalls != 1 {
+		t.Fatalf("stalls = %d, want 1", st.WriteBuffStalls)
+	}
+	if st.SharedWrites != 2 {
+		t.Fatalf("writes = %d", st.SharedWrites)
+	}
+}
+
+func TestFastPathChargesViaHooks(t *testing.T) {
+	n, eng, cfg := newTestNode()
+	f := NewFastPath(n)
+	var st stats.ProcStats
+	p := eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		f.Read(p, 0, &st) // TLB miss + cache miss
+		f.Flush(p)
+	})
+	p.OnUnblock = func(reason string, waited sim.Time) {
+		switch reason {
+		case ReasonBusy:
+			st.Add(stats.Busy, waited)
+		default:
+			st.Add(stats.Other, waited)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles[stats.Busy] != 1 {
+		t.Fatalf("busy = %d, want 1", st.Cycles[stats.Busy])
+	}
+	wantOther := cfg.TLBFillTime + cfg.MemLineTime()
+	if st.Cycles[stats.Other] != wantOther {
+		t.Fatalf("other = %d, want %d", st.Cycles[stats.Other], wantOther)
+	}
+}
+
+func TestFastPathWriteBackDirtyEviction(t *testing.T) {
+	n, eng, _ := newTestNode()
+	f := NewFastPath(n)
+	var st stats.ProcStats
+	eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		n.TLB.Access(0)
+		f.WriteBack(p, 0, &st)
+		wb := n.Cache.WriteBacks
+		f.Read(p, Addr(n.Cache.Lines()*n.Cache.LineSize()), &st) // conflicts
+		if n.Cache.WriteBacks != wb+1 {
+			t.Error("dirty line not written back on eviction")
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

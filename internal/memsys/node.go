@@ -1,0 +1,187 @@
+package memsys
+
+import (
+	"dsm96/internal/params"
+	"dsm96/internal/sim"
+	"dsm96/internal/stats"
+)
+
+// WriteBuffer models the finite processor write buffer: writes enqueue
+// and drain through the memory bus; the processor stalls only when every
+// entry is occupied.
+type WriteBuffer struct {
+	capacity int
+	drains   []sim.Time // completion times of in-flight entries
+
+	Stalls      uint64
+	StallCycles sim.Time
+}
+
+// NewWriteBuffer builds a buffer with the given number of entries.
+func NewWriteBuffer(entries int) *WriteBuffer {
+	return &WriteBuffer{capacity: entries}
+}
+
+func (w *WriteBuffer) reap(now sim.Time) {
+	i := 0
+	for i < len(w.drains) && w.drains[i] <= now {
+		i++
+	}
+	if i > 0 {
+		w.drains = append(w.drains[:0], w.drains[i:]...)
+	}
+}
+
+// Push records a write whose bus drain completes at drainEnd. It returns
+// the cycles the processor must stall first because the buffer was full.
+func (w *WriteBuffer) Push(now, drainEnd sim.Time) (stall sim.Time) {
+	w.reap(now)
+	if len(w.drains) >= w.capacity {
+		stall = w.drains[0] - now
+		w.Stalls++
+		w.StallCycles += stall
+		now = w.drains[0]
+		w.reap(now)
+	}
+	w.drains = append(w.drains, drainEnd)
+	return stall
+}
+
+// Pending returns the number of in-flight entries at time now.
+func (w *WriteBuffer) Pending(now sim.Time) int {
+	w.reap(now)
+	return len(w.drains)
+}
+
+// Node is one workstation's memory system. The computation processor,
+// the protocol controller (through the PCI bridge), and incoming network
+// DMA all contend for MemBus; controller/network traffic additionally
+// occupies PCIBus.
+type Node struct {
+	ID  int
+	Cfg *params.Config
+	Eng *sim.Engine
+
+	Cache *Cache
+	TLB   *TLB
+	WB    *WriteBuffer
+
+	MemBus sim.Resource
+	PCIBus sim.Resource
+}
+
+// NewNode builds the memory system for node id.
+func NewNode(id int, cfg *params.Config, eng *sim.Engine) *Node {
+	return &Node{
+		ID:     id,
+		Cfg:    cfg,
+		Eng:    eng,
+		Cache:  NewCache(cfg.CacheSize, cfg.CacheLineSize),
+		TLB:    NewTLB(cfg.TLBSize),
+		WB:     NewWriteBuffer(cfg.WriteBufferSize),
+		MemBus: sim.Resource{Name: "membus"},
+		PCIBus: sim.Resource{Name: "pcibus"},
+	}
+}
+
+// touchTLB models the translation for addr, stalling p on a miss.
+// The fill time is charged to "others" per the paper's breakdown.
+func (n *Node) touchTLB(p *sim.Proc, addr Addr, st *stats.ProcStats) {
+	page := addr / Addr(n.Cfg.PageSize)
+	if n.TLB.Access(page) {
+		return
+	}
+	st.TLBMisses++
+	st.Add(stats.Other, n.Cfg.TLBFillTime)
+	p.SleepReason(n.Cfg.TLBFillTime, "tlb-fill")
+}
+
+// Read simulates a data read by the computation processor. One cycle of
+// busy time is charged for the access itself; TLB fills, cache-miss
+// memory latency and bus queueing are charged to "others".
+func (n *Node) Read(p *sim.Proc, addr Addr, st *stats.ProcStats) {
+	st.SharedReads++
+	st.Add(stats.Busy, 1)
+	p.SleepReason(1, "issue")
+	n.touchTLB(p, addr, st)
+	hit, evictedDirty := n.Cache.Access(addr, false, true)
+	if hit {
+		return
+	}
+	st.CacheMisses++
+	if evictedDirty {
+		// Write-back of the victim goes through a write-back buffer:
+		// it occupies the bus but does not stall the processor.
+		n.MemBus.Reserve(n.Eng, n.Cfg.MemLineTime())
+	}
+	before := p.Now()
+	n.MemBus.Use(p, n.Cfg.MemLineTime(), "cache-miss")
+	st.Add(stats.Other, p.Now()-before)
+}
+
+// Write simulates a data write. writeThrough selects the policy:
+//
+//   - write-back (false): write-allocate; a miss fetches the line and the
+//     line is marked dirty. Used by TreadMarks variants without the
+//     snooping controller.
+//   - write-through (true): no-allocate; the word is pushed through the
+//     write buffer onto the memory bus so the controller's snoop logic
+//     (or the Shrimp interface, for AURC) can observe it. The processor
+//     stalls only when the write buffer is full.
+func (n *Node) Write(p *sim.Proc, addr Addr, writeThrough bool, st *stats.ProcStats) {
+	st.SharedWrites++
+	st.Add(stats.Busy, 1)
+	p.SleepReason(1, "issue")
+	n.touchTLB(p, addr, st)
+	if !writeThrough {
+		hit, evictedDirty := n.Cache.Access(addr, true, true)
+		if hit {
+			return
+		}
+		st.CacheMisses++
+		if evictedDirty {
+			n.MemBus.Reserve(n.Eng, n.Cfg.MemLineTime())
+		}
+		before := p.Now()
+		n.MemBus.Use(p, n.Cfg.MemLineTime(), "cache-miss")
+		st.Add(stats.Other, p.Now()-before)
+		return
+	}
+	// Write-through: update the cached copy if present (no allocate on
+	// miss), then drain the word through the write buffer.
+	n.Cache.Access(addr, false, false)
+	_, drainEnd := n.MemBus.Reserve(n.Eng, n.Cfg.MemWordTime())
+	stall := n.WB.Push(p.Now(), drainEnd)
+	if stall > 0 {
+		st.WriteBuffStalls++
+		st.Add(stats.Other, stall)
+		p.SleepReason(stall, "wbuf-full")
+	}
+}
+
+// DMA occupies the PCI bus and the memory bus for an n-byte transfer
+// between the controller (or network interface) and main memory, in
+// engine context, returning the completion time. The two buses pipeline:
+// completion is bounded by the slower of the two.
+func (n *Node) DMA(bytes int) sim.Time {
+	_, pciEnd := n.PCIBus.Reserve(n.Eng, n.Cfg.PCIBlockTime(bytes))
+	_, memEnd := n.MemBus.Reserve(n.Eng, n.Cfg.MemBlockTime(bytes))
+	if pciEnd > memEnd {
+		return pciEnd
+	}
+	return memEnd
+}
+
+// MemTouch occupies only the memory bus for an n-byte transfer in engine
+// context (processor-side protocol software touching memory), returning
+// the completion time.
+func (n *Node) MemTouch(bytes int) sim.Time {
+	_, end := n.MemBus.Reserve(n.Eng, n.Cfg.MemBlockTime(bytes))
+	return end
+}
+
+// InvalidatePage models the processor snoop invalidating all cached lines
+// of the page containing addr after the controller wrote it.
+func (n *Node) InvalidatePage(pageAddr Addr) {
+	n.Cache.InvalidateRange(pageAddr, n.Cfg.PageSize)
+}

@@ -1,0 +1,177 @@
+// Package network models the mesh interconnect of the simulated network
+// of workstations: X-Y (dimension-ordered) wormhole routing, per-hop
+// switch and wire latencies, 8-bit-wide links modelled as FCFS resources
+// so that messages contend for link bandwidth, and a per-message sender
+// overhead (the cycles spent setting up the network interface).
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"dsm96/internal/params"
+	"dsm96/internal/sim"
+)
+
+// linkID identifies a unidirectional link leaving node `from` in
+// direction `dir`.
+type linkID struct {
+	from int
+	dir  int // 0 = +x, 1 = -x, 2 = +y, 3 = -y
+}
+
+// Network is the mesh. Methods must be called in engine context (they
+// never block; completion is signalled through callbacks).
+type Network struct {
+	cfg  *params.Config
+	eng  *sim.Engine
+	n    int
+	dimX int
+	dimY int
+
+	links map[linkID]*sim.Resource
+	// egress[n] is node n's network-interface send side: each message
+	// occupies it for its per-message overhead, so high messaging
+	// overheads serialize back-to-back sends (the effect Figure 13's
+	// pessimistic AURC curve depends on).
+	egress []sim.Resource
+
+	// Counters.
+	Messages  uint64
+	Bytes     uint64
+	LinkWaits sim.Time // total queueing across all messages and links
+}
+
+// New builds a mesh for n nodes, as close to square as possible
+// (16 nodes = the paper's 4x4 mesh).
+func New(cfg *params.Config, eng *sim.Engine, n int) *Network {
+	dimX := int(math.Ceil(math.Sqrt(float64(n))))
+	dimY := (n + dimX - 1) / dimX
+	return &Network{
+		cfg: cfg, eng: eng, n: n, dimX: dimX, dimY: dimY,
+		links:  make(map[linkID]*sim.Resource),
+		egress: make([]sim.Resource, n),
+	}
+}
+
+// Dims returns the mesh dimensions.
+func (nw *Network) Dims() (x, y int) { return nw.dimX, nw.dimY }
+
+func (nw *Network) coords(node int) (x, y int) {
+	return node % nw.dimX, node / nw.dimX
+}
+
+// Hops returns the number of links on the X-Y route between two nodes.
+func (nw *Network) Hops(src, dst int) int {
+	sx, sy := nw.coords(src)
+	dx, dy := nw.coords(dst)
+	return abs(dx-sx) + abs(dy-sy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func (nw *Network) link(from, dir int) *sim.Resource {
+	id := linkID{from, dir}
+	r, ok := nw.links[id]
+	if !ok {
+		r = &sim.Resource{Name: fmt.Sprintf("link%d.%d", from, dir)}
+		nw.links[id] = r
+	}
+	return r
+}
+
+// route returns the sequence of (node, direction) links on the X-Y path.
+func (nw *Network) route(src, dst int) []linkID {
+	var path []linkID
+	x, y := nw.coords(src)
+	dx, dy := nw.coords(dst)
+	cur := src
+	for x != dx {
+		dir := 0
+		step := 1
+		if dx < x {
+			dir, step = 1, -1
+		}
+		path = append(path, linkID{cur, dir})
+		x += step
+		cur = y*nw.dimX + x
+	}
+	for y != dy {
+		dir := 2
+		step := 1
+		if dy < y {
+			dir, step = 3, -1
+		}
+		path = append(path, linkID{cur, dir})
+		y += step
+		cur = y*nw.dimX + x
+	}
+	return path
+}
+
+// Send injects a message of `bytes` payload (plus header) from src to
+// dst. overhead is the sender-side network-interface setup cost in
+// cycles, charged before injection (callers pass cfg.MessagingOverhead
+// for ordinary messages, cfg.AURCUpdateOverhead for automatic updates).
+// done runs in engine context when the tail of the message arrives at
+// dst. Send itself never blocks.
+//
+// Timing: the head flit leaves the source overhead cycles from now; each
+// hop adds switch+wire latency, and the message body occupies every link
+// on the path for bytes/linkWidth cycles, queueing FCFS behind earlier
+// traffic on each link (wormhole back-pressure is approximated by
+// per-link serialization).
+func (nw *Network) Send(src, dst, bytes int, overhead sim.Time, done func()) {
+	nw.Messages++
+	nw.Bytes += uint64(bytes)
+	// The network interface processes one send at a time: the message's
+	// per-message overhead occupies the sender's egress engine.
+	var head sim.Time
+	if overhead > 0 {
+		_, head = nw.egress[src].Reserve(nw.eng, overhead)
+	} else {
+		head = nw.eng.Now()
+	}
+	if src == dst {
+		// Local loopback: no links, just the overhead.
+		nw.eng.At(head, done)
+		return
+	}
+	transfer := nw.cfg.NetTransferTime(bytes)
+	hop := nw.cfg.SwitchLatency + nw.cfg.WireLatency
+	arrive := head
+	for _, id := range nw.route(src, dst) {
+		r := nw.link(id.from, id.dir)
+		earliest := arrive + hop
+		start := earliest
+		if f := r.FreeAt(); f > start {
+			start = f
+			nw.LinkWaits += f - earliest
+		}
+		// Occupy the link for the body transfer starting at `start`.
+		// The head cannot enter the link before it arrives there, so pad
+		// the resource's free time forward to the head's arrival.
+		r.PadTo(start)
+		r.Reserve(nw.eng, transfer)
+		arrive = start
+	}
+	delivery := arrive + hop + transfer
+	nw.eng.At(delivery, done)
+}
+
+// LatencyLowerBound returns the uncontended cycles for a message of
+// `bytes` between src and dst including overhead — useful for tests and
+// for reasoning about parameter sweeps.
+func (nw *Network) LatencyLowerBound(src, dst, bytes int, overhead sim.Time) sim.Time {
+	if src == dst {
+		return overhead
+	}
+	hops := sim.Time(nw.Hops(src, dst))
+	hop := nw.cfg.SwitchLatency + nw.cfg.WireLatency
+	return overhead + (hops+1)*hop + nw.cfg.NetTransferTime(bytes)
+}

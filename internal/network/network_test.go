@@ -1,0 +1,231 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsm96/internal/params"
+	"dsm96/internal/sim"
+)
+
+func newNet(n int) (*Network, *sim.Engine, *params.Config) {
+	cfg := params.Default()
+	eng := sim.NewEngine()
+	return New(&cfg, eng, n), eng, &cfg
+}
+
+func TestMeshDims(t *testing.T) {
+	nw, _, _ := newNet(16)
+	x, y := nw.Dims()
+	if x != 4 || y != 4 {
+		t.Fatalf("16-node mesh = %dx%d, want 4x4", x, y)
+	}
+}
+
+func TestHops(t *testing.T) {
+	nw, _, _ := newNet(16)
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 3},
+		{0, 4, 1},  // one hop down
+		{0, 15, 6}, // 3 in x + 3 in y
+		{5, 10, 2},
+		{15, 0, 6},
+	}
+	for _, c := range cases {
+		if got := nw.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestRouteIsXY(t *testing.T) {
+	nw, _, _ := newNet(16)
+	path := nw.route(0, 15)
+	if len(path) != 6 {
+		t.Fatalf("route length %d, want 6", len(path))
+	}
+	// X-first: the first three links head +x from 0,1,2.
+	for i := 0; i < 3; i++ {
+		if path[i].from != i || path[i].dir != 0 {
+			t.Fatalf("hop %d = %+v, want +x from %d", i, path[i], i)
+		}
+	}
+	// Then +y from 3, 7, 11.
+	wantFrom := []int{3, 7, 11}
+	for i := 0; i < 3; i++ {
+		if path[3+i].from != wantFrom[i] || path[3+i].dir != 2 {
+			t.Fatalf("hop %d = %+v, want +y from %d", 3+i, path[3+i], wantFrom[i])
+		}
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	nw, eng, cfg := newNet(16)
+	var at sim.Time = -1
+	eng.At(0, func() {
+		nw.Send(0, 1, 64, cfg.MessagingOverhead, func() { at = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := nw.LatencyLowerBound(0, 1, 64, cfg.MessagingOverhead)
+	if at != want {
+		t.Fatalf("delivery at %d, want %d", at, want)
+	}
+	// overhead 200 + 2 hops' worth of (switch+wire) for 1 link (entry+exit)
+	// + 64 transfer = 200 + 12 + 64 = 276.
+	if want != 276 {
+		t.Fatalf("lower bound = %d, want 276", want)
+	}
+}
+
+func TestLoopbackMessage(t *testing.T) {
+	nw, eng, _ := newNet(16)
+	var at sim.Time = -1
+	eng.At(5, func() {
+		nw.Send(3, 3, 4096, 200, func() { at = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 205 {
+		t.Fatalf("loopback delivered at %d, want 205", at)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	nw, eng, cfg := newNet(16)
+	var first, second sim.Time
+	eng.At(0, func() {
+		nw.Send(0, 1, 1000, cfg.MessagingOverhead, func() { first = eng.Now() })
+		nw.Send(0, 1, 1000, cfg.MessagingOverhead, func() { second = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second-first < cfg.NetTransferTime(1000) {
+		t.Fatalf("messages not serialized on shared link: %d then %d", first, second)
+	}
+	if nw.LinkWaits == 0 {
+		t.Fatal("no link queueing recorded")
+	}
+}
+
+func TestDisjointPathsParallel(t *testing.T) {
+	nw, eng, cfg := newNet(16)
+	var a, b sim.Time
+	eng.At(0, func() {
+		nw.Send(0, 1, 1000, cfg.MessagingOverhead, func() { a = eng.Now() })
+		nw.Send(4, 5, 1000, cfg.MessagingOverhead, func() { b = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("disjoint transfers should finish together: %d vs %d", a, b)
+	}
+}
+
+func TestBandwidthScalesLatency(t *testing.T) {
+	slow := params.Default()
+	slow.SetNetworkBandwidthMBps(20)
+	fast := params.Default()
+	fast.SetNetworkBandwidthMBps(200)
+	engS, engF := sim.NewEngine(), sim.NewEngine()
+	nwS, nwF := New(&slow, engS, 16), New(&fast, engF, 16)
+	lbS := nwS.LatencyLowerBound(0, 15, 4096, 200)
+	lbF := nwF.LatencyLowerBound(0, 15, 4096, 200)
+	if lbS <= lbF {
+		t.Fatalf("slow network not slower: %d vs %d", lbS, lbF)
+	}
+	// 10x bandwidth should cut the 4KB transfer component ~10x.
+	if lbS < 5*lbF {
+		t.Fatalf("bandwidth scaling too weak: slow=%d fast=%d", lbS, lbF)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	nw, eng, _ := newNet(16)
+	eng.At(0, func() {
+		nw.Send(0, 2, 100, 200, func() {})
+		nw.Send(2, 0, 50, 200, func() {})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Messages != 2 || nw.Bytes != 150 {
+		t.Fatalf("messages=%d bytes=%d, want 2/150", nw.Messages, nw.Bytes)
+	}
+}
+
+// Property: every message is eventually delivered, delivery time is at
+// least the uncontended lower bound, and hop counts are symmetric.
+func TestDeliveryProperty(t *testing.T) {
+	f := func(pairs []uint8, size uint16) bool {
+		if len(pairs) == 0 || len(pairs) > 30 {
+			return true
+		}
+		nw, eng, cfg := newNet(16)
+		delivered := 0
+		ok := true
+		eng.At(0, func() {
+			for _, pr := range pairs {
+				src, dst := int(pr%16), int(pr/16)
+				lb := nw.LatencyLowerBound(src, dst, int(size), cfg.MessagingOverhead)
+				nw.Send(src, dst, int(size), cfg.MessagingOverhead, func() {
+					delivered++
+					if eng.Now() < lb {
+						ok = false
+					}
+				})
+				if nw.Hops(src, dst) != nw.Hops(dst, src) {
+					ok = false
+				}
+			}
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return ok && delivered == len(pairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEgressSerializesOverhead(t *testing.T) {
+	nw, eng, _ := newNet(16)
+	var first, second sim.Time
+	eng.At(0, func() {
+		// Two messages from the same source to DIFFERENT destinations:
+		// their link paths are disjoint, so any serialization comes from
+		// the sender's network interface processing one send at a time.
+		nw.Send(0, 1, 10, 400, func() { first = eng.Now() })
+		nw.Send(0, 4, 10, 400, func() { second = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second-first < 390 {
+		t.Fatalf("NI egress did not serialize overheads: %d then %d", first, second)
+	}
+}
+
+func TestZeroOverheadSkipsEgress(t *testing.T) {
+	nw, eng, _ := newNet(16)
+	var a, b sim.Time
+	eng.At(0, func() {
+		// Zero-overhead sends (CPU already paid the cost) do not occupy
+		// the egress engine, so disjoint-path messages finish together.
+		nw.Send(0, 1, 100, 0, func() { a = eng.Now() })
+		nw.Send(0, 4, 100, 0, func() { b = eng.Now() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("zero-overhead sends serialized: %d vs %d", a, b)
+	}
+}

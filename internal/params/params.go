@@ -1,0 +1,248 @@
+// Package params holds the simulated machine's architectural parameters.
+// The defaults reproduce Table 1 of the paper ("Default Values for System
+// Parameters. 1 cycle = 10 ns"); the sensitivity studies of Section 5.3
+// (Figures 13-16) vary them.
+package params
+
+import "fmt"
+
+// WordBytes is the machine word size used for diffs and bit vectors.
+const WordBytes = 4
+
+// Config collects every architectural parameter of the simulated network
+// of workstations. All times are in 10-ns processor cycles unless stated
+// otherwise.
+type Config struct {
+	// Processors is the number of nodes (computation processors).
+	Processors int
+
+	// TLBSize is the number of TLB entries per processor.
+	TLBSize int
+	// TLBFillTime is the TLB fill service time in cycles.
+	TLBFillTime int64
+	// InterruptTime is the cost of entering/leaving any interrupt.
+	InterruptTime int64
+
+	// PageSize in bytes.
+	PageSize int
+	// CacheSize is the total first-level data cache per processor, bytes.
+	CacheSize int
+	// CacheLineSize in bytes.
+	CacheLineSize int
+	// WriteBufferSize is the number of write-buffer entries.
+	WriteBufferSize int
+	// WriteCacheSize is the number of AURC write-cache entries.
+	WriteCacheSize int
+
+	// MemSetupTime is DRAM setup in cycles; MemCyclesPerWord is the
+	// per-word streaming cost after setup.
+	MemSetupTime     int64
+	MemCyclesPerWord int64
+
+	// PCISetupTime and PCICyclesPerWord model the PCI bus.
+	PCISetupTime     int64
+	PCICyclesPerWord int64
+
+	// NetPathBytesPerCycle is the link width in bytes transferred per
+	// cycle in each direction (Table 1: 8 bits bidirectional = 1 B/cycle,
+	// i.e. 100 MB/s raw; the paper quotes ~50 MB/s effective after
+	// per-message overheads).
+	NetPathBytesPerCycle float64
+	// MessagingOverhead is the per-message network-interface setup cost
+	// paid by the sender.
+	MessagingOverhead int64
+	// AURCUpdateOverhead is the per-update-message overhead for AURC
+	// automatic updates. The paper's default optimistically charges a
+	// single cycle (Section 5.3); setting it equal to MessagingOverhead
+	// reproduces the pessimistic curve of Figure 13.
+	AURCUpdateOverhead int64
+	// SwitchLatency and WireLatency are per-hop mesh costs.
+	SwitchLatency int64
+	WireLatency   int64
+
+	// ListProcessing is the software cost per element of traversing
+	// protocol lists (write notices, intervals).
+	ListProcessing int64
+	// TwinCyclesPerWord is page twinning cost per word (plus memory).
+	TwinCyclesPerWord int64
+	// DiffCyclesPerWord is software diff creation/application cost per
+	// word (plus memory accesses).
+	DiffCyclesPerWord int64
+
+	// DMADiffBaseCycles is the DMA engine's cost to scan the bit vector
+	// of an all-clean page; DMADiffFullCycles is the cost when every word
+	// of a 4 KB page is set (paper: ~200 and ~2100 controller cycles).
+	// Costs for partially written pages are interpolated linearly.
+	DMADiffBaseCycles int64
+	DMADiffFullCycles int64
+}
+
+// Default returns Table 1 of the paper.
+func Default() Config {
+	return Config{
+		Processors:           16,
+		TLBSize:              128,
+		TLBFillTime:          100,
+		InterruptTime:        400,
+		PageSize:             4096,
+		CacheSize:            128 * 1024,
+		CacheLineSize:        32,
+		WriteBufferSize:      4,
+		WriteCacheSize:       4,
+		MemSetupTime:         10,
+		MemCyclesPerWord:     3,
+		PCISetupTime:         10,
+		PCICyclesPerWord:     3,
+		NetPathBytesPerCycle: 1.0,
+		MessagingOverhead:    200,
+		AURCUpdateOverhead:   1,
+		SwitchLatency:        4,
+		WireLatency:          2,
+		ListProcessing:       6,
+		TwinCyclesPerWord:    5,
+		DiffCyclesPerWord:    7,
+		DMADiffBaseCycles:    200,
+		DMADiffFullCycles:    2100,
+	}
+}
+
+// Validate reports the first configuration inconsistency found.
+func (c *Config) Validate() error {
+	switch {
+	case c.Processors < 1:
+		return fmt.Errorf("params: Processors = %d, need >= 1", c.Processors)
+	case c.PageSize <= 0 || c.PageSize%WordBytes != 0:
+		return fmt.Errorf("params: PageSize = %d must be a positive multiple of %d", c.PageSize, WordBytes)
+	case c.CacheLineSize <= 0 || c.CacheLineSize%WordBytes != 0:
+		return fmt.Errorf("params: CacheLineSize = %d must be a positive multiple of %d", c.CacheLineSize, WordBytes)
+	case c.CacheSize <= 0 || c.CacheSize%c.CacheLineSize != 0:
+		return fmt.Errorf("params: CacheSize = %d must be a positive multiple of the line size", c.CacheSize)
+	case c.TLBSize <= 0:
+		return fmt.Errorf("params: TLBSize = %d, need > 0", c.TLBSize)
+	case c.WriteBufferSize <= 0:
+		return fmt.Errorf("params: WriteBufferSize = %d, need > 0", c.WriteBufferSize)
+	case c.WriteCacheSize <= 0:
+		return fmt.Errorf("params: WriteCacheSize = %d, need > 0", c.WriteCacheSize)
+	case c.NetPathBytesPerCycle <= 0:
+		return fmt.Errorf("params: NetPathBytesPerCycle = %v, need > 0", c.NetPathBytesPerCycle)
+	case c.MemCyclesPerWord <= 0 || c.MemSetupTime < 0:
+		return fmt.Errorf("params: memory timing (%d setup, %d/word) invalid", c.MemSetupTime, c.MemCyclesPerWord)
+	case c.DMADiffFullCycles < c.DMADiffBaseCycles:
+		return fmt.Errorf("params: DMA full cost %d below base cost %d", c.DMADiffFullCycles, c.DMADiffBaseCycles)
+	}
+	return nil
+}
+
+// PageWords returns words per page.
+func (c *Config) PageWords() int { return c.PageSize / WordBytes }
+
+// LineWords returns words per cache line.
+func (c *Config) LineWords() int { return c.CacheLineSize / WordBytes }
+
+// MemLineTime is the DRAM occupancy of one cache-line transfer.
+func (c *Config) MemLineTime() int64 {
+	return c.MemSetupTime + c.MemCyclesPerWord*int64(c.LineWords())
+}
+
+// MemWordTime is the DRAM occupancy of a single-word access.
+func (c *Config) MemWordTime() int64 { return c.MemSetupTime + c.MemCyclesPerWord }
+
+// MemBlockTime is the DRAM occupancy of an n-byte streaming transfer.
+func (c *Config) MemBlockTime(bytes int) int64 {
+	words := int64((bytes + WordBytes - 1) / WordBytes)
+	if words == 0 {
+		return 0
+	}
+	return c.MemSetupTime + c.MemCyclesPerWord*words
+}
+
+// PCIBlockTime is the PCI occupancy of an n-byte burst.
+func (c *Config) PCIBlockTime(bytes int) int64 {
+	words := int64((bytes + WordBytes - 1) / WordBytes)
+	if words == 0 {
+		return 0
+	}
+	return c.PCISetupTime + c.PCICyclesPerWord*words
+}
+
+// NetTransferTime is the cycles a message of n bytes occupies one link.
+func (c *Config) NetTransferTime(bytes int) int64 {
+	t := float64(bytes) / c.NetPathBytesPerCycle
+	w := int64(t)
+	if float64(w) < t {
+		w++
+	}
+	return w
+}
+
+// DMADiffTime interpolates the DMA engine's scan/transfer cost for a page
+// in which wordsSet of pageWords words are marked in the bit vector.
+func (c *Config) DMADiffTime(wordsSet, pageWords int) int64 {
+	if pageWords <= 0 {
+		return c.DMADiffBaseCycles
+	}
+	if wordsSet > pageWords {
+		wordsSet = pageWords
+	}
+	span := c.DMADiffFullCycles - c.DMADiffBaseCycles
+	return c.DMADiffBaseCycles + span*int64(wordsSet)/int64(pageWords)
+}
+
+// MemoryBandwidthMBps converts the DRAM streaming parameters to MB/s for
+// cache-block transfers, for reporting against Figure 16's axis
+// (default: 32 bytes / (10+3*8 cycles) / 10ns ≈ 94 MB/s; the paper quotes
+// 103 MB/s for its slightly different accounting).
+func (c *Config) MemoryBandwidthMBps() float64 {
+	t := c.MemLineTime()
+	if t == 0 {
+		return 0
+	}
+	bytesPerCycle := float64(c.CacheLineSize) / float64(t)
+	return bytesPerCycle * 100 // 1 cycle = 10ns => 1e8 cycles/s => B/cycle*1e8/1e6 MB/s
+}
+
+// NetworkBandwidthMBps converts link width to MB/s (Figure 14's axis).
+func (c *Config) NetworkBandwidthMBps() float64 {
+	return c.NetPathBytesPerCycle * 100
+}
+
+// SetNetworkBandwidthMBps adjusts the link width for a target bandwidth.
+func (c *Config) SetNetworkBandwidthMBps(mbps float64) {
+	c.NetPathBytesPerCycle = mbps / 100
+}
+
+// MessagingOverheadMicros reports the messaging overhead in microseconds
+// (Figure 13's axis; 200 cycles = 2 us).
+func (c *Config) MessagingOverheadMicros() float64 {
+	return float64(c.MessagingOverhead) / 100
+}
+
+// SetMessagingOverheadMicros sets the per-message overhead from
+// microseconds.
+func (c *Config) SetMessagingOverheadMicros(us float64) {
+	c.MessagingOverhead = int64(us * 100)
+}
+
+// MemoryLatencyNanos reports DRAM setup latency in ns (Figure 15's axis;
+// 10 cycles = 100 ns).
+func (c *Config) MemoryLatencyNanos() float64 {
+	return float64(c.MemSetupTime) * 10
+}
+
+// SetMemoryLatencyNanos sets DRAM setup latency from nanoseconds.
+func (c *Config) SetMemoryLatencyNanos(ns float64) {
+	c.MemSetupTime = int64(ns / 10)
+}
+
+// SetMemoryBandwidthMBps adjusts per-word streaming cost for a target
+// cache-block bandwidth, holding setup latency fixed.
+func (c *Config) SetMemoryBandwidthMBps(mbps float64) {
+	// mbps = lineBytes / ((setup + perWord*lineWords) * 10ns)
+	// => perWord = (lineBytes*100/mbps - setup) / lineWords
+	lw := float64(c.LineWords())
+	per := (float64(c.CacheLineSize)*100/mbps - float64(c.MemSetupTime)) / lw
+	if per < 1 {
+		per = 1
+	}
+	c.MemCyclesPerWord = int64(per + 0.5)
+}

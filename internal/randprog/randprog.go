@@ -1,0 +1,219 @@
+// Package randprog generates random data-race-free DSM programs for
+// protocol fuzzing. A generated program interleaves three sharing idioms
+// the paper's applications are built from:
+//
+//   - striped phases: each processor writes a fixed stripe of a shared
+//     region, with barriers between phases (Ocean/Radix/Em3d style);
+//   - lock-protected counters: processors read-modify-write shared cells
+//     under locks (TSP/Water style, migratory pages);
+//   - reduction reads: after a barrier, designated processors fold other
+//     processors' results (producer/consumer).
+//
+// All decisions come from a seeded deterministic generator, and the
+// observable result is independent of the processor count, so the same
+// program validates against the sequential oracle under every protocol
+// and machine size. Any lost write notice, stale diff, clobbered word,
+// or broken lock hand-off shows up as a validation failure.
+package randprog
+
+import (
+	"fmt"
+
+	"dsm96/internal/dsm"
+	"dsm96/internal/lrc"
+)
+
+// op codes for generated program steps.
+const (
+	opStripe   = iota // striped read-modify-write over a region
+	opLocked          // lock-protected counter updates
+	opReduce          // fold a region into a per-proc cell, then merge
+	opMigrate         // a lock-protected record visited by every processor
+	opPipeline        // barrier-separated producer -> consumer hand-off
+	numOps
+)
+
+// Program is a generated DSM workload (implements dsm.App).
+type Program struct {
+	Seed  uint64
+	Steps int
+	// Words is the size of the shared working region.
+	Words int
+	// Locks is how many distinct locks the locked phases draw from.
+	Locks int
+
+	steps  []step
+	region int64
+	cells  int64 // per-proc scratch (page-strided)
+	out    int64
+	result float64
+}
+
+type step struct {
+	op     int
+	offset int // starting word within the region
+	span   int // words touched
+	lock   int
+	factor int
+}
+
+// rng is the same deterministic generator the apps use.
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	x := r.s
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// New generates a program from a seed.
+func New(seed uint64, steps, words, locks int) *Program {
+	p := &Program{Seed: seed, Steps: steps, Words: words, Locks: locks}
+	g := &rng{s: seed*2654435761 + 99}
+	for i := 0; i < steps; i++ {
+		st := step{
+			op:     g.intn(numOps),
+			offset: g.intn(words),
+			span:   1 + g.intn(words/2),
+			lock:   g.intn(locks),
+			factor: 1 + g.intn(7),
+		}
+		if st.offset+st.span > words {
+			st.span = words - st.offset
+		}
+		p.steps = append(p.steps, st)
+	}
+	return p
+}
+
+// Name implements dsm.App.
+func (p *Program) Name() string { return fmt.Sprintf("randprog-%d", p.Seed) }
+
+// Setup implements dsm.App.
+func (p *Program) Setup(h *lrc.Heap) {
+	p.result = 0
+	p.region = h.AllocPages((4*p.Words + 4095) / 4096)
+	p.cells = h.AllocPages(64)
+	p.out = h.AllocPages(1)
+}
+
+// Body implements dsm.App.
+func (p *Program) Body(env *dsm.Env) {
+	np := env.NProcs()
+	bar := 0
+	nextBar := func() int { bar++; return bar }
+
+	for si, st := range p.steps {
+		switch st.op {
+		case opStripe:
+			// Every word of the slice is read-modified-written by exactly
+			// one processor; the assignment depends only on the word index,
+			// so the result is independent of np.
+			for w := st.offset + env.ID; w < st.offset+st.span; w += np {
+				a := p.region + int64(4*w)
+				env.Compute(20)
+				env.WI(a, env.RI(a)*st.factor%1000003+w)
+			}
+			env.Barrier(nextBar())
+
+		case opLocked:
+			// A fixed number of lock-protected increments, striped over
+			// processors so the total is np-independent. The cell is the
+			// step's offset word — a migratory hot spot.
+			a := p.region + int64(4*st.offset)
+			rounds := 4 + st.factor
+			for r := env.ID; r < rounds; r += np {
+				env.Lock(st.lock)
+				env.WI(a, env.RI(a)+st.factor)
+				env.Unlock(st.lock)
+				env.Compute(100)
+			}
+			env.Barrier(nextBar())
+
+		case opMigrate:
+			// A multi-word record updated under a lock by each processor
+			// in turn (striped rounds): the migratory pattern, with the
+			// record's page chasing the lock token.
+			rounds := 3 + st.factor
+			for r := env.ID; r < rounds; r += np {
+				env.Lock(st.lock)
+				for w := st.offset; w < st.offset+min(st.span, 8); w++ {
+					a := p.region + int64(4*w)
+					// Commutative update: rounds execute in an order that
+					// depends on timing, so only order-independent updates
+					// keep the result equal to the sequential oracle's.
+					env.WI(a, env.RI(a)+(r+1)*(w%97+1))
+				}
+				env.Unlock(st.lock)
+				env.Compute(200)
+			}
+			env.Barrier(nextBar())
+
+		case opPipeline:
+			// The step's producer rewrites the slice; after a barrier,
+			// every processor folds it into its cell; the page moves from
+			// one writer to many readers.
+			if env.ID == si%np {
+				for w := st.offset; w < st.offset+st.span; w++ {
+					a := p.region + int64(4*w)
+					env.Compute(15)
+					env.WI(a, env.RI(a)+w*st.factor)
+				}
+			}
+			env.Barrier(nextBar())
+			sum := 0
+			for w := st.offset + env.ID; w < st.offset+st.span; w += np {
+				env.Compute(5)
+				sum += env.RI(p.region + int64(4*w))
+			}
+			env.WI(p.cells+int64(4096*env.ID+8), sum)
+			env.Barrier(nextBar())
+
+		case opReduce:
+			// Each processor folds its stripe into its private cell
+			// (page-strided to avoid false sharing); after the barrier,
+			// the step's designated processor merges in processor order.
+			sum := 0
+			for w := st.offset + env.ID; w < st.offset+st.span; w += np {
+				env.Compute(10)
+				sum += env.RI(p.region + int64(4*w))
+			}
+			env.WI(p.cells+int64(4096*env.ID), sum)
+			env.Barrier(nextBar())
+			if env.ID == si%np {
+				total := 0
+				for q := 0; q < np; q++ {
+					total += env.RI(p.cells + int64(4096*q))
+				}
+				env.WI(p.region+int64(4*st.offset), total%1000003)
+			}
+			env.Barrier(nextBar())
+		}
+	}
+
+	env.Barrier(nextBar())
+	if env.ID == 0 {
+		check := 0
+		for w := 0; w < p.Words; w++ {
+			env.Compute(2)
+			check = (check*31 + env.RI(p.region+int64(4*w))) % 1000000007
+		}
+		env.WI(p.out, check)
+		p.result = float64(env.RI(p.out))
+	}
+	env.Barrier(nextBar())
+}
+
+// Result implements dsm.App.
+func (p *Program) Result() float64 { return p.result }

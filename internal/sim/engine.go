@@ -1,0 +1,142 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with coroutine-style processes, FCFS resources, priority servers, and
+// wait conditions.
+//
+// The engine is the substrate for the execution-driven DSM simulator: each
+// simulated computation processor is a Proc (a goroutine coupled to the
+// engine so that exactly one logical thread runs at a time), while
+// protocol controllers, buses, memories, and network links are modelled
+// with Resources and Servers advanced by engine events.
+//
+// Determinism: events at equal times fire in submission order (a strictly
+// increasing sequence number breaks ties), and because at most one
+// goroutine is runnable at any moment, repeated runs of the same program
+// produce bit-identical schedules.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in processor cycles (the paper uses 10 ns cycles).
+type Time = int64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	handoff chan struct{} // engine parks here while a Proc runs
+	procs   []*Proc
+	stopped bool
+
+	// Stats.
+	eventsRun uint64
+}
+
+// NewEngine returns a fresh engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{handoff: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsRun reports how many events have executed, for diagnostics.
+func (e *Engine) EventsRun() uint64 { return e.eventsRun }
+
+// At schedules fn to run in engine context at absolute time t.
+// Scheduling in the past panics: it indicates a modelling bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending events
+// are kept; Run may be called again to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+// It returns an error if any processes are still blocked when the event
+// queue drains (a simulated deadlock).
+func (e *Engine) Run() error {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.eventsRun++
+		ev.fn()
+	}
+	if e.stopped {
+		return nil
+	}
+	var blocked []*Proc
+	for _, p := range e.procs {
+		if !p.done {
+			blocked = append(blocked, p)
+		}
+	}
+	if len(blocked) > 0 {
+		msg := "sim: deadlock, blocked processes:"
+		for _, p := range blocked {
+			msg += fmt.Sprintf(" %s(%s)", p.Name, p.blockReason)
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+// RunUntil executes events with time <= t, then returns. Processes blocked
+// past t remain blocked.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.eventsRun++
+		ev.fn()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}

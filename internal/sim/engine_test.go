@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(10, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 0) })
+	e.At(10, func() { got = append(got, 2) }) // same time: submission order
+	e.At(20, func() { got = append(got, 3) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", e.Now())
+	}
+}
+
+func TestAfterAccumulates(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.After(3, func() {
+		times = append(times, e.Now())
+		e.After(4, func() { times = append(times, e.Now()) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != 3 || times[1] != 7 {
+		t.Fatalf("times = %v, want [3 7]", times)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopAndResume(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1, func() { n++; e.Stop() })
+	e.At(2, func() { n++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("after Stop n = %d, want 1", n)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("after resume n = %d, want 2", n)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(5, func() { n++ })
+	e.At(15, func() { n++ })
+	e.RunUntil(10)
+	if n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+	e.RunUntil(20)
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+}
+
+// Property: events fire in nondecreasing time order and equal-time events
+// fire in submission order, for arbitrary schedules.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			at := Time(d % 1000)
+			seq := i
+			e.At(at, func() { fired = append(fired, rec{at, seq}) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			a, b := fired[i-1], fired[i]
+			if a.at > b.at {
+				return false
+			}
+			if a.at == b.at && a.seq > b.seq {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random nested scheduling still drains fully and time never
+// goes backwards.
+func TestNestedSchedulingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		last := Time(-1)
+		count := 0
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if e.Now() < last {
+				count = -1 << 30
+			}
+			last = e.Now()
+			count++
+			if depth <= 0 {
+				return
+			}
+			kids := rng.Intn(3)
+			for i := 0; i < kids; i++ {
+				d := depth - 1
+				e.After(Time(rng.Intn(50)), func() { spawn(d) })
+			}
+		}
+		e.At(0, func() { spawn(6) })
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return count > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		r := &Resource{Name: "bus"}
+		var log []Time
+		for i := 0; i < 4; i++ {
+			id := i
+			e.NewProc(id, "p", Time(id), func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					r.Use(p, 7, "bus")
+					log = append(log, p.Now())
+					p.Sleep(Time(1 + id))
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

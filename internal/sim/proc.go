@@ -1,0 +1,174 @@
+package sim
+
+import "fmt"
+
+// Proc is a coroutine-style simulated process. Its body runs on its own
+// goroutine, but the engine guarantees that at most one Proc (or the
+// engine itself) executes at any instant: the Proc and the engine hand
+// control back and forth over unbuffered channels.
+//
+// All Proc methods that can block (Sleep, WaitOn, Resource.Use, ...) must
+// be called from the Proc's own body.
+type Proc struct {
+	ID   int
+	Name string
+
+	eng  *Engine
+	wake chan struct{}
+	done bool
+
+	// blockReason describes what the process is waiting on, for deadlock
+	// reports and stall accounting by higher layers.
+	blockReason string
+
+	// OnBlock, if non-nil, is invoked when the process parks, with the
+	// reason; OnUnblock with the same reason and the cycles spent parked.
+	// The DSM layers use these hooks for time-breakdown accounting.
+	OnBlock   func(reason string)
+	OnUnblock func(reason string, waited Time)
+
+	blockedAt Time
+}
+
+// NewProc registers a process whose body will start executing at time
+// `start`. The body runs to completion; the process is then done.
+func (e *Engine) NewProc(id int, name string, start Time, body func(*Proc)) *Proc {
+	p := &Proc{ID: id, Name: name, eng: e, wake: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.At(start, func() {
+		go func() {
+			body(p)
+			p.done = true
+			e.handoff <- struct{}{} // return control to engine forever
+		}()
+		<-e.handoff // wait for the body to park or finish
+	})
+	return p
+}
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// park suspends the process until something calls resume. It must only
+// be called from the process's own goroutine.
+func (p *Proc) park(reason string) {
+	p.blockReason = reason
+	p.blockedAt = p.eng.now
+	if p.OnBlock != nil {
+		p.OnBlock(reason)
+	}
+	p.eng.handoff <- struct{}{} // give control back to the engine
+	<-p.wake                    // wait to be resumed
+	if p.OnUnblock != nil {
+		p.OnUnblock(reason, p.eng.now-p.blockedAt)
+	}
+	p.blockReason = ""
+}
+
+// resume restarts a parked process at the current simulated time. It must
+// be called from engine context (inside an event callback).
+func (p *Proc) resume() {
+	if p.done {
+		panic(fmt.Sprintf("sim: resuming finished proc %s", p.Name))
+	}
+	p.wake <- struct{}{}
+	<-p.eng.handoff // wait for the proc to park again or finish
+}
+
+// Sleep suspends the process for d cycles of simulated time.
+func (p *Proc) Sleep(d Time) {
+	p.SleepReason(d, "sleep")
+}
+
+// SleepReason is Sleep with an accounting label.
+func (p *Proc) SleepReason(d Time, reason string) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %d", d))
+	}
+	if d == 0 {
+		return
+	}
+	p.eng.After(d, p.resume)
+	p.park(reason)
+}
+
+// Yield lets every event already scheduled for the current instant run
+// before the process continues.
+func (p *Proc) Yield() {
+	p.eng.After(0, p.resume)
+	p.park("yield")
+}
+
+// Cond is a wait queue: processes park on it, engine-context code wakes
+// them. Wakeups are FIFO, preserving determinism.
+type Cond struct {
+	Name    string
+	waiters []*Proc
+}
+
+// Wait parks the calling process on the condition with an accounting label.
+func (c *Cond) Wait(p *Proc, reason string) {
+	c.waiters = append(c.waiters, p)
+	p.park(reason)
+}
+
+// Waiters reports how many processes are parked on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Signal wakes the first waiter (if any) at the current time.
+// It must be called from engine context. It reports whether a process
+// was woken.
+func (c *Cond) Signal(e *Engine) bool {
+	if len(c.waiters) == 0 {
+		return false
+	}
+	p := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	e.After(0, p.resume)
+	return true
+}
+
+// Broadcast wakes every waiter, in FIFO order, at the current time.
+func (c *Cond) Broadcast(e *Engine) int {
+	n := len(c.waiters)
+	for _, p := range c.waiters {
+		q := p
+		e.After(0, q.resume)
+	}
+	c.waiters = c.waiters[:0]
+	return n
+}
+
+// Gate is a one-shot latch: processes wait until it opens; once open,
+// waits return immediately. Used for request/reply completion.
+type Gate struct {
+	open bool
+	cond Cond
+}
+
+// Open releases all current and future waiters. Engine context only.
+func (g *Gate) Open(e *Engine) {
+	if g.open {
+		return
+	}
+	g.open = true
+	g.cond.Broadcast(e)
+}
+
+// IsOpen reports whether the gate has opened.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Wait parks until the gate opens (or returns at once if it already has).
+func (g *Gate) Wait(p *Proc, reason string) {
+	if g.open {
+		return
+	}
+	g.cond.Wait(p, reason)
+}

@@ -1,0 +1,68 @@
+package sim
+
+// Resource models a single FCFS server (a bus, a memory bank, a network
+// link): requests occupy it back-to-back in arrival order. Because service
+// is FCFS and non-preemptive, it suffices to remember when the resource
+// next becomes free.
+//
+// Resources can be used both from process context (Use blocks the caller
+// until its service completes) and from engine context (Reserve returns
+// the completion time so callers can chain events).
+type Resource struct {
+	Name   string
+	freeAt Time
+
+	// busyCycles accumulates total occupied cycles, for utilization stats.
+	busyCycles Time
+	uses       uint64
+}
+
+// Reserve enqueues a service of d cycles starting no earlier than the
+// current time and returns (start, end). Engine or process context.
+func (r *Resource) Reserve(e *Engine, d Time) (start, end Time) {
+	start = e.now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + d
+	r.freeAt = end
+	r.busyCycles += d
+	r.uses++
+	return start, end
+}
+
+// Use occupies the resource for d cycles from process context, blocking
+// the caller until its service completes. It returns the cycles spent
+// queueing before service began.
+func (r *Resource) Use(p *Proc, d Time, reason string) (queued Time) {
+	start, end := r.Reserve(p.eng, d)
+	queued = start - p.eng.now
+	p.SleepReason(end-p.eng.now, reason)
+	return queued
+}
+
+// FreeAt returns the time the resource next becomes free.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// PadTo moves the resource's free time forward to t without counting the
+// gap as busy — the next reservation will start no earlier than t. A t
+// in the past or before the current free time is a no-op.
+func (r *Resource) PadTo(t Time) {
+	if t > r.freeAt {
+		r.freeAt = t
+	}
+}
+
+// BusyCycles returns the total cycles the resource has been occupied.
+func (r *Resource) BusyCycles() Time { return r.busyCycles }
+
+// Uses returns the number of services performed.
+func (r *Resource) Uses() uint64 { return r.uses }
+
+// Utilization returns busy cycles divided by elapsed time (0 if t=0).
+func (r *Resource) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(r.busyCycles) / float64(now)
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceFCFS(t *testing.T) {
+	e := NewEngine()
+	r := &Resource{Name: "bus"}
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		e.NewProc(i, "p", 0, func(p *Proc) {
+			r.Use(p, 10, "bus")
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if r.BusyCycles() != 30 {
+		t.Fatalf("busy = %d, want 30", r.BusyCycles())
+	}
+	if r.Uses() != 3 {
+		t.Fatalf("uses = %d, want 3", r.Uses())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := NewEngine()
+	r := &Resource{}
+	e.NewProc(0, "p", 0, func(p *Proc) {
+		q := r.Use(p, 5, "bus") // 0..5
+		if q != 0 {
+			t.Errorf("queued = %d, want 0", q)
+		}
+		p.Sleep(100) // resource idle 5..105
+		r.Use(p, 5, "bus")
+		if p.Now() != 110 {
+			t.Errorf("end = %d, want 110", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Utilization(e.Now()); got <= 0 || got > 1 {
+		t.Fatalf("utilization = %v out of range", got)
+	}
+}
+
+func TestReserveFromEngineContext(t *testing.T) {
+	e := NewEngine()
+	r := &Resource{}
+	e.At(0, func() {
+		s1, e1 := r.Reserve(e, 7)
+		if s1 != 0 || e1 != 7 {
+			t.Errorf("first reserve = (%d,%d), want (0,7)", s1, e1)
+		}
+		s2, e2 := r.Reserve(e, 3)
+		if s2 != 7 || e2 != 10 {
+			t.Errorf("second reserve = (%d,%d), want (7,10)", s2, e2)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for arbitrary service demands submitted at time zero, total
+// completion equals the sum of services (work conservation) and each
+// completion time is a prefix sum (FCFS).
+func TestResourceWorkConservationProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		e := NewEngine()
+		r := &Resource{}
+		ends := make([]Time, len(raw))
+		e.At(0, func() {
+			for i, d := range raw {
+				_, end := r.Reserve(e, Time(d))
+				ends[i] = end
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		var sum Time
+		for i, d := range raw {
+			sum += Time(d)
+			if ends[i] != sum {
+				return false
+			}
+		}
+		return r.BusyCycles() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

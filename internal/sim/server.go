@@ -1,0 +1,118 @@
+package sim
+
+// Priority levels for Server jobs. Lower value = more urgent.
+const (
+	PriorityHigh = 0 // demand requests a processor is stalled on
+	PriorityLow  = 1 // prefetches and other deferrable work
+)
+
+// Job is a unit of work submitted to a Server. Service is the busy time
+// the job occupies the server for; Run, if non-nil, executes in engine
+// context when service *begins* (it may itself compute a service time and
+// return it, superseding Service); Done, if non-nil, executes in engine
+// context when service completes.
+type Job struct {
+	Name     string
+	Priority int
+	Service  Time
+	// Run is called when the job is dispatched; if it returns a
+	// non-negative duration, that duration replaces Service. This lets
+	// job cost depend on state at dispatch time (e.g. how many words a
+	// DMA diff scan must read), not at submission time.
+	Run  func() Time
+	Done func()
+
+	submitted Time
+	seq       uint64
+}
+
+// Server is a single non-preemptive server with a two-level priority
+// queue: high-priority jobs always dispatch before low-priority ones, and
+// FIFO order applies within a level. It models the protocol controller's
+// RISC core working through its command queue, where prefetches carry low
+// priority so that demand requests overtake them (Section 3.1 of the
+// paper).
+type Server struct {
+	Name string
+
+	high, low []*Job
+	busy      bool
+
+	busyCycles Time
+	jobsDone   uint64
+	waitTotal  Time
+	seq        uint64
+}
+
+// Submit enqueues a job; if the server is idle it starts at once.
+// Engine context (or process context — it never blocks the caller).
+func (s *Server) Submit(e *Engine, j *Job) {
+	s.seq++
+	j.seq = s.seq
+	j.submitted = e.now
+	switch j.Priority {
+	case PriorityHigh:
+		s.high = append(s.high, j)
+	default:
+		s.low = append(s.low, j)
+	}
+	if !s.busy {
+		s.dispatch(e)
+	}
+}
+
+// QueueLen returns the number of queued (not yet started) jobs.
+func (s *Server) QueueLen() int { return len(s.high) + len(s.low) }
+
+// Busy reports whether a job is currently in service.
+func (s *Server) Busy() bool { return s.busy }
+
+// BusyCycles returns the total cycles the server spent servicing jobs.
+func (s *Server) BusyCycles() Time { return s.busyCycles }
+
+// JobsDone returns the number of completed jobs.
+func (s *Server) JobsDone() uint64 { return s.jobsDone }
+
+// AvgQueueWait returns the mean cycles jobs waited before dispatch.
+func (s *Server) AvgQueueWait() float64 {
+	if s.jobsDone == 0 {
+		return 0
+	}
+	return float64(s.waitTotal) / float64(s.jobsDone)
+}
+
+func (s *Server) dispatch(e *Engine) {
+	var j *Job
+	switch {
+	case len(s.high) > 0:
+		j = s.high[0]
+		copy(s.high, s.high[1:])
+		s.high = s.high[:len(s.high)-1]
+	case len(s.low) > 0:
+		j = s.low[0]
+		copy(s.low, s.low[1:])
+		s.low = s.low[:len(s.low)-1]
+	default:
+		return
+	}
+	s.busy = true
+	s.waitTotal += e.now - j.submitted
+	d := j.Service
+	if j.Run != nil {
+		if rd := j.Run(); rd >= 0 {
+			d = rd
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.busyCycles += d
+	e.After(d, func() {
+		s.busy = false
+		s.jobsDone++
+		if j.Done != nil {
+			j.Done()
+		}
+		s.dispatch(e)
+	})
+}

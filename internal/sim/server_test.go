@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestServerFIFOWithinPriority(t *testing.T) {
+	e := NewEngine()
+	s := &Server{Name: "ctrl"}
+	var done []string
+	e.At(0, func() {
+		for _, n := range []string{"a", "b", "c"} {
+			name := n
+			s.Submit(e, &Job{Name: name, Service: 10, Done: func() { done = append(done, name) }})
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 3 || done[0] != "a" || done[1] != "b" || done[2] != "c" {
+		t.Fatalf("done = %v, want [a b c]", done)
+	}
+	if s.JobsDone() != 3 || s.BusyCycles() != 30 {
+		t.Fatalf("jobs=%d busy=%d", s.JobsDone(), s.BusyCycles())
+	}
+}
+
+func TestServerPriorityOvertake(t *testing.T) {
+	e := NewEngine()
+	s := &Server{}
+	var done []string
+	add := func(name string, prio int) {
+		s.Submit(e, &Job{Name: name, Priority: prio, Service: 10,
+			Done: func() { done = append(done, name) }})
+	}
+	e.At(0, func() {
+		add("running", PriorityHigh) // dispatches immediately
+		add("prefetch1", PriorityLow)
+		add("prefetch2", PriorityLow)
+	})
+	e.At(5, func() {
+		add("demand", PriorityHigh) // arrives mid-service, must overtake prefetches
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"running", "demand", "prefetch1", "prefetch2"}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestServerRunComputesService(t *testing.T) {
+	e := NewEngine()
+	s := &Server{}
+	var finished Time
+	e.At(0, func() {
+		s.Submit(e, &Job{
+			Service: 999, // superseded by Run's return
+			Run:     func() Time { return 7 },
+			Done:    func() { finished = e.Now() },
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != 7 {
+		t.Fatalf("finished at %d, want 7", finished)
+	}
+}
+
+func TestServerIdleRestart(t *testing.T) {
+	e := NewEngine()
+	s := &Server{}
+	var times []Time
+	e.At(0, func() {
+		s.Submit(e, &Job{Service: 5, Done: func() { times = append(times, e.Now()) }})
+	})
+	e.At(100, func() {
+		s.Submit(e, &Job{Service: 5, Done: func() { times = append(times, e.Now()) }})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != 5 || times[1] != 105 {
+		t.Fatalf("times = %v, want [5 105]", times)
+	}
+	if s.AvgQueueWait() != 0 {
+		t.Fatalf("avg wait = %v, want 0", s.AvgQueueWait())
+	}
+}
+
+// Property: all submitted jobs complete exactly once and total busy time
+// equals the sum of service times.
+func TestServerCompletenessProperty(t *testing.T) {
+	f := func(raw []uint8, prios []bool) bool {
+		if len(raw) == 0 || len(raw) > 30 {
+			return true
+		}
+		e := NewEngine()
+		s := &Server{}
+		completed := 0
+		var sum Time
+		e.At(0, func() {
+			for i, d := range raw {
+				prio := PriorityHigh
+				if i < len(prios) && prios[i] {
+					prio = PriorityLow
+				}
+				sum += Time(d)
+				s.Submit(e, &Job{Priority: prio, Service: Time(d),
+					Done: func() { completed++ }})
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return completed == len(raw) && s.BusyCycles() == sum && s.QueueLen() == 0 && !s.Busy()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PageProfile aggregates one shared page's protocol activity across the
+// whole run — the per-page view DSM analyses are built on (which pages
+// are hot, how many processors write them, how much diff traffic they
+// cause).
+type PageProfile struct {
+	Page          int
+	Faults        uint64
+	WriteFaults   uint64
+	Invalidations uint64
+	DiffsApplied  uint64
+	WordsApplied  uint64
+	// Writers and Readers are bitmasks of processors that wrote/read the
+	// page (bit i = processor i; machines larger than 64 saturate).
+	Writers uint64
+	Readers uint64
+}
+
+// SharingDegree returns the number of distinct writers.
+func (p *PageProfile) SharingDegree() int { return popcount(p.Writers) }
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// PageProfiler is implemented by protocols that collect per-page
+// activity.
+type PageProfiler interface {
+	PageProfiles() []PageProfile
+}
+
+// FormatPageProfiles renders the top-n pages by fault count.
+func FormatPageProfiles(profiles []PageProfile, n int) string {
+	sorted := append([]PageProfile(nil), profiles...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Faults != sorted[j].Faults {
+			return sorted[i].Faults > sorted[j].Faults
+		}
+		return sorted[i].Page < sorted[j].Page
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	var sb strings.Builder
+	sb.WriteString("  page   faults  wfaults  invals  diffs   words  writers readers\n")
+	for _, p := range sorted[:n] {
+		fmt.Fprintf(&sb, "  %-6d %6d  %7d %7d %6d %7d %8d %7d\n",
+			p.Page, p.Faults, p.WriteFaults, p.Invalidations,
+			p.DiffsApplied, p.WordsApplied, popcount(p.Writers), popcount(p.Readers))
+	}
+	return sb.String()
+}

@@ -1,0 +1,252 @@
+// Package stats implements the paper's per-processor cycle accounting:
+// normalized execution time broken into busy time, data fetch latency,
+// synchronization time, IPC overhead, and "others" (TLB miss latency,
+// write-buffer stall time, interrupt time, cache miss latency), plus the
+// diff-operation time percentage printed above each bar in Figures 2 and
+// 5-12, and traffic/prefetch counters.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category identifies where a processor's cycles went.
+type Category int
+
+const (
+	// Busy is useful application work on the computation processor.
+	Busy Category = iota
+	// Data is page/diff fetch latency: stalls on access faults, including
+	// coherence processing and network latency (paper: "data").
+	Data
+	// Synch is lock acquire/release and barrier wait time, including
+	// interval and write-notice processing (paper: "synch").
+	Synch
+	// IPC is time the computation processor spends servicing requests
+	// from remote processors (paper: "ipc").
+	IPC
+	// Other bundles TLB miss latency, write-buffer stalls, interrupt
+	// entry/exit, and cache miss latency (paper: "others").
+	Other
+	numCategories
+)
+
+// String returns the paper's label for the category.
+func (c Category) String() string {
+	switch c {
+	case Busy:
+		return "busy"
+	case Data:
+		return "data"
+	case Synch:
+		return "synch"
+	case IPC:
+		return "ipc"
+	case Other:
+		return "others"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Categories lists all categories in the paper's stacking order
+// (bottom to top of the bars).
+func Categories() []Category {
+	return []Category{Busy, Data, Synch, IPC, Other}
+}
+
+// ProcStats accumulates cycles and event counters for one computation
+// processor.
+type ProcStats struct {
+	Cycles [numCategories]int64
+
+	// DiffCycles is time spent on diff-related operations (twinning, diff
+	// generation, diff application) attributable to this processor's
+	// execution — the percentage on top of the paper's bars.
+	DiffCycles int64
+
+	// Counters.
+	SharedReads     uint64
+	SharedWrites    uint64
+	CacheMisses     uint64
+	TLBMisses       uint64
+	WriteBuffStalls uint64
+	PageFaults      uint64 // read access faults
+	WriteFaults     uint64 // write to non-writable page
+	LockAcquires    uint64
+	Barriers        uint64
+	DiffsCreated    uint64
+	DiffsApplied    uint64
+	TwinsCreated    uint64
+	MsgsSent        uint64
+	BytesSent       uint64
+	Prefetches      uint64
+	UselessPrefetch uint64 // prefetched but invalidated before use
+	UsefulPrefetch  uint64 // page fault satisfied by a prefetch
+	Interrupts      uint64
+
+	// PrefetchUseCycles accumulates, over prefetches that were used, the
+	// simulated cycles between issuing the prefetch and the first use of
+	// the page (the paper quotes 5K-600K cycles for its applications).
+	PrefetchUseCycles uint64
+	PrefetchUseCount  uint64
+}
+
+// Add charges d cycles to category c.
+func (s *ProcStats) Add(c Category, d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("stats: negative charge %d to %s", d, c))
+	}
+	s.Cycles[c] += d
+}
+
+// Total returns the sum over all categories.
+func (s *ProcStats) Total() int64 {
+	var t int64
+	for _, v := range s.Cycles {
+		t += v
+	}
+	return t
+}
+
+// Merge adds o into s.
+func (s *ProcStats) Merge(o *ProcStats) {
+	for i := range s.Cycles {
+		s.Cycles[i] += o.Cycles[i]
+	}
+	s.DiffCycles += o.DiffCycles
+	s.SharedReads += o.SharedReads
+	s.SharedWrites += o.SharedWrites
+	s.CacheMisses += o.CacheMisses
+	s.TLBMisses += o.TLBMisses
+	s.WriteBuffStalls += o.WriteBuffStalls
+	s.PageFaults += o.PageFaults
+	s.WriteFaults += o.WriteFaults
+	s.LockAcquires += o.LockAcquires
+	s.Barriers += o.Barriers
+	s.DiffsCreated += o.DiffsCreated
+	s.DiffsApplied += o.DiffsApplied
+	s.TwinsCreated += o.TwinsCreated
+	s.MsgsSent += o.MsgsSent
+	s.BytesSent += o.BytesSent
+	s.Prefetches += o.Prefetches
+	s.UselessPrefetch += o.UselessPrefetch
+	s.UsefulPrefetch += o.UsefulPrefetch
+	s.Interrupts += o.Interrupts
+	s.PrefetchUseCycles += o.PrefetchUseCycles
+	s.PrefetchUseCount += o.PrefetchUseCount
+}
+
+// AvgPrefetchLead returns the mean cycles between a prefetch being issued
+// and the page's first subsequent use (0 when no prefetch was used).
+func (s *ProcStats) AvgPrefetchLead() float64 {
+	if s.PrefetchUseCount == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUseCycles) / float64(s.PrefetchUseCount)
+}
+
+// Breakdown is the aggregate result of a run: total running time and the
+// machine-wide distribution of cycles over categories.
+type Breakdown struct {
+	// RunningTime is the parallel execution time in cycles (the finish
+	// time of the slowest processor).
+	RunningTime int64
+	// PerProc holds each processor's accounting.
+	PerProc []*ProcStats
+}
+
+// Sum returns the machine-wide accounting (all processors merged).
+func (b *Breakdown) Sum() *ProcStats {
+	var out ProcStats
+	for _, p := range b.PerProc {
+		out.Merge(p)
+	}
+	return &out
+}
+
+// Fraction returns category c's share of total accounted cycles, in
+// [0, 1]. Returns 0 when nothing has been accounted.
+func (b *Breakdown) Fraction(c Category) float64 {
+	s := b.Sum()
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Cycles[c]) / float64(t)
+}
+
+// DiffPercent returns diff-related time as a percentage of total
+// accounted execution time (the number atop the paper's bars).
+func (b *Breakdown) DiffPercent() float64 {
+	s := b.Sum()
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(s.DiffCycles) / float64(t)
+}
+
+// Speedup computes sequentialCycles / RunningTime.
+func Speedup(sequentialCycles, runningTime int64) float64 {
+	if runningTime == 0 {
+		return 0
+	}
+	return float64(sequentialCycles) / float64(runningTime)
+}
+
+// FormatBar renders the run as one line in the style of the paper's
+// stacked bars: a label, the normalized height versus base (in percent),
+// and each category's share.
+func (b *Breakdown) FormatBar(label string, baseRunningTime int64) string {
+	norm := 100.0
+	if baseRunningTime > 0 {
+		norm = 100 * float64(b.RunningTime) / float64(baseRunningTime)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %6.0f%% |", label, norm)
+	for _, c := range Categories() {
+		fmt.Fprintf(&sb, " %s %5.1f%%", c, 100*b.Fraction(c))
+	}
+	fmt.Fprintf(&sb, " | diff-ops %4.1f%%", b.DiffPercent())
+	return sb.String()
+}
+
+// CounterTable renders the aggregate counters sorted by name, for reports.
+func (b *Breakdown) CounterTable() string {
+	s := b.Sum()
+	rows := map[string]uint64{
+		"shared reads":     s.SharedReads,
+		"shared writes":    s.SharedWrites,
+		"cache misses":     s.CacheMisses,
+		"tlb misses":       s.TLBMisses,
+		"wbuf stalls":      s.WriteBuffStalls,
+		"page faults":      s.PageFaults,
+		"write faults":     s.WriteFaults,
+		"lock acquires":    s.LockAcquires,
+		"barriers":         s.Barriers,
+		"diffs created":    s.DiffsCreated,
+		"diffs applied":    s.DiffsApplied,
+		"twins created":    s.TwinsCreated,
+		"messages":         s.MsgsSent,
+		"bytes":            s.BytesSent,
+		"prefetches":       s.Prefetches,
+		"useless prefetch": s.UselessPrefetch,
+		"useful prefetch":  s.UsefulPrefetch,
+		"interrupts":       s.Interrupts,
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %-18s %12d\n", n, rows[n])
+	}
+	if s.PrefetchUseCount > 0 {
+		fmt.Fprintf(&sb, "  %-18s %12.0f cycles\n", "prefetch lead", s.AvgPrefetchLead())
+	}
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{
+		Busy: "busy", Data: "data", Synch: "synch", IPC: "ipc", Other: "others",
+	}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), w)
+		}
+	}
+	if len(Categories()) != int(numCategories) {
+		t.Errorf("Categories() has %d entries, want %d", len(Categories()), numCategories)
+	}
+}
+
+func TestAddAndTotal(t *testing.T) {
+	var s ProcStats
+	s.Add(Busy, 100)
+	s.Add(Data, 50)
+	s.Add(Busy, 10)
+	if s.Total() != 160 {
+		t.Fatalf("Total = %d, want 160", s.Total())
+	}
+	if s.Cycles[Busy] != 110 {
+		t.Fatalf("Busy = %d, want 110", s.Cycles[Busy])
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative charge")
+		}
+	}()
+	var s ProcStats
+	s.Add(Busy, -1)
+}
+
+func TestMerge(t *testing.T) {
+	a := &ProcStats{SharedReads: 3, DiffCycles: 7}
+	a.Add(Synch, 20)
+	b := &ProcStats{SharedReads: 5, DiffCycles: 1}
+	b.Add(Synch, 2)
+	b.Add(IPC, 9)
+	a.Merge(b)
+	if a.SharedReads != 8 || a.DiffCycles != 8 {
+		t.Fatalf("merge counters wrong: %+v", a)
+	}
+	if a.Cycles[Synch] != 22 || a.Cycles[IPC] != 9 {
+		t.Fatalf("merge cycles wrong: %+v", a.Cycles)
+	}
+}
+
+func TestBreakdownFractionsSumToOne(t *testing.T) {
+	f := func(vals [5]uint16) bool {
+		b := &Breakdown{RunningTime: 1000}
+		p := &ProcStats{}
+		total := int64(0)
+		for i, v := range vals {
+			p.Cycles[i] = int64(v)
+			total += int64(v)
+		}
+		b.PerProc = append(b.PerProc, p)
+		sum := 0.0
+		for _, c := range Categories() {
+			fr := b.Fraction(c)
+			if fr < 0 || fr > 1 {
+				return false
+			}
+			sum += fr
+		}
+		if total == 0 {
+			return sum == 0
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffPercent(t *testing.T) {
+	b := &Breakdown{RunningTime: 100}
+	p := &ProcStats{DiffCycles: 25}
+	p.Add(Busy, 100)
+	b.PerProc = []*ProcStats{p}
+	if got := b.DiffPercent(); got != 25 {
+		t.Fatalf("DiffPercent = %v, want 25", got)
+	}
+	empty := &Breakdown{}
+	if empty.DiffPercent() != 0 {
+		t.Fatal("empty breakdown DiffPercent should be 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(1600, 100); s != 16 {
+		t.Fatalf("Speedup = %v, want 16", s)
+	}
+	if s := Speedup(100, 0); s != 0 {
+		t.Fatalf("Speedup with zero time = %v, want 0", s)
+	}
+}
+
+func TestFormatBarContainsCategories(t *testing.T) {
+	b := &Breakdown{RunningTime: 200}
+	p := &ProcStats{}
+	p.Add(Busy, 150)
+	p.Add(Data, 50)
+	b.PerProc = []*ProcStats{p}
+	bar := b.FormatBar("I+D", 400)
+	for _, want := range []string{"I+D", "50%", "busy", "data", "synch", "ipc", "others", "diff-ops"} {
+		if !strings.Contains(bar, want) {
+			t.Errorf("bar %q missing %q", bar, want)
+		}
+	}
+}
+
+func TestCounterTable(t *testing.T) {
+	b := &Breakdown{PerProc: []*ProcStats{{MsgsSent: 42, BytesSent: 4242}}}
+	tab := b.CounterTable()
+	if !strings.Contains(tab, "messages") || !strings.Contains(tab, "42") {
+		t.Errorf("counter table missing content:\n%s", tab)
+	}
+}
+
+func TestPageProfileSharingDegree(t *testing.T) {
+	p := &PageProfile{Writers: 0b1011}
+	if p.SharingDegree() != 3 {
+		t.Fatalf("degree = %d, want 3", p.SharingDegree())
+	}
+	if (&PageProfile{}).SharingDegree() != 0 {
+		t.Fatal("empty profile has writers")
+	}
+}
+
+func TestFormatPageProfiles(t *testing.T) {
+	profiles := []PageProfile{
+		{Page: 1, Faults: 5, Writers: 0b11, Readers: 0b1111},
+		{Page: 2, Faults: 50, DiffsApplied: 7, WordsApplied: 700},
+		{Page: 3, Faults: 5},
+	}
+	out := FormatPageProfiles(profiles, 2)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), out)
+	}
+	// Page 2 (most faults) first; then page 1 (ties break by number).
+	if !strings.Contains(lines[1], " 2 ") && !strings.HasPrefix(strings.TrimSpace(lines[1]), "2") {
+		t.Errorf("hottest page not first:\n%s", out)
+	}
+	// Asking for more rows than exist is clamped.
+	if got := FormatPageProfiles(profiles, 99); len(strings.Split(strings.TrimSpace(got), "\n")) != 4 {
+		t.Errorf("clamp failed:\n%s", got)
+	}
+}

@@ -1,0 +1,95 @@
+package tmk_test
+
+import (
+	"testing"
+
+	"dsm96/internal/core"
+	"dsm96/internal/params"
+	"dsm96/internal/tmk"
+)
+
+// Protocol microbenchmarks: simulated latency of the primitive protocol
+// operations, reported as custom metrics. These quantify the building
+// blocks behind the paper's figures (lock hand-off chains, barrier
+// episodes, page-fault round trips) and double as wall-time benchmarks
+// of the simulator itself.
+
+func benchProtocolOp(b *testing.B, procs int, mode tmk.Mode, app func() *counterApp, metric string, per uint64) {
+	var cycles int64
+	var count uint64
+	for i := 0; i < b.N; i++ {
+		a := app()
+		r, err := core.Run(smallCfg(procs), core.TM(mode), a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = r.RunningTime
+		count = per
+	}
+	if count > 0 {
+		b.ReportMetric(float64(cycles)/float64(count), metric)
+	}
+}
+
+// BenchmarkLockHandoff measures a 16-way contended lock chain.
+func BenchmarkLockHandoff(b *testing.B) {
+	benchProtocolOp(b, 16, tmk.Base,
+		func() *counterApp { return &counterApp{total: 64} },
+		"sim-cycles/acquire", 64)
+}
+
+// BenchmarkLockHandoffControlled is the same chain with the protocol
+// controller handling the messaging (I+D).
+func BenchmarkLockHandoffControlled(b *testing.B) {
+	benchProtocolOp(b, 16, tmk.ID,
+		func() *counterApp { return &counterApp{total: 64} },
+		"sim-cycles/acquire", 64)
+}
+
+// BenchmarkBarrierEpisode measures barrier cost on 16 processors.
+func BenchmarkBarrierEpisode(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		a := &falseShareApp{words: 256, iters: 8}
+		r, err := core.Run(smallCfg(16), core.TM(tmk.Base), a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = r.RunningTime / 8
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles/barrier-iter")
+}
+
+// BenchmarkPageFaultRoundTrip measures a producer/consumer page fetch.
+func BenchmarkPageFaultRoundTrip(b *testing.B) {
+	var perFault float64
+	for i := 0; i < b.N; i++ {
+		a := &producerApp{n: 4096}
+		r, err := core.Run(smallCfg(16), core.TM(tmk.Base), a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := r.Breakdown.Sum()
+		if s.PageFaults > 0 {
+			perFault = float64(s.Cycles[1]) / float64(s.PageFaults) // Data category
+		}
+	}
+	b.ReportMetric(perFault, "sim-data-cycles/fault")
+}
+
+// BenchmarkEngineEventRate measures raw simulator speed: wall time per
+// simulated cycle for a communication-heavy run.
+func BenchmarkEngineEventRate(b *testing.B) {
+	cfg := params.Default()
+	cfg.Processors = 16
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		a := &falseShareApp{words: 2048, iters: 4}
+		r, err := core.Run(cfg, core.TM(tmk.Base), a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += r.RunningTime
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/run")
+}

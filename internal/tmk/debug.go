@@ -1,0 +1,39 @@
+package tmk
+
+import (
+	"fmt"
+
+	"dsm96/internal/trace"
+)
+
+// TracePage, when set to a page number (>= 0), logs that page's protocol
+// events (notices, faults, diff creation/service/application, protection
+// changes) to stdout with simulated timestamps. Debugging aid; -1 = off.
+var TracePage = -1
+
+// SetTracer attaches a structured event buffer: every protocol event
+// (for every page, subject to the buffer's own filters) is recorded.
+func (pr *Protocol) SetTracer(b *trace.Buffer) { pr.tracer = b }
+
+// Tracer returns the attached buffer (nil if none).
+func (pr *Protocol) Tracer() *trace.Buffer { return pr.tracer }
+
+// emit records a structured protocol event and mirrors it to stdout when
+// TracePage matches.
+func (n *pnode) emit(pg int, kind trace.Kind, format string, args ...any) {
+	if n.pr.tracer == nil && pg != TracePage {
+		return
+	}
+	detail := fmt.Sprintf(format, args...)
+	n.pr.tracer.Emit(trace.Event{
+		Time: n.pr.eng.Now(), Node: n.id, Page: pg, Kind: kind, Detail: detail,
+	})
+	if pg == TracePage {
+		fmt.Printf("[%10d] n%d pg%d %s %s\n", n.pr.eng.Now(), n.id, pg, kind, detail)
+	}
+}
+
+// tracef keeps the old stdout-only behaviour for ad-hoc prints.
+func (n *pnode) tracef(pg int, format string, args ...any) {
+	n.emit(pg, trace.KindOther, format, args...)
+}

@@ -1,0 +1,528 @@
+package tmk
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"dsm96/internal/trace"
+
+	"dsm96/internal/controller"
+	"dsm96/internal/lrc"
+	"dsm96/internal/sim"
+)
+
+// fault handles an access violation: an invalid page is brought
+// up-to-date by collecting diffs from previous writers; a read-only page
+// being written is twinned (or put under the write bit vector) and made
+// writable. Runs in processor context; the caller re-checks the state
+// afterwards (an in-flight fetch can race with fresh invalidations).
+func (n *pnode) fault(p *sim.Proc, pg int, pe *page, write bool) {
+	n.fp.Flush(p)
+	// Kernel trap entry/exit: the paper accounts interrupt time under
+	// "others".
+	p.SleepReason(n.pr.cfg.InterruptTime, reasonInterrupt)
+	if pe.state == stInvalid {
+		n.st.PageFaults++
+		n.pr.profile(pg).Faults++
+		n.emit(pg, trace.KindFault, "read/write miss (pending=%d)", len(pe.pending))
+		pe.uselessStreak = 0 // demand interest: the page is hot again
+		if f := pe.fetch; f != nil {
+			// A prefetch (or another thread of protocol activity) is
+			// already fetching this page: do not fetch again, wait for
+			// its completion (Section 3.1's status bits).
+			if f.prefetch {
+				n.st.UsefulPrefetch++
+				n.st.PrefetchUseCycles += uint64(p.Now() - pe.prefetchIssued)
+				n.st.PrefetchUseCount++
+				f.prefetch = false // consumed by demand before completion
+			}
+			f.gate.Wait(p, reasonFetch)
+			return
+		}
+		n.demandFetch(p, pg, pe)
+		return
+	}
+	if write && pe.state == stRO {
+		n.st.WriteFaults++
+		n.pr.profile(pg).WriteFaults++
+		n.makeWritable(p, pg, pe)
+	}
+}
+
+// demandFetch collects the diffs named by the page's pending write
+// notices from each previous writer and applies them. The faulting
+// processor stalls for the whole transaction (data fetch latency).
+func (n *pnode) demandFetch(p *sim.Proc, pg int, pe *page) {
+	owners := pendingByOwner(pe)
+	if len(owners) == 0 {
+		// No outstanding writer (e.g. raced with a completed fetch).
+		pe.state = stRO
+		return
+	}
+	f := &fetchOp{outstanding: len(owners)}
+	pe.fetch = f
+	for _, o := range owners {
+		owner := n.pr.nodes[o]
+		fromSeq := pe.applied[o]
+		n.sendFromProc(p, reasonFetch, o, requestWireBytes, func() {
+			owner.serveDiffReq(n.id, pg, fromSeq, false)
+		})
+	}
+	f.gate.Wait(p, reasonFetch)
+}
+
+// makeWritable prepares a read-only page for local writes.
+func (n *pnode) makeWritable(p *sim.Proc, pg int, pe *page) {
+	cfg := n.pr.cfg
+	switch {
+	case n.pr.mode.HWDiff():
+		// No twin: clear the page's write vector to establish a fresh
+		// baseline and flip the protection. The write-through snoop
+		// records modifications from here on.
+		n.ctl.Vector(pg).Clear()
+		pe.vecLive = true
+		p.SleepReason(writeFaultSetupCost, reasonTwin)
+	case n.pr.mode.Ctrl():
+		// The controller copies the page into its DRAM as the twin; the
+		// processor must wait (the write cannot proceed before the
+		// snapshot exists), but spends no instructions on the copy.
+		n.st.TwinsCreated++
+		pe.twin = append([]byte(nil), n.frames.Page(pg)...)
+		done := &sim.Gate{}
+		n.ctl.Submit(n.pr.eng, &sim.Job{
+			Name: "twin",
+			Run: func() sim.Time {
+				end := n.mem.DMA(cfg.PageSize)
+				base := sim.Time(controller.DispatchCost)
+				if d := end - n.pr.eng.Now(); d > base {
+					return d
+				}
+				return base
+			},
+			Done: func() { done.Open(n.pr.eng) },
+		})
+		p.SleepReason(controller.CommandIssueCost, reasonTwin)
+		done.Wait(p, reasonTwin)
+	default:
+		// Software twin on the computation processor: 5 cycles/word plus
+		// the memory traffic of copying the page.
+		n.st.TwinsCreated++
+		pe.twin = append([]byte(nil), n.frames.Page(pg)...)
+		cost := controller.TwinCost(cfg)
+		n.st.DiffCycles += cost
+		memEnd := n.mem.MemTouch(2 * cfg.PageSize)
+		p.SleepReason(cost, reasonTwin)
+		if d := memEnd - p.Now(); d > 0 {
+			p.SleepReason(d, reasonTwin)
+		}
+	}
+	if pe.state == stInvalid {
+		// A write notice arrived while the twin was being set up: the
+		// snapshot is for a page that just went stale. Drop it (no write
+		// has happened since) and let the fault loop fetch and retry.
+		pe.twin = nil
+		pe.vecLive = false
+		delete(n.dirty, pg)
+		n.emit(pg, trace.KindOther, "twin aborted by invalidation")
+		return
+	}
+	n.emit(pg, trace.KindWritable, "twin=%v vec=%v", pe.twin != nil, pe.vecLive)
+	pe.state = stRW
+	n.dirty[pg] = true
+}
+
+// createDiffFunctional snapshots the page's modifications into a diff,
+// caches it, retires the twin / write vector, and write-protects the
+// page. State changes are immediate; the caller charges the time.
+// Returns the diff and, for the HW path, the number of words the DMA
+// scan cost depends on.
+func (n *pnode) createDiffFunctional(pg int) *lrc.Diff {
+	pe := n.page(pg)
+	frame := n.frames.Page(pg)
+	var d *lrc.Diff
+	if n.pr.mode.HWDiff() {
+		vec := n.ctl.Vector(pg)
+		d = lrc.DiffFromVector(pg, vec, frame)
+		vec.Clear()
+		pe.vecLive = false
+	} else {
+		d = lrc.CreateDiff(pg, pe.twin, frame)
+		pe.twin = nil
+	}
+	d.Owner = n.id
+	d.Seq = n.vts[n.id] // the latest closed interval covers these writes
+	d.OldSeq = pe.firstIval
+	if d.OldSeq == 0 {
+		d.OldSeq = d.Seq
+	}
+	d.VTS = n.ivals[n.id][d.OldSeq-1].VTS
+	pe.firstIval = 0
+	n.diffCache[pg] = append(n.diffCache[pg], d)
+	delete(n.dirty, pg)
+	if pe.state == stRW {
+		pe.state = stRO
+	}
+	n.st.DiffsCreated++
+	n.emit(pg, trace.KindDiffCreate, "seq=%d..%d words=%d", d.OldSeq, d.Seq, d.Len())
+	return d
+}
+
+// flushLocalDiff retires the page's live twin / write vector into a
+// cached diff (nil if the page is clean here). An interval is closed
+// first when (a) no closed interval lists the page yet or (b) a diff
+// tagged with the current interval already exists — re-using a tag would
+// hide the new diff from every requester that already consumed that
+// sequence number, silently losing the writes made since. For the HW
+// path it also returns the bit-vector population the DMA cost depends on.
+func (n *pnode) flushLocalDiff(pg int) (*lrc.Diff, int) {
+	if !n.dirty[pg] {
+		return nil, 0
+	}
+	needClose := n.vts[n.id] == 0 || len(n.ivals[n.id]) == 0 ||
+		!containsPage(n.ivals[n.id][n.vts[n.id]-1].Pages, pg)
+	if !needClose {
+		if cached := n.diffCache[pg]; len(cached) > 0 && cached[len(cached)-1].Seq == n.vts[n.id] {
+			needClose = true
+		}
+	}
+	if needClose {
+		n.closeInterval()
+	}
+	words := 0
+	if n.pr.mode.HWDiff() {
+		words = n.ctl.Vector(pg).Count()
+	}
+	return n.createDiffFunctional(pg), words
+}
+
+// serveDiffReq services a diff request arriving at this (owner) node in
+// engine context: gather cached diffs newer than fromSeq, creating the
+// final one on demand if the page is still being written, then reply.
+//
+// Base/P: the computation processor is interrupted and does everything
+// (IPC overhead at this node, per the paper). I variants: the processor
+// is interrupted only for interval processing; diff generation and the
+// reply send run on the controller (hardware DMA in D variants).
+// Prefetch requests carry low priority on the controller so demand
+// requests overtake them.
+func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool) {
+	n.emit(pg, trace.KindOther, "serve from=%d fromSeq=%d dirty=%v cached=%d", from, fromSeq, n.dirty[pg], len(n.diffCache[pg]))
+	cfg := n.pr.cfg
+
+	created, createCostWords := n.flushLocalDiff(pg)
+	var reply []*lrc.Diff
+	for _, d := range n.diffCache[pg] {
+		if d.Seq > fromSeq {
+			reply = append(reply, d)
+		}
+	}
+	bytes := 16
+	totalWords := 0
+	for _, d := range reply {
+		bytes += d.WireBytes(cfg.PageWords())
+		totalWords += d.Len()
+	}
+	requester := n.pr.nodes[from]
+	// upToSeq is captured NOW: the reply covers this node's writes up to
+	// its current latest closed interval. (Evaluating vts lazily in the
+	// delivery closure would overclaim coverage if this node closes more
+	// intervals while the reply is in flight, making the requester skip
+	// later write notices and read stale data.)
+	upToSeq := n.vts[n.id]
+	deliver := func() {
+		requester.receiveDiffReply(pg, reply, upToSeq)
+	}
+
+	if !n.pr.mode.Ctrl() {
+		// Everything on the computation processor.
+		cost := cfg.ListProcessing * int64(1+len(reply))
+		if created != nil {
+			c := controller.SoftDiffCreateCost(cfg)
+			cost += c
+			n.st.DiffCycles += c
+			n.mem.MemTouch(2 * cfg.PageSize)
+		}
+		n.serveCPU(cost, func() { n.sendAsync(from, bytes, deliver) })
+		return
+	}
+
+	// I variants: brief processor interrupt for interval processing...
+	n.serveCPU(cfg.ListProcessing*int64(1+len(reply)), func() {})
+	// ...then the controller does the data movement and the send.
+	prio := sim.PriorityHigh
+	if isPrefetch && !n.pr.opts.NoPrefetchPriority {
+		prio = sim.PriorityLow
+	}
+	n.st.MsgsSent++
+	n.st.BytesSent += uint64(bytes)
+	n.ctl.Submit(n.pr.eng, &sim.Job{
+		Name:     "diff-serve",
+		Priority: prio,
+		Run: func() sim.Time {
+			cost := sim.Time(controller.DispatchCost)
+			if created != nil {
+				if n.pr.mode.HWDiff() {
+					cost += cfg.DMADiffTime(createCostWords, cfg.PageWords())
+					n.mem.DMA(4 * createCostWords)
+				} else {
+					cost += controller.SoftDiffCreateCost(cfg)
+					n.mem.DMA(cfg.PageSize)
+				}
+			}
+			cost += cfg.MessagingOverhead
+			n.mem.DMA(bytes) // stream the reply out through the PCI bus
+			return cost
+		},
+		Done: func() {
+			n.pr.net.Send(n.id, from, bytes, 0, deliver)
+		},
+	})
+}
+
+func containsPage(pages []int, pg int) bool {
+	for _, p := range pages {
+		if p == pg {
+			return true
+		}
+	}
+	return false
+}
+
+// receiveDiffReply handles one owner's reply at the faulting node, in
+// engine context. When all owners have replied the diffs are ordered by
+// the happened-before relation and applied to the page (and to a live
+// twin, so local modifications stay separable).
+func (n *pnode) receiveDiffReply(pg int, diffs []*lrc.Diff, upToSeq int32) {
+	pe := n.page(pg)
+	f := pe.fetch
+	if f == nil {
+		return // stale reply (fetch already satisfied)
+	}
+	f.diffs = append(f.diffs, diffs...)
+	// Even an empty reply advances the applied horizon for that owner.
+	if len(diffs) > 0 {
+		o := diffs[0].Owner
+		if upToSeq > pe.applied[o] {
+			pe.applied[o] = upToSeq
+		}
+	}
+	f.outstanding--
+	if f.outstanding > 0 {
+		return
+	}
+	n.applyFetched(pg, pe, f)
+}
+
+// applyFetched incorporates all collected diffs and completes the fetch.
+func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
+	cfg := n.pr.cfg
+	// A live local twin / write vector is retired into its own diff
+	// BEFORE any remote data lands: diff spans must never cross an
+	// incorporation of remote writes, or the span-based happened-before
+	// ordering of diffs would be unsound (and the twin would start
+	// disagreeing with the frame on remote words).
+	localDiff, localWords := n.flushLocalDiff(pg)
+	if localDiff != nil {
+		// Our own just-flushed words reflect everything we have seen.
+		tag := n.vts.Clone()
+		for _, w := range localDiff.Words {
+			pe.setTag(w, tag, cfg.PageWords())
+		}
+	}
+	ordered := orderDiffs(f.diffs)
+	totalWords := 0
+	bytes := 0
+	frame := n.frames.Page(pg)
+	for _, d := range ordered {
+		n.emit(pg, trace.KindDiffApply, "owner=%d seq=%d..%d words=%d", d.Owner, d.OldSeq, d.Seq, d.Len())
+		for i, w := range d.Words {
+			// Skip words whose current writer had already seen this
+			// diff's whole span: their value is strictly newer (data
+			// that arrived ahead of its notices must not be clobbered
+			// when the old diffs are eventually fetched).
+			if t := pe.tag(w); t != nil && t.CoversEntry(d.Owner, d.OldSeq) {
+				continue
+			}
+			binary.LittleEndian.PutUint32(frame[int(w)*4:], d.Data[i])
+			pe.setTag(w, d.VTS, cfg.PageWords())
+		}
+		if d.Seq > pe.applied[d.Owner] {
+			pe.applied[d.Owner] = d.Seq
+		}
+		totalWords += d.Len()
+		bytes += d.WireBytes(cfg.PageWords())
+		n.st.DiffsApplied++
+		prof := n.pr.profile(pg)
+		prof.DiffsApplied++
+		prof.WordsApplied += uint64(d.Len())
+	}
+	prunePending(pe)
+	finish := func() {
+		// The processor snoops the controller's (or its own) writes to
+		// local memory and invalidates stale cached lines.
+		n.mem.InvalidatePage(int64(pg) * int64(cfg.PageSize))
+		if len(pe.pending) == 0 {
+			pe.state = stRO // a write fault re-protects and re-twins
+			pe.prefetchedUnused = f.prefetch
+		}
+		// else: invalidated again while fetching; the waiter re-faults.
+		pe.fetch = nil
+		f.gate.Open(n.pr.eng)
+	}
+	if !n.pr.mode.Ctrl() {
+		// The faulting processor flushes its own diff and applies the
+		// incoming ones itself.
+		cost := controller.SoftDiffApplyCost(cfg, totalWords)
+		if localDiff != nil {
+			cost += controller.SoftDiffCreateCost(cfg)
+			n.mem.MemTouch(2 * cfg.PageSize)
+		}
+		n.st.DiffCycles += cost
+		n.mem.MemTouch(bytes)
+		_, end := n.cpu.Reserve(n.pr.eng, cfg.InterruptTime+cost)
+		n.pr.eng.At(end, finish)
+		return
+	}
+	prio := sim.PriorityHigh
+	if f.prefetch && !n.pr.opts.NoPrefetchPriority {
+		prio = sim.PriorityLow
+	}
+	n.ctl.Submit(n.pr.eng, &sim.Job{
+		Name:     "diff-apply",
+		Priority: prio,
+		Run: func() sim.Time {
+			n.mem.DMA(bytes)
+			cost := sim.Time(controller.DispatchCost)
+			if n.pr.mode.HWDiff() {
+				if localDiff != nil {
+					cost += cfg.DMADiffTime(localWords, cfg.PageWords())
+					n.mem.DMA(4 * localWords)
+				}
+				return cost + cfg.DMADiffTime(totalWords, cfg.PageWords())
+			}
+			if localDiff != nil {
+				cost += controller.SoftDiffCreateCost(cfg)
+				n.mem.DMA(cfg.PageSize)
+			}
+			return cost + controller.SoftDiffApplyCost(cfg, totalWords)
+		},
+		Done: finish,
+	})
+}
+
+// applyPiggyback incorporates diffs piggybacked on a lock grant (Lazy
+// Hybrid): after the grant's write notices are integrated, the granter's
+// own pages can be validated immediately instead of faulting later. Runs
+// in engine context, after integrate; timing was charged by receiveGrant.
+func (n *pnode) applyPiggyback(diffs []*lrc.Diff) {
+	if len(diffs) == 0 {
+		return
+	}
+	byPage := map[int][]*lrc.Diff{}
+	var pages []int
+	for _, d := range diffs {
+		if len(byPage[d.Page]) == 0 {
+			pages = append(pages, d.Page)
+		}
+		byPage[d.Page] = append(byPage[d.Page], d)
+	}
+	sort.Ints(pages)
+	cfg := n.pr.cfg
+	for _, pg := range pages {
+		pe := n.page(pg)
+		if pe.fetch != nil {
+			continue // a fetch is in flight; let it finish authoritatively
+		}
+		n.flushLocalDiff(pg)
+		frame := n.frames.Page(pg)
+		for _, d := range orderDiffs(byPage[pg]) {
+			if d.Seq <= pe.applied[d.Owner] {
+				continue
+			}
+			// Soundness gate: accepting this diff will mark everything up
+			// to d.Seq as applied, so every pending notice it prunes must
+			// actually be covered by the diff's span. The granter filters
+			// by the requester's NOTICED horizon, which can run ahead of
+			// its APPLIED horizon — a diff with a gap below its span must
+			// be left for a demand fault to fetch the full history.
+			covered := true
+			for _, wn := range pe.pending {
+				if wn.Owner == d.Owner && wn.Seq <= d.Seq && wn.Seq < d.OldSeq {
+					covered = false
+					break
+				}
+			}
+			if !covered || d.OldSeq > pe.applied[d.Owner]+1 && !hasPendingAtLeast(pe, d.Owner, d.OldSeq) {
+				continue
+			}
+			for i, w := range d.Words {
+				if t := pe.tag(w); t != nil && t.CoversEntry(d.Owner, d.OldSeq) {
+					continue
+				}
+				binary.LittleEndian.PutUint32(frame[int(w)*4:], d.Data[i])
+				pe.setTag(w, d.VTS, cfg.PageWords())
+			}
+			if d.Seq > pe.applied[d.Owner] {
+				pe.applied[d.Owner] = d.Seq
+			}
+			n.st.DiffsApplied++
+		}
+		n.mem.InvalidatePage(int64(pg) * int64(cfg.PageSize))
+		prunePending(pe)
+		if pe.state == stInvalid && len(pe.pending) == 0 {
+			pe.state = stRO
+		}
+	}
+}
+
+// hasPendingAtLeast reports whether the page has a pending notice from
+// owner at or above seq — evidence that the notice horizon reaches the
+// diff's span, so the span's lower edge is the true resume point.
+func hasPendingAtLeast(pe *page, owner int, seq int32) bool {
+	for _, wn := range pe.pending {
+		if wn.Owner == owner && wn.Seq >= seq {
+			return true
+		}
+	}
+	return false
+}
+
+// orderDiffs sorts diffs so that happened-before writers apply first;
+// truly concurrent diffs (data-race-free programs make them
+// word-disjoint) are ordered by owner for determinism. Selection-based
+// topological sort — fault diff sets are small.
+//
+// The test uses each diff's span-start: because a diff span never crosses
+// an incorporation of remote data (flushLocalDiff runs before any apply),
+// a writer that overwrote another diff's word necessarily started its
+// span after seeing that diff's span-start interval, so comparing b's
+// span VTS against a's OldSeq orders every conflicting pair correctly.
+func orderDiffs(diffs []*lrc.Diff) []*lrc.Diff {
+	rest := append([]*lrc.Diff(nil), diffs...)
+	var out []*lrc.Diff
+	before := func(a, b *lrc.Diff) bool {
+		return b.VTS != nil && b.VTS.CoversEntry(a.Owner, a.OldSeq)
+	}
+	for len(rest) > 0 {
+		pick := -1
+		for i, cand := range rest {
+			ready := true
+			for j, other := range rest {
+				if i != j && before(other, cand) {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0 // cycle cannot happen; defensive
+		}
+		out = append(out, rest[pick])
+		rest = append(rest[:pick], rest[pick+1:]...)
+	}
+	return out
+}

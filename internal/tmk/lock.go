@@ -1,0 +1,207 @@
+package tmk
+
+import (
+	"dsm96/internal/controller"
+	"dsm96/internal/lrc"
+	"dsm96/internal/sim"
+)
+
+// Lock implements dsm.System: a TreadMarks lock acquire. Locks form a
+// distributed queue: the statically assigned home node redirects each
+// request to the previous requester; the token (and the consistency
+// information) travels directly from releaser to acquirer. The grant
+// message carries every interval the acquirer has not seen; processing it
+// invalidates the pages those intervals wrote (lazy release consistency:
+// invalidation at acquire, data on demand at fault).
+func (pr *Protocol) Lock(p *sim.Proc, id int, lock int) {
+	n := pr.nodes[id]
+	n.absorbSteal(p)
+	n.fp.Flush(p)
+	n.st.LockAcquires++
+	lk := n.lock(lock)
+	if lk.hasToken && !lk.inCS && lk.next == nil {
+		// Token cached locally: reacquire without messages.
+		lk.inCS = true
+		p.SleepReason(localLockCost, reasonLock)
+		return
+	}
+	gate := &sim.Gate{}
+	lk.gate = gate
+	home := lock % pr.cfg.Processors
+	req := lockReq{from: id, vts: n.vts.Clone()}
+	n.sendFromProc(p, reasonLock, home, requestWireBytes+n.vts.WireBytes(), func() {
+		pr.nodes[home].homeForward(lock, req)
+	})
+	gate.Wait(p, reasonLock)
+	if pr.mode.Prefetch() {
+		n.issuePrefetches(p)
+	}
+}
+
+// homeForward redirects a lock request to the tail of the distributed
+// queue (engine context at the home node).
+func (n *pnode) homeForward(lock int, req lockReq) {
+	lk := n.lock(lock)
+	prev := lk.tail
+	lk.tail = req.from
+	forward := func() {
+		n.pr.nodes[prev].receiveLockReq(lock, req)
+	}
+	if prev == n.id {
+		// The home itself is the previous owner: handle locally after
+		// the bookkeeping cost.
+		if n.pr.mode.Ctrl() {
+			n.ctl.Submit(n.pr.eng, &sim.Job{Name: "lock-fwd", Service: homeForwardCost, Done: forward})
+		} else {
+			_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.InterruptTime+homeForwardCost)
+			n.st.Interrupts++
+			n.pr.eng.At(end, forward)
+		}
+		return
+	}
+	if n.pr.mode.Ctrl() {
+		n.ctl.Submit(n.pr.eng, &sim.Job{
+			Name:    "lock-fwd",
+			Service: homeForwardCost + n.pr.cfg.MessagingOverhead,
+			Done: func() {
+				n.st.MsgsSent++
+				n.st.BytesSent += uint64(requestWireBytes + req.vts.WireBytes())
+				n.pr.net.Send(n.id, prev, requestWireBytes+req.vts.WireBytes(), 0, forward)
+			},
+		})
+		return
+	}
+	n.st.Interrupts++
+	_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.InterruptTime+homeForwardCost)
+	n.pr.eng.At(end, func() {
+		n.sendAsync(prev, requestWireBytes+req.vts.WireBytes(), forward)
+	})
+}
+
+// receiveLockReq lands a forwarded request at the previous queue tail
+// (engine context). If that node holds a free token the grant goes out
+// now; otherwise the request waits for the node's release (or for its own
+// pending grant to arrive).
+func (n *pnode) receiveLockReq(lock int, req lockReq) {
+	lk := n.lock(lock)
+	if lk.hasToken && !lk.inCS {
+		lk.hasToken = false
+		n.grantLockAsync(lock, req)
+		return
+	}
+	lk.next = &req
+}
+
+// grantLockAsync grants from engine context (release already happened, or
+// the releaser was interrupted by the forwarded request): interval and
+// write-notice processing interrupt the computation processor; the send
+// goes through the mode's message path.
+func (n *pnode) grantLockAsync(lock int, req lockReq) {
+	n.closeInterval()
+	ivs := n.missingIntervals(req.vts, req.from)
+	piggy, piggyBytes := n.hybridDiffs(req.vts, ivs)
+	bytes := requestWireBytes + n.vts.WireBytes() + intervalsWireBytes(ivs, n.pr.cfg.Processors) + piggyBytes
+	grantVTS := n.vts.Clone()
+	requester := n.pr.nodes[req.from]
+	n.serveCPU(n.listCost(ivs), func() {
+		n.sendAsync(req.from, bytes, func() {
+			requester.receiveGrant(lock, ivs, grantVTS, piggy)
+		})
+	})
+}
+
+// grantLockFromProc grants during Unlock, in the releasing processor's
+// context: the processing is synchronization overhead of the releaser.
+func (n *pnode) grantLockFromProc(p *sim.Proc, lock int, req lockReq) {
+	n.closeInterval()
+	ivs := n.missingIntervals(req.vts, req.from)
+	piggy, piggyBytes := n.hybridDiffs(req.vts, ivs)
+	bytes := requestWireBytes + n.vts.WireBytes() + intervalsWireBytes(ivs, n.pr.cfg.Processors) + piggyBytes
+	grantVTS := n.vts.Clone()
+	requester := n.pr.nodes[req.from]
+	p.SleepReason(n.listCost(ivs), reasonLockGrant)
+	n.sendFromProc(p, reasonLockGrant, req.from, bytes, func() {
+		requester.receiveGrant(lock, ivs, grantVTS, piggy)
+	})
+}
+
+// hybridDiffs collects the granter's own diffs for the pages its shipped
+// intervals invalidate — the Lazy Hybrid piggyback (nil when disabled).
+// Flushing the live twin costs what an on-demand diff would; the saving
+// is the acquirer's avoided fault round trip.
+func (n *pnode) hybridDiffs(reqVTS lrc.VTS, ivs []*lrc.Interval) ([]*lrc.Diff, int) {
+	if !n.pr.opts.LazyHybrid {
+		return nil, 0
+	}
+	var out []*lrc.Diff
+	bytes := 0
+	seen := map[int]bool{}
+	for _, iv := range ivs {
+		if iv.Owner != n.id {
+			continue // only the releaser's own data is up-to-date here
+		}
+		for _, pg := range iv.Pages {
+			if seen[pg] {
+				continue
+			}
+			seen[pg] = true
+			if n.dirty[pg] {
+				n.flushLocalDiff(pg)
+			}
+			for _, d := range n.diffCache[pg] {
+				if d.Seq > reqVTS[n.id] {
+					out = append(out, d)
+					bytes += d.WireBytes(n.pr.cfg.PageWords())
+				}
+			}
+		}
+	}
+	return out, bytes
+}
+
+// receiveGrant completes an acquire at the requester (engine context):
+// the processor walks the intervals and write notices, invalidating
+// pages, then enters the critical section.
+func (n *pnode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS, piggy []*lrc.Diff) {
+	cost := n.pr.cfg.InterruptTime + n.listCost(ivs)
+	if len(piggy) > 0 {
+		words := 0
+		for _, d := range piggy {
+			words += d.Len()
+		}
+		cost += controller.SoftDiffApplyCost(n.pr.cfg, words)
+	}
+	_, end := n.cpu.Reserve(n.pr.eng, cost)
+	n.pr.eng.At(end, func() {
+		n.integrate(ivs)
+		n.vts.Max(grantVTS)
+		n.checkVTSRecords("receiveGrant")
+		n.applyPiggyback(piggy)
+		lk := n.lock(lock)
+		lk.hasToken = true
+		lk.inCS = true
+		if lk.gate != nil {
+			lk.gate.Open(n.pr.eng)
+			lk.gate = nil
+		}
+	})
+}
+
+// Unlock implements dsm.System: release the lock; if a requester is
+// queued here, close the interval and pass token + consistency data on.
+func (pr *Protocol) Unlock(p *sim.Proc, id int, lock int) {
+	n := pr.nodes[id]
+	n.absorbSteal(p)
+	n.fp.Flush(p)
+	lk := n.lock(lock)
+	if !lk.inCS {
+		panic("tmk: Unlock without matching Lock")
+	}
+	lk.inCS = false
+	if lk.next != nil {
+		req := *lk.next
+		lk.next = nil
+		lk.hasToken = false
+		n.grantLockFromProc(p, lock, req)
+	}
+}

@@ -1,0 +1,76 @@
+// Package tmk implements the TreadMarks lazy-release-consistency DSM and
+// the paper's six overlap variants:
+//
+//	Base  — everything on the computation processor (standard TreadMarks)
+//	I     — basic protocol actions on the protocol controller
+//	I+D   — controller plus hardware (DMA, bit-vector) diffs, no twins
+//	P     — diff prefetching at acquire time, all work on the processor
+//	I+P   — controller plus prefetching, software diffs on the controller
+//	I+P+D — controller, prefetching, and hardware diffs combined
+package tmk
+
+// Mode selects the overlap variant (Section 5.1's bar labels).
+type Mode int
+
+const (
+	// Base is the non-overlapping TreadMarks protocol.
+	Base Mode = iota
+	// I moves basic protocol actions (message handling, page/diff service,
+	// software diff generation/application, twinning) to the controller.
+	I
+	// ID is I plus hardware-supported diffs: write-through snooping keeps
+	// per-page bit vectors and the DMA engine makes/applies diffs, so
+	// twins disappear.
+	ID
+	// P adds diff prefetching at lock acquires and barrier departures to
+	// standard TreadMarks; all protocol work stays on the processor.
+	P
+	// IP combines I and P.
+	IP
+	// IPD combines everything.
+	IPD
+)
+
+// Modes lists the variants in the paper's left-to-right bar order.
+var Modes = []Mode{Base, I, ID, P, IP, IPD}
+
+// String returns the paper's label.
+func (m Mode) String() string {
+	switch m {
+	case Base:
+		return "Base"
+	case I:
+		return "I"
+	case ID:
+		return "I+D"
+	case P:
+		return "P"
+	case IP:
+		return "I+P"
+	case IPD:
+		return "I+P+D"
+	}
+	return "?"
+}
+
+// ParseMode maps a label (as printed by String) back to a Mode.
+func ParseMode(s string) (Mode, bool) {
+	for _, m := range Modes {
+		if m.String() == s {
+			return m, true
+		}
+	}
+	return Base, false
+}
+
+// Ctrl reports whether the variant has a protocol controller doing the
+// basic protocol actions.
+func (m Mode) Ctrl() bool { return m == I || m == ID || m == IP || m == IPD }
+
+// HWDiff reports whether diffs are generated/applied by the DMA engine
+// from snooped write bit vectors (which also forces write-through of
+// shared data and eliminates twins).
+func (m Mode) HWDiff() bool { return m == ID || m == IPD }
+
+// Prefetch reports whether diff prefetching is enabled.
+func (m Mode) Prefetch() bool { return m == P || m == IP || m == IPD }

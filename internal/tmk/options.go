@@ -1,0 +1,76 @@
+package tmk
+
+import (
+	"dsm96/internal/network"
+	"dsm96/internal/params"
+	"dsm96/internal/sim"
+)
+
+// PrefetchStrategy selects the heuristic that decides which invalidated
+// pages are prefetched at synchronization points. The paper evaluates the
+// past-history heuristic (Referenced) and notes that "a less aggressive
+// or adaptive prefetching strategy might reduce overheads", deferring the
+// study to a companion report [Bianchini, Pinto, Amorim, ES-401/96];
+// these strategies implement that study's design space.
+type PrefetchStrategy int
+
+const (
+	// PrefetchReferenced is the paper's heuristic: prefetch pages this
+	// processor had cached and referenced before they were invalidated.
+	PrefetchReferenced PrefetchStrategy = iota
+	// PrefetchAlways prefetches every invalidated page, referenced or
+	// not — the aggressive end of the spectrum.
+	PrefetchAlways
+	// PrefetchAdaptive starts like PrefetchReferenced but stops
+	// prefetching a page after its prefetches have repeatedly turned out
+	// useless (invalidated again before use), and resumes after a
+	// demand fault shows the page is hot again.
+	PrefetchAdaptive
+)
+
+// String returns a short label for reports.
+func (s PrefetchStrategy) String() string {
+	switch s {
+	case PrefetchReferenced:
+		return "referenced"
+	case PrefetchAlways:
+		return "always"
+	case PrefetchAdaptive:
+		return "adaptive"
+	}
+	return "?"
+}
+
+// adaptiveUselessLimit is the consecutive-useless-prefetch budget per
+// page before the adaptive strategy gives up on it.
+const adaptiveUselessLimit = 2
+
+// Options tune protocol behaviour beyond the paper's fixed design, for
+// ablation studies.
+type Options struct {
+	// Strategy selects the prefetch heuristic (prefetching variants only).
+	Strategy PrefetchStrategy
+	// LazyHybrid piggybacks the granter's own diffs on lock-grant
+	// messages (the Lazy Hybrid protocol of Dwarkadas, Keleher, Cox and
+	// Zwaenepoel, ISCA 1993, which the paper contrasts with its
+	// prefetching: "piggybacking updates on a lock grant message when
+	// the last releaser of the lock has up-to-date data to provide").
+	// The acquirer avoids a page fault for pages the releaser wrote, at
+	// the cost of a larger grant message.
+	LazyHybrid bool
+	// NoPrefetchPriority disables the controller's command priorities:
+	// prefetches are queued like demand requests, so they can delay
+	// requests a processor is stalled on (ablating the paper's
+	// Section 3.1 footnote: "requests may be given high or low priority,
+	// so that we can prevent prefetches from delaying requests for which
+	// a computation processor is stalled waiting").
+	NoPrefetchPriority bool
+}
+
+// NewWithOptions builds a protocol with explicit options; New uses the
+// paper's defaults.
+func NewWithOptions(cfg *params.Config, eng *sim.Engine, net *network.Network, mode Mode, opts Options) *Protocol {
+	pr := New(cfg, eng, net, mode)
+	pr.opts = opts
+	return pr
+}

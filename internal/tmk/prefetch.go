@@ -1,0 +1,53 @@
+package tmk
+
+import (
+	"dsm96/internal/sim"
+)
+
+// issuePrefetches implements the paper's runtime heuristic: right after a
+// synchronization operation invalidates pages, prefetch the diffs of
+// those that this processor had cached and referenced — it will likely
+// touch them again. Prefetch requests are marked low priority so demand
+// requests overtake them in controller queues (in Base/P there is no such
+// mechanism and prefetch traffic interferes freely, as in the paper).
+//
+// Runs in processor context immediately after the acquire/barrier gate.
+func (n *pnode) issuePrefetches(p *sim.Proc) {
+	queue := n.prefetchQueue
+	n.prefetchQueue = nil
+	for _, pg := range queue {
+		pe := n.page(pg)
+		pe.queuedPrefetch = false
+		if pe.state != stInvalid || pe.fetch != nil {
+			continue
+		}
+		switch n.pr.opts.Strategy {
+		case PrefetchAlways:
+			// No filter: every invalidated page is a candidate.
+		case PrefetchAdaptive:
+			if !pe.referenced || pe.uselessStreak >= adaptiveUselessLimit {
+				continue
+			}
+		default: // PrefetchReferenced — the paper's heuristic
+			if !pe.referenced {
+				continue
+			}
+		}
+		owners := pendingByOwner(pe)
+		if len(owners) == 0 {
+			continue
+		}
+		n.st.Prefetches++
+		pe.prefetchIssued = p.Now()
+		f := &fetchOp{outstanding: len(owners), prefetch: true}
+		pe.fetch = f
+		for _, o := range owners {
+			owner := n.pr.nodes[o]
+			fromSeq := pe.applied[o]
+			pgc := pg
+			n.sendFromProc(p, reasonPrefetch, o, requestWireBytes, func() {
+				owner.serveDiffReq(n.id, pgc, fromSeq, true)
+			})
+		}
+	}
+}

@@ -1,0 +1,484 @@
+package tmk
+
+import (
+	"fmt"
+	"sort"
+
+	"dsm96/internal/controller"
+	"dsm96/internal/lrc"
+	"dsm96/internal/memsys"
+	"dsm96/internal/network"
+	"dsm96/internal/params"
+	"dsm96/internal/sim"
+	"dsm96/internal/stats"
+	"dsm96/internal/trace"
+)
+
+// Page access states.
+const (
+	stInvalid = iota
+	stRO
+	stRW
+)
+
+// Stall/accounting reasons (mapped to the paper's categories by
+// CategoryFor).
+const (
+	reasonInterrupt = "interrupt"
+	reasonFetch     = "page-fetch"
+	reasonTwin      = "twin"
+	reasonLock      = "lock"
+	reasonLockGrant = "lock-grant"
+	reasonBarrier   = "barrier"
+	reasonPrefetch  = "prefetch-issue"
+	reasonSteal     = "ipc-steal"
+)
+
+// Misc protocol software costs (cycles).
+const (
+	localLockCost       = 20 // re-acquiring a cached lock token
+	homeForwardCost     = 50 // home-node lock request redirection
+	writeFaultSetupCost = 50 // protection change + bookkeeping (HW-diff path)
+	requestWireBytes    = 40 // control message size
+)
+
+// CategoryFor maps a stall reason to the paper's time category.
+func CategoryFor(reason string) stats.Category {
+	switch reason {
+	case memsys.ReasonBusy:
+		return stats.Busy
+	case memsys.ReasonTLBFill, memsys.ReasonCacheMiss, memsys.ReasonWBFull, reasonInterrupt:
+		return stats.Other
+	case reasonFetch, reasonTwin:
+		return stats.Data
+	case reasonLock, reasonLockGrant, reasonBarrier, reasonPrefetch:
+		return stats.Synch
+	case reasonSteal:
+		return stats.IPC
+	}
+	return stats.Other
+}
+
+// fetchOp tracks one in-flight page update (demand fetch or prefetch).
+type fetchOp struct {
+	gate        sim.Gate
+	prefetch    bool
+	outstanding int
+	diffs       []*lrc.Diff
+}
+
+// page is one node's view of one shared page.
+type page struct {
+	state int
+	// twin is the live software twin (nil when none / in HW-diff mode).
+	twin []byte
+	// vecLive marks an active write bit vector baseline (HW-diff mode).
+	vecLive bool
+	// pending holds write notices not yet satisfied by diffs.
+	pending []lrc.WriteNotice
+	// applied[o] is the highest interval seq of owner o whose
+	// modifications are reflected in the local copy.
+	applied []int32
+	// referenced records that this processor used the page (the
+	// prefetch heuristic's "cached and referenced").
+	referenced bool
+	// fetch is the in-flight fetch, if any.
+	fetch *fetchOp
+	// firstIval is the oldest closed interval covering the current
+	// twin/vector span (0 = none yet); it becomes the diff's OldSeq.
+	firstIval int32
+	// wordTag[w] is the span vector timestamp of the writer whose value
+	// currently occupies word w (nil = never written by an applied diff).
+	// Cumulative diffs can deliver data AHEAD of its write notices; when
+	// the notices finally arrive and the old diffs are fetched, these
+	// tags let the apply skip exactly the superseded words.
+	wordTag []lrc.VTS
+	// prefetchedUnused marks a completed prefetch not yet referenced;
+	// if the page is invalidated in this state the prefetch was useless.
+	prefetchedUnused bool
+	// prefetchIssued is the simulated time the outstanding/last prefetch
+	// was issued, for the prefetch-to-use distance statistic.
+	prefetchIssued sim.Time
+	// queuedPrefetch marks membership in the node's prefetch candidate
+	// queue, to avoid duplicates.
+	queuedPrefetch bool
+	// uselessStreak counts consecutive useless prefetches of this page
+	// (for the adaptive strategy); a useful prefetch or demand fault
+	// resets it.
+	uselessStreak int
+}
+
+// plock is one node's bookkeeping for one lock.
+type plock struct {
+	hasToken bool
+	inCS     bool
+	// next is a forwarded request waiting for this node's release.
+	next *lockReq
+	// tail is the distributed-queue tail pointer (home node only).
+	tail int
+	// gate releases the local acquirer when the grant arrives.
+	gate *sim.Gate
+}
+
+type lockReq struct {
+	from int
+	vts  lrc.VTS
+}
+
+// pnode is the per-node protocol state.
+type pnode struct {
+	id     int
+	pr     *Protocol
+	mem    *memsys.Node
+	fp     *memsys.FastPath
+	ctl    *controller.Controller
+	st     *stats.ProcStats
+	proc   *sim.Proc
+	frames *lrc.Frames
+
+	// cpu is the computation processor's interrupt-service timeline:
+	// incoming protocol work reserves it; the application absorbs any
+	// accumulated backlog as IPC time at its next operation.
+	cpu sim.Resource
+
+	vts lrc.VTS
+	// noticed[o] is the highest interval seq of owner o whose write
+	// notices this node has processed (always trails or equals vts[o]).
+	noticed []int32
+	ivals   [][]*lrc.Interval // ivals[o][s-1] = interval s of owner o
+	pages   map[int]*page
+	// dirty is the set of pages with a live twin / write vector; each
+	// interval this node closes carries write notices for all of them.
+	dirty     map[int]bool
+	diffCache map[int][]*lrc.Diff
+	locks     map[int]*plock
+	// prefetchQueue lists pages invalidated since the last acquire, in
+	// invalidation order (deterministic).
+	prefetchQueue []int
+	// lastBarrierVTS is the global vector timestamp of the last barrier
+	// this node left: at the next arrival it ships every interval (of
+	// any owner) beyond it, so the manager's knowledge is always
+	// causally closed — vts entries it absorbs always come with records.
+	lastBarrierVTS lrc.VTS
+	// barrierGate releases the node from the current barrier.
+	barrierGate *sim.Gate
+}
+
+// Protocol is a TreadMarks DSM instance over a simulated machine.
+type Protocol struct {
+	cfg  *params.Config
+	eng  *sim.Engine
+	net  *network.Network
+	heap *lrc.Heap
+	mode Mode
+
+	nodes []*pnode
+	bars  map[int]*barrier
+	opts  Options
+
+	// profiles aggregates per-page protocol activity across all nodes.
+	profiles map[int]*stats.PageProfile
+	// tracer, when set, records structured protocol events.
+	tracer *trace.Buffer
+}
+
+// New builds the protocol for the machine described by cfg.
+func New(cfg *params.Config, eng *sim.Engine, net *network.Network, mode Mode) *Protocol {
+	pr := &Protocol{
+		cfg:      cfg,
+		eng:      eng,
+		net:      net,
+		heap:     lrc.NewHeap(cfg.PageSize),
+		mode:     mode,
+		bars:     make(map[int]*barrier),
+		profiles: make(map[int]*stats.PageProfile),
+	}
+	for i := 0; i < cfg.Processors; i++ {
+		mem := memsys.NewNode(i, cfg, eng)
+		n := &pnode{
+			id:             i,
+			pr:             pr,
+			mem:            mem,
+			fp:             memsys.NewFastPath(mem),
+			st:             &stats.ProcStats{},
+			frames:         lrc.NewFrames(cfg.PageSize),
+			cpu:            sim.Resource{Name: fmt.Sprintf("cpu%d", i)},
+			vts:            lrc.NewVTS(cfg.Processors),
+			lastBarrierVTS: lrc.NewVTS(cfg.Processors),
+			noticed:        make([]int32, cfg.Processors),
+			ivals:          make([][]*lrc.Interval, cfg.Processors),
+			pages:          make(map[int]*page),
+			dirty:          make(map[int]bool),
+
+			diffCache: make(map[int][]*lrc.Diff),
+			locks:     make(map[int]*plock),
+		}
+		if mode.Ctrl() {
+			n.ctl = controller.New(i, cfg, mem)
+		}
+		pr.nodes = append(pr.nodes, n)
+	}
+	return pr
+}
+
+// Mode returns the overlap variant.
+func (pr *Protocol) Mode() Mode { return pr.mode }
+
+// Heap implements dsm.System.
+func (pr *Protocol) Heap() *lrc.Heap { return pr.heap }
+
+// Procs implements dsm.System.
+func (pr *Protocol) Procs() int { return pr.cfg.Processors }
+
+// InstallProc binds processor id's sim.Proc and its accounting hook.
+// Must be called before the proc body issues any DSM operation.
+func (pr *Protocol) InstallProc(id int, p *sim.Proc) {
+	n := pr.nodes[id]
+	n.proc = p
+	st := n.st
+	p.OnUnblock = func(reason string, waited sim.Time) {
+		st.Add(CategoryFor(reason), waited)
+	}
+}
+
+// NodeStats returns processor id's accounting.
+func (pr *Protocol) NodeStats(id int) *stats.ProcStats { return pr.nodes[id].st }
+
+// profile returns the aggregate record for a page.
+func (pr *Protocol) profile(pg int) *stats.PageProfile {
+	p, ok := pr.profiles[pg]
+	if !ok {
+		p = &stats.PageProfile{Page: pg}
+		pr.profiles[pg] = p
+	}
+	return p
+}
+
+// PageProfiles implements stats.PageProfiler: per-page activity sorted
+// by page number.
+func (pr *Protocol) PageProfiles() []stats.PageProfile {
+	pages := make([]int, 0, len(pr.profiles))
+	for pg := range pr.profiles {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+	out := make([]stats.PageProfile, 0, len(pages))
+	for _, pg := range pages {
+		out = append(out, *pr.profiles[pg])
+	}
+	return out
+}
+
+// Breakdown assembles the run's aggregate result.
+func (pr *Protocol) Breakdown(runningTime sim.Time) *stats.Breakdown {
+	b := &stats.Breakdown{RunningTime: runningTime}
+	for _, n := range pr.nodes {
+		b.PerProc = append(b.PerProc, n.st)
+	}
+	return b
+}
+
+// FinishProc flushes processor id's lazily accumulated busy time at the
+// end of its body so accounting matches wall time.
+func (pr *Protocol) FinishProc(id int, p *sim.Proc) { pr.nodes[id].fp.Flush(p) }
+
+func (n *pnode) page(pg int) *page {
+	pe, ok := n.pages[pg]
+	if !ok {
+		pe = &page{state: stRO, applied: make([]int32, n.pr.cfg.Processors)}
+		n.pages[pg] = pe
+	}
+	return pe
+}
+
+// tag returns word w's supersession tag (nil if untagged).
+func (pe *page) tag(w int32) lrc.VTS {
+	if pe.wordTag == nil {
+		return nil
+	}
+	return pe.wordTag[w]
+}
+
+// setTag records word w's writer-knowledge vector.
+func (pe *page) setTag(w int32, v lrc.VTS, pageWords int) {
+	if pe.wordTag == nil {
+		pe.wordTag = make([]lrc.VTS, pageWords)
+	}
+	pe.wordTag[w] = v
+}
+
+func (n *pnode) lock(l int) *plock {
+	lk, ok := n.locks[l]
+	if !ok {
+		lk = &plock{}
+		home := l % n.pr.cfg.Processors
+		if n.id == home {
+			lk.hasToken = true // the home node starts with the token
+			lk.tail = home
+		}
+		n.locks[l] = lk
+	}
+	return lk
+}
+
+// absorbSteal makes the application pay for interrupt service that has
+// backed up on its processor (charged as IPC), and bounds the lazy-busy
+// drift so shared-resource timestamps stay accurate.
+func (n *pnode) absorbSteal(p *sim.Proc) {
+	if n.fp.Pending() > 1000 {
+		n.fp.Flush(p)
+	}
+	if f := n.cpu.FreeAt(); f > p.Now() {
+		n.fp.Flush(p)
+		if f = n.cpu.FreeAt(); f > p.Now() {
+			p.SleepReason(f-p.Now(), reasonSteal)
+		}
+	}
+}
+
+// writeThrough reports whether shared writes use the write-through path
+// (required for the controller's snoop in HW-diff mode).
+func (n *pnode) writeThrough() bool { return n.pr.mode.HWDiff() }
+
+// access performs the protocol checks for one shared reference of `size`
+// bytes (4 or 8) at addr. For writes, commit stores the value into the
+// local frame and is invoked at the instant the page is confirmed
+// writable — BEFORE the memory-system timing, which can yield to engine
+// events: a diff created while the write's bus/buffer time elapses must
+// already see the new value (on real hardware the store retires before
+// any later protection downgrade).
+func (n *pnode) access(p *sim.Proc, addr int64, write bool, size int, commit func()) {
+	n.absorbSteal(p)
+	pg := int(addr) / n.pr.cfg.PageSize
+	pe := n.page(pg)
+	for i := 0; pe.state == stInvalid || (write && pe.state != stRW); i++ {
+		if i > 64 {
+			panic(fmt.Sprintf("tmk: node %d page %d fault livelock", n.id, pg))
+		}
+		n.fault(p, pg, pe, write)
+	}
+	pe.referenced = true
+	if pe.prefetchedUnused {
+		pe.prefetchedUnused = false
+		n.st.UsefulPrefetch++
+		pe.uselessStreak = 0
+		n.st.PrefetchUseCycles += uint64(p.Now() - pe.prefetchIssued)
+		n.st.PrefetchUseCount++
+	}
+	if write {
+		if n.id < 64 {
+			n.pr.profile(pg).Writers |= 1 << uint(n.id)
+		}
+		commit()
+		if n.writeThrough() {
+			n.ctl.SnoopWrite(addr)
+			if size == 8 {
+				n.ctl.SnoopWrite(addr + 4)
+			}
+			n.fp.WriteThrough(p, addr, n.st)
+		} else {
+			n.fp.WriteBack(p, addr, n.st)
+		}
+	} else {
+		if n.id < 64 {
+			n.pr.profile(pg).Readers |= 1 << uint(n.id)
+		}
+		n.fp.Read(p, addr, n.st)
+	}
+}
+
+// Read32 implements dsm.System.
+func (pr *Protocol) Read32(p *sim.Proc, id int, addr int64) uint32 {
+	n := pr.nodes[id]
+	n.access(p, addr, false, 4, nil)
+	return n.frames.ReadU32(addr)
+}
+
+// Write32 implements dsm.System.
+func (pr *Protocol) Write32(p *sim.Proc, id int, addr int64, v uint32) {
+	n := pr.nodes[id]
+	n.access(p, addr, true, 4, func() { n.frames.WriteU32(addr, v) })
+}
+
+// Read64 implements dsm.System.
+func (pr *Protocol) Read64(p *sim.Proc, id int, addr int64) uint64 {
+	n := pr.nodes[id]
+	n.access(p, addr, false, 8, nil)
+	return n.frames.ReadU64(addr)
+}
+
+// Write64 implements dsm.System.
+func (pr *Protocol) Write64(p *sim.Proc, id int, addr int64, v uint64) {
+	n := pr.nodes[id]
+	n.access(p, addr, true, 8, func() { n.frames.WriteU64(addr, v) })
+}
+
+// Compute implements dsm.System: private computation of the given cost.
+func (pr *Protocol) Compute(p *sim.Proc, id int, cycles sim.Time) {
+	n := pr.nodes[id]
+	n.absorbSteal(p)
+	n.fp.AddBusy(cycles)
+}
+
+// sortedDirty returns the dirty-page set in deterministic order.
+func (n *pnode) sortedDirty() []int {
+	out := make([]int, 0, len(n.dirty))
+	for pg := range n.dirty {
+		out = append(out, pg)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sendFromProc transmits a message from processor context: the sender
+// pays the network-interface setup on its CPU (Base/P) or hands the send
+// to its controller (I variants). deliver runs in engine context at dst.
+func (n *pnode) sendFromProc(p *sim.Proc, reason string, dst, bytes int, deliver func()) {
+	n.st.MsgsSent++
+	n.st.BytesSent += uint64(bytes)
+	if n.pr.mode.Ctrl() {
+		p.SleepReason(controller.CommandIssueCost, reason)
+		n.ctl.Submit(n.pr.eng, &sim.Job{
+			Name:    "send",
+			Service: controller.DispatchCost + n.pr.cfg.MessagingOverhead,
+			Done: func() {
+				n.pr.net.Send(n.id, dst, bytes, 0, deliver)
+			},
+		})
+		return
+	}
+	p.SleepReason(n.pr.cfg.MessagingOverhead, reason)
+	n.pr.net.Send(n.id, dst, bytes, 0, deliver)
+}
+
+// sendAsync transmits from engine context (replies, forwards): on Base/P
+// the CPU pays the messaging overhead (reserving the interrupt timeline);
+// on I variants the controller does.
+func (n *pnode) sendAsync(dst, bytes int, deliver func()) {
+	n.st.MsgsSent++
+	n.st.BytesSent += uint64(bytes)
+	if n.pr.mode.Ctrl() {
+		n.ctl.Submit(n.pr.eng, &sim.Job{
+			Name:    "send",
+			Service: controller.DispatchCost + n.pr.cfg.MessagingOverhead,
+			Done: func() {
+				n.pr.net.Send(n.id, dst, bytes, 0, deliver)
+			},
+		})
+		return
+	}
+	_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.MessagingOverhead)
+	n.pr.eng.At(end, func() {
+		n.pr.net.Send(n.id, dst, bytes, 0, deliver)
+	})
+}
+
+// serveCPU reserves `cost` cycles (plus interrupt entry) on the
+// computation processor's interrupt timeline and runs fn when the work
+// completes. Used for protocol actions that must run on the processor.
+func (n *pnode) serveCPU(cost sim.Time, fn func()) {
+	n.st.Interrupts++
+	total := n.pr.cfg.InterruptTime + cost
+	_, end := n.cpu.Reserve(n.pr.eng, total)
+	n.pr.eng.At(end, fn)
+}

@@ -1,0 +1,373 @@
+package tmk_test
+
+import (
+	"testing"
+
+	"dsm96/internal/core"
+	"dsm96/internal/dsm"
+	"dsm96/internal/lrc"
+	"dsm96/internal/params"
+	"dsm96/internal/stats"
+	"dsm96/internal/tmk"
+	"dsm96/internal/trace"
+)
+
+// counterApp increments a lock-protected shared counter `total` times,
+// the increments statically striped over processors: the classic
+// migratory pattern (token + data chase each other between processors).
+type counterApp struct {
+	total  int
+	cell   int64
+	result float64
+}
+
+func (a *counterApp) Name() string { return "counter" }
+func (a *counterApp) Setup(h *lrc.Heap) {
+	a.result = 0
+	a.cell = h.AllocPages(1)
+}
+func (a *counterApp) Body(env *dsm.Env) {
+	for r := env.ID; r < a.total; r += env.NProcs() {
+		env.Lock(1)
+		env.WI(a.cell, env.RI(a.cell)+1)
+		env.Unlock(1)
+		env.Compute(50)
+	}
+	env.Barrier(0)
+	if env.ID == 0 {
+		a.result = float64(env.RI(a.cell))
+	}
+	env.Barrier(1)
+}
+func (a *counterApp) Result() float64 { return a.result }
+
+// producerApp has proc 0 fill an array; after a barrier everyone sums it.
+type producerApp struct {
+	n      int
+	data   int64
+	sums   int64
+	result float64
+}
+
+func (a *producerApp) Name() string { return "producer" }
+func (a *producerApp) Setup(h *lrc.Heap) {
+	a.result = 0
+	a.data = h.AllocPages((4*a.n + 4095) / 4096)
+	a.sums = h.AllocPages(1)
+}
+func (a *producerApp) Body(env *dsm.Env) {
+	if env.ID == 0 {
+		for i := 0; i < a.n; i++ {
+			env.WI(a.data+int64(4*i), i)
+		}
+	}
+	env.Barrier(0)
+	// Each processor sums its static stripe; stripes partition the array,
+	// so the grand total is independent of the processor count.
+	total := 0
+	for i := env.ID; i < a.n; i += env.NProcs() {
+		total += env.RI(a.data + int64(4*i))
+	}
+	env.WI(a.sums+int64(4*env.ID), total)
+	env.Barrier(1)
+	if env.ID == 0 {
+		all := 0
+		for p := 0; p < env.NProcs(); p++ {
+			all += env.RI(a.sums + int64(4*p))
+		}
+		a.result = float64(all)
+	}
+	env.Barrier(2)
+}
+func (a *producerApp) Result() float64 { return a.result }
+
+// falseShareApp makes every processor write a disjoint slice of the SAME
+// pages between barriers — multiple concurrent writers per page, the
+// case diff merging exists for.
+type falseShareApp struct {
+	words  int
+	iters  int
+	data   int64
+	result float64
+}
+
+func (a *falseShareApp) Name() string { return "falseshare" }
+func (a *falseShareApp) Setup(h *lrc.Heap) {
+	a.result = 0
+	a.data = h.AllocPages((4*a.words + 4095) / 4096)
+}
+func (a *falseShareApp) Body(env *dsm.Env) {
+	np := env.NProcs()
+	for it := 0; it < a.iters; it++ {
+		for w := env.ID; w < a.words; w += np {
+			env.WI(a.data+int64(4*w), env.RI(a.data+int64(4*w))+w+it)
+		}
+		env.Barrier(it)
+	}
+	if env.ID == 0 {
+		total := 0
+		for w := 0; w < a.words; w++ {
+			total += env.RI(a.data + int64(4*w))
+		}
+		a.result = float64(total)
+	}
+	env.Barrier(a.iters + 1)
+}
+func (a *falseShareApp) Result() float64 { return a.result }
+
+func smallCfg(procs int) params.Config {
+	cfg := params.Default()
+	cfg.Processors = procs
+	return cfg
+}
+
+func TestCounterAllModes(t *testing.T) {
+	for _, m := range tmk.Modes {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			app := &counterApp{total: 20}
+			r, err := core.Run(smallCfg(4), core.TM(m), app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.AppResult != 20 {
+				t.Fatalf("counter = %v, want 20", r.AppResult)
+			}
+			if r.RunningTime <= 0 {
+				t.Fatal("no time elapsed")
+			}
+		})
+	}
+}
+
+func TestProducerConsumerAllModes(t *testing.T) {
+	for _, m := range tmk.Modes {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			app := &producerApp{n: 2000} // spans ~2 pages
+			r, err := core.Run(smallCfg(4), core.TM(m), app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := float64(2000 * 1999 / 2)
+			if r.AppResult != want {
+				t.Fatalf("result = %v, want %v", r.AppResult, want)
+			}
+		})
+	}
+}
+
+func TestFalseSharingMerge(t *testing.T) {
+	for _, m := range []tmk.Mode{tmk.Base, tmk.ID, tmk.P} {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			app := &falseShareApp{words: 512, iters: 3} // half a page, 4 writers
+			if _, err := core.Run(smallCfg(4), core.TM(m), app); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, uint64) {
+		app := &counterApp{total: 16}
+		r, err := core.Run(smallCfg(4), core.TM(tmk.Base), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.RunningTime, r.Messages
+	}
+	t1, m1 := run()
+	t2, m2 := run()
+	if t1 != t2 || m1 != m2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", t1, m1, t2, m2)
+	}
+}
+
+func TestBreakdownCoversRuntime(t *testing.T) {
+	app := &producerApp{n: 3000}
+	r, err := core.Run(smallCfg(4), core.TM(tmk.Base), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ps := range r.Breakdown.PerProc {
+		total := ps.Total()
+		// Every processor's accounted time must roughly equal the wall
+		// time (early finishers account less).
+		if total > r.RunningTime {
+			t.Errorf("proc %d accounted %d > running time %d", i, total, r.RunningTime)
+		}
+		if total < r.RunningTime/2 {
+			t.Errorf("proc %d accounted only %d of %d", i, total, r.RunningTime)
+		}
+	}
+}
+
+func TestDiffWorkMovesOffProcessor(t *testing.T) {
+	app1 := &falseShareApp{words: 1024, iters: 4}
+	base, err := core.Run(smallCfg(4), core.TM(tmk.Base), app1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2 := &falseShareApp{words: 1024, iters: 4}
+	id, err := core.Run(smallCfg(4), core.TM(tmk.ID), app2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Breakdown.DiffPercent() <= 0 {
+		t.Error("base run reports no processor diff time")
+	}
+	if id.Breakdown.DiffPercent() >= base.Breakdown.DiffPercent() {
+		t.Errorf("I+D diff%% (%v) not below Base (%v)",
+			id.Breakdown.DiffPercent(), base.Breakdown.DiffPercent())
+	}
+	s := id.Breakdown.Sum()
+	if s.TwinsCreated != 0 {
+		t.Errorf("I+D created %d twins, want 0", s.TwinsCreated)
+	}
+}
+
+func TestPrefetchCountersPopulate(t *testing.T) {
+	app := &falseShareApp{words: 1024, iters: 5}
+	r, err := core.Run(smallCfg(4), core.TM(tmk.P), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Breakdown.Sum()
+	if s.Prefetches == 0 {
+		t.Error("P mode issued no prefetches")
+	}
+}
+
+func TestSingleProcessorRuns(t *testing.T) {
+	app := &producerApp{n: 1000}
+	r, err := core.Run(smallCfg(1), core.TM(tmk.Base), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Messages != 0 {
+		t.Errorf("single-node run sent %d network messages", r.Messages)
+	}
+}
+
+func TestLockContentionChain(t *testing.T) {
+	// Many processors hammer one lock: token must chain through all.
+	app := &counterApp{total: 24}
+	r, err := core.Run(smallCfg(8), core.TM(tmk.Base), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AppResult != 24 {
+		t.Fatalf("counter = %v, want 24", r.AppResult)
+	}
+	s := r.Breakdown.Sum()
+	if s.LockAcquires != 24 {
+		t.Errorf("lock acquires = %d, want 24", s.LockAcquires)
+	}
+	if s.Cycles[stats.Synch] == 0 {
+		t.Error("no synchronization time recorded under contention")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	app := &producerApp{n: 2000}
+	r, err := core.Run(smallCfg(4), core.TM(tmk.Base), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Breakdown.Sum()
+	if s.PageFaults == 0 || s.DiffsCreated == 0 || s.DiffsApplied == 0 {
+		t.Errorf("protocol counters empty: %+v", s)
+	}
+	if s.TwinsCreated == 0 {
+		t.Error("base mode created no twins")
+	}
+	if r.Messages == 0 || r.Bytes == 0 {
+		t.Error("no network traffic recorded")
+	}
+	if s.Barriers != 4*3 {
+		t.Errorf("barriers = %d, want 12", s.Barriers)
+	}
+}
+
+func TestPrefetchLeadMeasured(t *testing.T) {
+	app := &falseShareApp{words: 1024, iters: 5}
+	r, err := core.Run(smallCfg(4), core.TM(tmk.P), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Breakdown.Sum()
+	if s.UsefulPrefetch == 0 {
+		t.Skip("no prefetch used in this configuration")
+	}
+	lead := s.AvgPrefetchLead()
+	if lead <= 0 {
+		t.Fatalf("prefetch lead = %v, want > 0", lead)
+	}
+	// The paper quotes 5K-600K cycles between prefetch point and use;
+	// our scaled workloads should land in the same broad range.
+	if lead > 1e7 {
+		t.Fatalf("prefetch lead %v implausibly large", lead)
+	}
+}
+
+func TestStructuredTrace(t *testing.T) {
+	buf := trace.New(256)
+	spec := core.TM(tmk.Base)
+	spec.Tracer = buf
+	app := &producerApp{n: 2000}
+	if _, err := core.Run(smallCfg(4), spec, app); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[trace.Kind]int{}
+	for _, e := range buf.Events() {
+		kinds[e.Kind]++
+	}
+	for _, want := range []trace.Kind{trace.KindFault, trace.KindNotice, trace.KindDiffCreate, trace.KindDiffApply, trace.KindWritable} {
+		if kinds[want] == 0 && buf.Total() < 256 {
+			t.Errorf("no %v events recorded (kinds: %v)", want, kinds)
+		}
+	}
+	if buf.Total() == 0 {
+		t.Fatal("trace empty")
+	}
+}
+
+func TestLazyHybridCorrectAndFewerFaults(t *testing.T) {
+	// The migratory counter is the Lazy Hybrid sweet spot: the releaser
+	// wrote exactly the page the acquirer needs.
+	plain, err := core.Run(smallCfg(4), core.TM(tmk.Base), &counterApp{total: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.TMOpt(tmk.Base, tmk.Options{LazyHybrid: true})
+	hybrid, err := core.Run(smallCfg(4), spec, &counterApp{total: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, hf := plain.Breakdown.Sum().PageFaults, hybrid.Breakdown.Sum().PageFaults
+	if hf >= pf {
+		t.Errorf("hybrid did not reduce faults: %d vs %d", hf, pf)
+	}
+	if hybrid.Protocol != "Base(hybrid)" {
+		t.Errorf("label = %q", hybrid.Protocol)
+	}
+}
+
+func TestLazyHybridMatrix(t *testing.T) {
+	// Lazy Hybrid under every base mode and several apps must stay
+	// oracle-correct.
+	for _, m := range []tmk.Mode{tmk.Base, tmk.ID, tmk.IPD} {
+		for _, app := range []dsm.App{
+			&counterApp{total: 24},
+			&producerApp{n: 2000},
+			&falseShareApp{words: 1024, iters: 3},
+		} {
+			spec := core.TMOpt(m, tmk.Options{LazyHybrid: true})
+			if _, err := core.Run(smallCfg(8), spec, app); err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package tmk
+
+import (
+	"testing"
+
+	"dsm96/internal/lrc"
+	"dsm96/internal/memsys"
+	"dsm96/internal/network"
+	"dsm96/internal/params"
+	"dsm96/internal/sim"
+	"dsm96/internal/stats"
+)
+
+func TestModeProperties(t *testing.T) {
+	cases := []struct {
+		m                      Mode
+		ctrl, hwDiff, prefetch bool
+		label                  string
+	}{
+		{Base, false, false, false, "Base"},
+		{I, true, false, false, "I"},
+		{ID, true, true, false, "I+D"},
+		{P, false, false, true, "P"},
+		{IP, true, false, true, "I+P"},
+		{IPD, true, true, true, "I+P+D"},
+	}
+	for _, c := range cases {
+		if c.m.Ctrl() != c.ctrl || c.m.HWDiff() != c.hwDiff || c.m.Prefetch() != c.prefetch {
+			t.Errorf("%s: ctrl=%v hw=%v pf=%v", c.m, c.m.Ctrl(), c.m.HWDiff(), c.m.Prefetch())
+		}
+		if c.m.String() != c.label {
+			t.Errorf("String() = %q, want %q", c.m.String(), c.label)
+		}
+		back, ok := ParseMode(c.label)
+		if !ok || back != c.m {
+			t.Errorf("ParseMode(%q) = %v, %v", c.label, back, ok)
+		}
+	}
+	if _, ok := ParseMode("bogus"); ok {
+		t.Error("ParseMode accepted bogus label")
+	}
+}
+
+func TestCategoryForMapping(t *testing.T) {
+	cases := map[string]stats.Category{
+		memsys.ReasonBusy:      stats.Busy,
+		memsys.ReasonTLBFill:   stats.Other,
+		memsys.ReasonCacheMiss: stats.Other,
+		memsys.ReasonWBFull:    stats.Other,
+		reasonInterrupt:        stats.Other,
+		reasonFetch:            stats.Data,
+		reasonTwin:             stats.Data,
+		reasonLock:             stats.Synch,
+		reasonLockGrant:        stats.Synch,
+		reasonBarrier:          stats.Synch,
+		reasonPrefetch:         stats.Synch,
+		reasonSteal:            stats.IPC,
+		"unknown-reason":       stats.Other,
+	}
+	for reason, want := range cases {
+		if got := CategoryFor(reason); got != want {
+			t.Errorf("CategoryFor(%q) = %v, want %v", reason, got, want)
+		}
+	}
+}
+
+func newTestProtocol(procs int, mode Mode) *Protocol {
+	cfg := params.Default()
+	cfg.Processors = procs
+	eng := sim.NewEngine()
+	net := network.New(&cfg, eng, procs)
+	return New(&cfg, eng, net, mode)
+}
+
+// TestOrderDiffs crafts diffs with explicit span timestamps and checks
+// the topological order: happened-before spans first, same-owner spans
+// ascending, concurrent spans in deterministic owner order.
+func TestOrderDiffs(t *testing.T) {
+	mk := func(owner int, old, seq int32, vts lrc.VTS) *lrc.Diff {
+		return &lrc.Diff{Owner: owner, OldSeq: old, Seq: seq, VTS: vts}
+	}
+	// Lock-migratory chain over 3 owners: each span saw the previous.
+	d1 := mk(0, 1, 1, lrc.VTS{1, 0, 0})
+	d2 := mk(1, 1, 1, lrc.VTS{1, 1, 0}) // saw (0,1)
+	d3 := mk(2, 1, 1, lrc.VTS{1, 1, 1}) // saw both
+	got := orderDiffs([]*lrc.Diff{d3, d1, d2})
+	if got[0] != d1 || got[1] != d2 || got[2] != d3 {
+		t.Fatalf("chain order wrong: %v %v %v", got[0].Owner, got[1].Owner, got[2].Owner)
+	}
+	// Same owner: ascending spans.
+	a1 := mk(0, 1, 2, lrc.VTS{2, 0, 0})
+	a2 := mk(0, 3, 4, lrc.VTS{4, 0, 0})
+	got = orderDiffs([]*lrc.Diff{a2, a1})
+	if got[0] != a1 || got[1] != a2 {
+		t.Fatal("same-owner spans not ascending")
+	}
+	// Concurrent (neither sees the other): owner order by selection.
+	c1 := mk(0, 1, 1, lrc.VTS{1, 0, 0})
+	c2 := mk(1, 1, 1, lrc.VTS{0, 1, 0})
+	got = orderDiffs([]*lrc.Diff{c2, c1})
+	if len(got) != 2 {
+		t.Fatal("lost a diff")
+	}
+	// Empty input.
+	if out := orderDiffs(nil); len(out) != 0 {
+		t.Fatal("nil input mishandled")
+	}
+}
+
+func TestCloseIntervalConservativeListing(t *testing.T) {
+	pr := newTestProtocol(2, Base)
+	n := pr.nodes[0]
+	// No writes: no interval.
+	if iv := n.closeInterval(); iv != nil {
+		t.Fatal("interval created with no dirty pages")
+	}
+	// Dirty pages are listed in EVERY interval until their diff retires.
+	n.page(3)
+	n.dirty[3] = true
+	iv1 := n.closeInterval()
+	if iv1 == nil || iv1.Seq != 1 || len(iv1.Pages) != 1 || iv1.Pages[0] != 3 {
+		t.Fatalf("iv1 = %+v", iv1)
+	}
+	iv2 := n.closeInterval()
+	if iv2 == nil || iv2.Seq != 2 || len(iv2.Pages) != 1 {
+		t.Fatalf("iv2 = %+v", iv2)
+	}
+	if n.page(3).firstIval != 1 {
+		t.Fatalf("firstIval = %d, want 1 (span start)", n.page(3).firstIval)
+	}
+}
+
+func TestFlushLocalDiffFreshTag(t *testing.T) {
+	pr := newTestProtocol(2, Base)
+	n := pr.nodes[0]
+	pe := n.page(5)
+	pe.twin = make([]byte, pr.cfg.PageSize)
+	pe.state = stRW
+	n.dirty[5] = true
+	n.frames.Page(5)[0] = 42
+	n.closeInterval()
+
+	d1, _ := n.flushLocalDiff(5)
+	if d1 == nil || d1.Seq != 1 || d1.OldSeq != 1 {
+		t.Fatalf("first diff = %+v", d1)
+	}
+	// Re-dirty in the SAME interval epoch: a second flush must not reuse
+	// the tag (requesters that consumed seq 1 would never see it).
+	pe.twin = make([]byte, pr.cfg.PageSize)
+	pe.state = stRW
+	n.dirty[5] = true
+	n.frames.Page(5)[4] = 7
+	d2, _ := n.flushLocalDiff(5)
+	if d2 == nil || d2.Seq <= d1.Seq {
+		t.Fatalf("second diff tag %d not after first %d", d2.Seq, d1.Seq)
+	}
+	// Clean page: nothing to flush.
+	if d, _ := n.flushLocalDiff(5); d != nil {
+		t.Fatal("flush of clean page produced a diff")
+	}
+}
+
+func TestIntegrateSkipsOnlyProcessedNotices(t *testing.T) {
+	pr := newTestProtocol(4, Base)
+	n := pr.nodes[0]
+	// A batch where an early interval's VTS covers a later one: both
+	// intervals' notices must still be processed.
+	iv21 := &lrc.Interval{Owner: 2, Seq: 1, VTS: lrc.VTS{0, 0, 1, 0}, Pages: []int{9}}
+	iv11 := &lrc.Interval{Owner: 1, Seq: 1, VTS: lrc.VTS{0, 1, 1, 0}, Pages: []int{9}} // saw (2,1)
+	n.integrate([]*lrc.Interval{iv11, iv21})
+	pe := n.page(9)
+	if len(pe.pending) != 2 {
+		t.Fatalf("pending = %d, want 2 (both notices)", len(pe.pending))
+	}
+	if pe.state != stInvalid {
+		t.Fatal("page not invalidated")
+	}
+	// Replay is idempotent.
+	n.integrate([]*lrc.Interval{iv11, iv21})
+	if len(pe.pending) != 2 {
+		t.Fatalf("replay duplicated notices: %d", len(pe.pending))
+	}
+}
+
+func TestStoreIntervalGapPanics(t *testing.T) {
+	pr := newTestProtocol(2, Base)
+	n := pr.nodes[0]
+	defer func() {
+		if recover() == nil {
+			t.Error("gap not detected")
+		}
+	}()
+	n.storeInterval(&lrc.Interval{Owner: 1, Seq: 2, VTS: lrc.VTS{0, 2}})
+}
+
+func TestMissingIntervalsRanges(t *testing.T) {
+	pr := newTestProtocol(3, Base)
+	n := pr.nodes[0]
+	for s := int32(1); s <= 3; s++ {
+		n.storeInterval(&lrc.Interval{Owner: 1, Seq: s, VTS: lrc.VTS{0, s, 0}})
+	}
+	n.vts[1] = 3
+	got := n.missingIntervals(lrc.VTS{0, 1, 0}, 2)
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Fatalf("missing = %+v", got)
+	}
+	// Excluding the owner drops its intervals.
+	got = n.missingIntervals(lrc.VTS{0, 0, 0}, 1)
+	if len(got) != 0 {
+		t.Fatalf("exclusion failed: %+v", got)
+	}
+}
+
+func TestPageWordTags(t *testing.T) {
+	pr := newTestProtocol(2, Base)
+	pe := pr.nodes[0].page(1)
+	if pe.tag(5) != nil {
+		t.Fatal("untagged word reported a tag")
+	}
+	v := lrc.VTS{3, 1}
+	pe.setTag(5, v, pr.cfg.PageWords())
+	if got := pe.tag(5); got == nil || !got.Equal(v) {
+		t.Fatalf("tag = %v", got)
+	}
+	if pe.tag(6) != nil {
+		t.Fatal("neighbouring word inherited a tag")
+	}
+}
+
+func TestPrefetchStrategyStrings(t *testing.T) {
+	cases := map[PrefetchStrategy]string{
+		PrefetchReferenced:   "referenced",
+		PrefetchAlways:       "always",
+		PrefetchAdaptive:     "adaptive",
+		PrefetchStrategy(99): "?",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestNewWithOptions(t *testing.T) {
+	cfg := params.Default()
+	cfg.Processors = 2
+	eng := sim.NewEngine()
+	net := network.New(&cfg, eng, 2)
+	pr := NewWithOptions(&cfg, eng, net, IPD, Options{Strategy: PrefetchAlways, NoPrefetchPriority: true})
+	if pr.opts.Strategy != PrefetchAlways || !pr.opts.NoPrefetchPriority {
+		t.Fatalf("options not installed: %+v", pr.opts)
+	}
+}
+
+func TestHWDiffModeSnoopsWriteThrough(t *testing.T) {
+	// End to end at the unit level: a write under I+D must mark the
+	// controller's write vector and go through the write buffer.
+	pr := newTestProtocol(1, ID)
+	eng := pr.eng
+	n := pr.nodes[0]
+	eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		pr.Write32(p, 0, 4096+8, 77)
+		pr.Write64(p, 0, 4096+16, 1<<40)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	vec := n.ctl.Vector(1)
+	if vec.Count() != 3 { // one 4-byte word + two words of the 8-byte write
+		t.Fatalf("snooped words = %d, want 3", vec.Count())
+	}
+	if n.frames.ReadU32(4096+8) != 77 {
+		t.Fatal("data not committed")
+	}
+	if n.st.SharedWrites != 2 {
+		t.Fatalf("writes = %d", n.st.SharedWrites)
+	}
+}
+
+func TestBaseModeWriteBack(t *testing.T) {
+	pr := newTestProtocol(1, Base)
+	eng := pr.eng
+	n := pr.nodes[0]
+	eng.NewProc(0, "p", 0, func(p *sim.Proc) {
+		pr.Write32(p, 0, 8, 5)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.mem.Cache.Lookup(8) {
+		t.Fatal("write-back mode did not allocate the line")
+	}
+	if n.st.TwinsCreated != 1 {
+		t.Fatalf("twins = %d, want 1 (first write faults)", n.st.TwinsCreated)
+	}
+}

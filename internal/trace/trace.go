@@ -1,0 +1,143 @@
+// Package trace provides a structured protocol event trace: a bounded
+// ring buffer of timestamped per-page protocol events (faults, diff
+// creation and application, write notices, protection changes). It is
+// the debugging instrument that located every consistency bug found
+// while building this reproduction, promoted into a first-class tool:
+// attach a Buffer to a run and dump the exact protocol history of a page.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a protocol event.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	// KindNotice: a write notice arrived and invalidated the page.
+	KindNotice Kind = iota
+	// KindFault: a processor faulted on the page.
+	KindFault
+	// KindDiffCreate: the page's twin/write-vector was flushed into a diff.
+	KindDiffCreate
+	// KindDiffApply: a remote diff was applied to the local copy.
+	KindDiffApply
+	// KindWritable: the page was made writable (twinned / vector armed).
+	KindWritable
+	// KindIntervalClose: an interval listing the page was closed.
+	KindIntervalClose
+	// KindOther: anything else a protocol wants to record.
+	KindOther
+)
+
+// String returns a short label.
+func (k Kind) String() string {
+	switch k {
+	case KindNotice:
+		return "notice"
+	case KindFault:
+		return "fault"
+	case KindDiffCreate:
+		return "diff-create"
+	case KindDiffApply:
+		return "diff-apply"
+	case KindWritable:
+		return "writable"
+	case KindIntervalClose:
+		return "interval"
+	case KindOther:
+		return "other"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one protocol occurrence.
+type Event struct {
+	Time   int64
+	Node   int
+	Page   int
+	Kind   Kind
+	Detail string
+}
+
+// String renders one line.
+func (e Event) String() string {
+	return fmt.Sprintf("[%10d] n%-2d pg%-5d %-11s %s", e.Time, e.Node, e.Page, e.Kind, e.Detail)
+}
+
+// Buffer is a bounded ring of events. The zero value is unusable; use
+// New. A nil *Buffer is safe to Emit into (no-op), so protocols can keep
+// an always-present field.
+type Buffer struct {
+	evs     []Event
+	next    int
+	wrapped bool
+	total   uint64
+	// Page, when >= 0, records only events for that page.
+	Page int
+	// Kinds, when non-nil, records only the listed kinds.
+	Kinds map[Kind]bool
+}
+
+// New builds a ring buffer holding up to capacity events.
+func New(capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Buffer{evs: make([]Event, 0, capacity), Page: -1}
+}
+
+// Emit records an event (subject to the buffer's filters). Safe on nil.
+func (b *Buffer) Emit(e Event) {
+	if b == nil {
+		return
+	}
+	if b.Page >= 0 && e.Page != b.Page {
+		return
+	}
+	if b.Kinds != nil && !b.Kinds[e.Kind] {
+		return
+	}
+	b.total++
+	if len(b.evs) < cap(b.evs) {
+		b.evs = append(b.evs, e)
+		return
+	}
+	b.evs[b.next] = e
+	b.next = (b.next + 1) % cap(b.evs)
+	b.wrapped = true
+}
+
+// Total reports how many events were recorded (including overwritten).
+func (b *Buffer) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.total
+}
+
+// Events returns the retained events in chronological order.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	if !b.wrapped {
+		return append([]Event(nil), b.evs...)
+	}
+	out := make([]Event, 0, len(b.evs))
+	out = append(out, b.evs[b.next:]...)
+	out = append(out, b.evs[:b.next]...)
+	return out
+}
+
+// String renders the retained events, one per line.
+func (b *Buffer) String() string {
+	var sb strings.Builder
+	for _, e := range b.Events() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

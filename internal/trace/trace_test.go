@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilBufferSafe(t *testing.T) {
+	var b *Buffer
+	b.Emit(Event{})
+	if b.Total() != 0 || b.Events() != nil {
+		t.Fatal("nil buffer misbehaved")
+	}
+}
+
+func TestRingOrdering(t *testing.T) {
+	b := New(3)
+	for i := 0; i < 5; i++ {
+		b.Emit(Event{Time: int64(i), Page: 1})
+	}
+	evs := b.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	if evs[0].Time != 2 || evs[2].Time != 4 {
+		t.Fatalf("order wrong: %v", evs)
+	}
+	if b.Total() != 5 {
+		t.Fatalf("total = %d, want 5", b.Total())
+	}
+}
+
+func TestPageFilter(t *testing.T) {
+	b := New(10)
+	b.Page = 7
+	b.Emit(Event{Page: 7})
+	b.Emit(Event{Page: 8})
+	if b.Total() != 1 {
+		t.Fatalf("filter admitted %d", b.Total())
+	}
+	// Page = -1 admits everything.
+	b2 := New(10)
+	b2.Emit(Event{Page: 7})
+	b2.Emit(Event{Page: 8})
+	if b2.Total() != 2 {
+		t.Fatal("unfiltered buffer filtered")
+	}
+}
+
+func TestKindFilterAndStrings(t *testing.T) {
+	b := New(10)
+	b.Kinds = map[Kind]bool{KindFault: true}
+	b.Emit(Event{Kind: KindFault, Page: 0})
+	b.Emit(Event{Kind: KindNotice, Page: 0})
+	if b.Total() != 1 {
+		t.Fatalf("kind filter admitted %d", b.Total())
+	}
+	for _, k := range []Kind{KindNotice, KindFault, KindDiffCreate, KindDiffApply, KindWritable, KindIntervalClose, KindOther} {
+		if strings.Contains(k.String(), "Kind(") {
+			t.Errorf("kind %d lacks a label", int(k))
+		}
+	}
+	s := b.String()
+	if !strings.Contains(s, "fault") {
+		t.Errorf("render missing kind: %q", s)
+	}
+}
+
+// Property: the ring retains exactly the last min(total, cap) events in
+// chronological order, for any event count.
+func TestRingProperty(t *testing.T) {
+	f := func(counts uint8, capRaw uint8) bool {
+		capacity := int(capRaw)%16 + 1
+		n := int(counts)
+		b := New(capacity)
+		for i := 0; i < n; i++ {
+			b.Emit(Event{Time: int64(i)})
+		}
+		evs := b.Events()
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i, e := range evs {
+			if e.Time != int64(n-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
