@@ -1,0 +1,40 @@
+# Development targets for the dsm96 simulator. `make check` is the
+# pre-commit gate: formatting, vet, build, the full test suite, and the
+# race detector over the packages that exercise goroutine handoffs.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench golden fuzz
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine couples each simulated processor to a goroutine; the race
+# detector over the simulator and the concurrent experiment driver is the
+# cheapest way to catch an accidental second runnable goroutine.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/experiments/...
+
+# Engine throughput benchmark (see EXPERIMENTS.md for the methodology).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkEngineEventsPerSec -benchtime 20x -count 3 .
+
+# Regenerate the golden cycle totals after an INTENTIONAL timing change.
+golden:
+	$(GO) test ./internal/experiments -run TestGoldenCycles -update-golden
+
+# Exploratory fuzzing beyond the checked-in corpus.
+fuzz:
+	$(GO) test ./internal/randprog -fuzz FuzzRandprog -fuzztime 30s

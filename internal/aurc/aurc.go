@@ -170,7 +170,9 @@ type anode struct {
 	// notices this node has processed.
 	noticed []int32
 	ivals   [][]*lrc.Interval
-	pages   map[int]*page
+	// pages[pg] is this node's view of page pg (nil until first touched);
+	// page numbers are dense, so a slice beats a map on the fault path.
+	pages []*page
 	// written is the set of pages modified in the current interval.
 	written map[int]bool
 	locks   map[int]*plock
@@ -239,7 +241,6 @@ func New(cfg *params.Config, eng *sim.Engine, net *network.Network, prefetch boo
 			lastBarrierVTS: lrc.NewVTS(cfg.Processors),
 			noticed:        make([]int32, cfg.Processors),
 			ivals:          make([][]*lrc.Interval, cfg.Processors),
-			pages:          make(map[int]*page),
 			written:        make(map[int]bool),
 			locks:          make(map[int]*plock),
 			updatesSent:    make([]uint64, cfg.Processors),
@@ -317,11 +318,15 @@ func (pr *Protocol) pageDir(pg int) *pageDir {
 }
 
 func (n *anode) page(pg int) *page {
-	pe, ok := n.pages[pg]
-	if !ok {
-		pe = &page{state: stValid, applied: make([]int32, n.pr.cfg.Processors)}
-		n.pages[pg] = pe
+	if pg < len(n.pages) {
+		if pe := n.pages[pg]; pe != nil {
+			return pe
+		}
+	} else {
+		n.pages = append(n.pages, make([]*page, pg+1-len(n.pages))...)
 	}
+	pe := &page{state: stValid, applied: make([]int32, n.pr.cfg.Processors)}
+	n.pages[pg] = pe
 	return pe
 }
 

@@ -84,6 +84,15 @@ type Result struct {
 	AppResult, SeqResult float64
 	// Messages and Bytes summarize network traffic.
 	Messages, Bytes uint64
+	// EventsRun is the number of simulation events the engine executed.
+	EventsRun uint64
+	// EventFingerprint is the engine's FNV-1a hash of the fired
+	// (time, seq) event stream: two runs with equal fingerprints executed
+	// bit-identical schedules (see sim.Engine.Fingerprint).
+	EventFingerprint uint64
+	// EngineStats is the engine's internal counter block (handoffs,
+	// elided parks, heap high-water mark) for diagnostics and benchmarks.
+	EngineStats sim.Stats
 	// Protocol is the spec's label.
 	Protocol string
 	// App is the application's name.
@@ -160,15 +169,18 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 		pages = pp.PageProfiles()
 	}
 	res := &Result{
-		RunningTime: eng.Now(),
-		Pages:       pages,
-		Breakdown:   sys.Breakdown(eng.Now()),
-		AppResult:   app.Result(),
-		SeqResult:   seq,
-		Messages:    net.Messages,
-		Bytes:       net.Bytes,
-		Protocol:    spec.String(),
-		App:         app.Name(),
+		RunningTime:      eng.Now(),
+		Pages:            pages,
+		Breakdown:        sys.Breakdown(eng.Now()),
+		AppResult:        app.Result(),
+		SeqResult:        seq,
+		Messages:         net.Messages,
+		Bytes:            net.Bytes,
+		EventsRun:        eng.EventsRun(),
+		EventFingerprint: eng.Fingerprint(),
+		EngineStats:      eng.Stats(),
+		Protocol:         spec.String(),
+		App:              app.Name(),
 	}
 	if !res.Validated() {
 		return res, fmt.Errorf("core: %s under %s computed %v, sequential oracle %v",

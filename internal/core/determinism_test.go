@@ -1,0 +1,79 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+
+	"dsm96/internal/core"
+	"dsm96/internal/params"
+	"dsm96/internal/randprog"
+	"dsm96/internal/tmk"
+)
+
+// fingerprintRun simulates a fixed randprog seed under spec and returns
+// the engine's event-stream fingerprint plus the cycle total.
+func fingerprintRun(t *testing.T, spec core.Spec) (uint64, int64, uint64) {
+	t.Helper()
+	prog := randprog.New(42, 10, 2048, 3)
+	cfg := params.Default()
+	res, err := core.Run(cfg, spec, prog)
+	if err != nil {
+		t.Fatalf("%s: %v", spec, err)
+	}
+	return res.EventFingerprint, res.RunningTime, res.EventsRun
+}
+
+// TestDeterminismFingerprint is the gate that makes engine fast-path
+// rewrites safe to land: for every protocol the fired (time, seq) event
+// stream must be bit-identical run to run, and independent of
+// GOMAXPROCS (the engine is single-threaded by construction; goroutine
+// scheduling must never leak into simulated time).
+//
+// This test deliberately does NOT use t.Parallel: it flips GOMAXPROCS.
+func TestDeterminismFingerprint(t *testing.T) {
+	specs := []core.Spec{
+		core.TM(tmk.Base), core.TM(tmk.I), core.TM(tmk.ID), core.TM(tmk.IPD),
+		core.AURC(false),
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			fp1, cyc1, ev1 := fingerprintRun(t, spec)
+			fp2, cyc2, ev2 := fingerprintRun(t, spec)
+			if fp1 != fp2 || cyc1 != cyc2 || ev1 != ev2 {
+				t.Fatalf("repeat run diverged: fp %016x/%016x cycles %d/%d events %d/%d",
+					fp1, fp2, cyc1, cyc2, ev1, ev2)
+			}
+			prev := runtime.GOMAXPROCS(1)
+			fp3, cyc3, ev3 := fingerprintRun(t, spec)
+			runtime.GOMAXPROCS(prev)
+			if fp1 != fp3 || cyc1 != cyc3 || ev1 != ev3 {
+				t.Fatalf("GOMAXPROCS=1 run diverged from GOMAXPROCS=%d: fp %016x/%016x cycles %d/%d events %d/%d",
+					prev, fp1, fp3, cyc1, cyc3, ev1, ev3)
+			}
+			if fp1 == 0 || ev1 == 0 {
+				t.Fatalf("degenerate run: fp=%016x events=%d", fp1, ev1)
+			}
+		})
+	}
+}
+
+// TestFingerprintDistinguishesSchedules checks the fingerprint is not a
+// constant: different protocols on the same program, and different
+// programs under the same protocol, must hash differently.
+func TestFingerprintDistinguishesSchedules(t *testing.T) {
+	base, _, _ := fingerprintRun(t, core.TM(tmk.Base))
+	id, _, _ := fingerprintRun(t, core.TM(tmk.ID))
+	if base == id {
+		t.Errorf("Base and I+D produced identical fingerprints %016x (suspicious)", base)
+	}
+	cfg := params.Default()
+	other := randprog.New(43, 10, 2048, 3)
+	res, err := core.Run(cfg, core.TM(tmk.Base), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventFingerprint == base {
+		t.Errorf("different programs produced identical fingerprints %016x (suspicious)", base)
+	}
+}

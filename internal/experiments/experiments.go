@@ -229,8 +229,9 @@ type BreakdownRow struct {
 	RunningTime int64
 	// Normalized is running time relative to the row's baseline (percent).
 	Normalized float64
-	// Fraction per category, summing to ~1.
-	Fraction map[stats.Category]float64
+	// Fraction per category, summing to ~1; a fixed array indexed by
+	// stats.Category, so row contents have no map iteration anywhere.
+	Fraction [stats.NumCategories]float64
 	// DiffPct is diff-operation time as % of execution (the bar labels).
 	DiffPct float64
 	// Counters for deeper analysis.
@@ -242,7 +243,6 @@ func toRow(r Run, baseline int64) BreakdownRow {
 		App:         r.App,
 		Protocol:    r.Protocol,
 		RunningTime: r.Result.RunningTime,
-		Fraction:    make(map[stats.Category]float64),
 		DiffPct:     r.Result.Breakdown.DiffPercent(),
 		Result:      r.Result,
 	}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/params"
+	"dsm96/internal/tmk"
+)
+
+// Regenerate the golden file after an INTENTIONAL protocol or timing
+// change with:
+//
+//	go test ./internal/experiments -run TestGoldenCycles -update-golden
+//
+// Any other diff in this file is an unintended semantic change: the
+// engine fast path, scratch buffers, and queue rewrites must preserve
+// simulated cycle totals and event schedules bit-for-bit.
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_cycles.txt from the current simulator")
+
+const goldenPath = "testdata/golden_cycles.txt"
+
+// goldenSpecs is the app x protocol matrix pinned by the golden test.
+func goldenSpecs() []core.Spec {
+	return []core.Spec{
+		core.TM(tmk.Base), core.TM(tmk.ID), core.TM(tmk.IPD),
+		core.AURC(false), core.AURC(true),
+	}
+}
+
+type goldenRow struct {
+	App, Protocol string
+	Cycles        int64
+	Events        uint64
+	Fingerprint   uint64
+}
+
+func (r goldenRow) key() string { return r.App + "/" + r.Protocol }
+
+func (r goldenRow) String() string {
+	return fmt.Sprintf("%-8s %-8s cycles=%d events=%d fingerprint=%016x",
+		r.App, r.Protocol, r.Cycles, r.Events, r.Fingerprint)
+}
+
+// runGoldenMatrix simulates every ScaleTiny app x protocol cell.
+func runGoldenMatrix(t *testing.T) []goldenRow {
+	t.Helper()
+	names := apps.Names()
+	specs := goldenSpecs()
+	rows := make([]goldenRow, len(names)*len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	var mu sync.Mutex
+	var firstErr error
+	for ai, name := range names {
+		for si, spec := range specs {
+			ai, si, name, spec := ai, si, name, spec
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				app, err := apps.Tiny(name)
+				if err == nil {
+					var res *core.Result
+					res, err = core.Run(params.Default(), spec, app)
+					if err == nil {
+						rows[ai*len(specs)+si] = goldenRow{
+							App:         name,
+							Protocol:    spec.String(),
+							Cycles:      res.RunningTime,
+							Events:      res.EventsRun,
+							Fingerprint: res.EventFingerprint,
+						}
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s/%s: %w", name, spec, err)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	return rows
+}
+
+func parseGolden(t *testing.T) map[string]goldenRow {
+	t.Helper()
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+	}
+	defer f.Close()
+	out := make(map[string]goldenRow)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var r goldenRow
+		if _, err := fmt.Sscanf(line, "%s %s cycles=%d events=%d fingerprint=%x",
+			&r.App, &r.Protocol, &r.Cycles, &r.Events, &r.Fingerprint); err != nil {
+			t.Fatalf("bad golden line %q: %v", line, err)
+		}
+		out[r.key()] = r
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func writeGolden(t *testing.T, rows []goldenRow) {
+	t.Helper()
+	sorted := append([]goldenRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].key() < sorted[j].key() })
+	var sb strings.Builder
+	sb.WriteString("# Golden simulated-cycle totals and event-stream fingerprints:\n")
+	sb.WriteString("# ScaleTiny inputs, params.Default(), one row per app x protocol.\n")
+	sb.WriteString("# Regenerate after an intentional protocol/timing change with:\n")
+	sb.WriteString("#   go test ./internal/experiments -run TestGoldenCycles -update-golden\n")
+	for _, r := range sorted {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenCycles pins the exact simulated running time, event count,
+// and event-stream fingerprint of every ScaleTiny app x protocol run.
+// It fails loudly on any unintended semantic change that would silently
+// skew the paper's figures.
+func TestGoldenCycles(t *testing.T) {
+	got := runGoldenMatrix(t)
+	if *updateGolden {
+		writeGolden(t, got)
+		t.Logf("rewrote %s with %d rows", goldenPath, len(got))
+		return
+	}
+	want := parseGolden(t)
+	seen := make(map[string]bool)
+	for _, g := range got {
+		seen[g.key()] = true
+		w, ok := want[g.key()]
+		if !ok {
+			t.Errorf("%s: not in golden file (regenerate with -update-golden)", g.key())
+			continue
+		}
+		if g != w {
+			t.Errorf("%s changed:\n  golden: %s\n  got:    %s\n"+
+				"(intentional? regenerate with: go test ./internal/experiments -run TestGoldenCycles -update-golden)",
+				g.key(), w, g)
+		}
+	}
+	for k := range want {
+		if !seen[k] {
+			t.Errorf("%s: in golden file but not in the test matrix", k)
+		}
+	}
+}

@@ -9,14 +9,18 @@ import (
 // Frames is one node's physical copy of the shared address space, held at
 // page granularity and allocated lazily (all pages start zeroed, which is
 // the DSM's well-defined initial state on every node).
+//
+// The heap is a bump allocator from page 0, so page numbers are small and
+// dense: frames are kept in a slice indexed by page number rather than a
+// map, because Page sits on the path of every simulated memory access.
 type Frames struct {
 	pageSize int
-	frames   map[int][]byte
+	frames   [][]byte // frames[pg] is nil until materialized
 }
 
 // NewFrames builds an empty frame store.
 func NewFrames(pageSize int) *Frames {
-	return &Frames{pageSize: pageSize, frames: make(map[int][]byte)}
+	return &Frames{pageSize: pageSize}
 }
 
 // PageSize returns the page size in bytes.
@@ -24,18 +28,21 @@ func (f *Frames) PageSize() int { return f.pageSize }
 
 // Page returns the frame for page pg, allocating a zeroed one on demand.
 func (f *Frames) Page(pg int) []byte {
-	fr, ok := f.frames[pg]
-	if !ok {
-		fr = make([]byte, f.pageSize)
-		f.frames[pg] = fr
+	if pg < len(f.frames) {
+		if fr := f.frames[pg]; fr != nil {
+			return fr
+		}
+	} else {
+		f.frames = append(f.frames, make([][]byte, pg+1-len(f.frames))...)
 	}
+	fr := make([]byte, f.pageSize)
+	f.frames[pg] = fr
 	return fr
 }
 
 // Resident reports whether a frame has been materialized.
 func (f *Frames) Resident(pg int) bool {
-	_, ok := f.frames[pg]
-	return ok
+	return pg < len(f.frames) && f.frames[pg] != nil
 }
 
 // CopyPage overwrites page pg with src (a whole-page transfer).

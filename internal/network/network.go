@@ -6,19 +6,14 @@
 package network
 
 import (
-	"fmt"
 	"math"
 
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
 )
 
-// linkID identifies a unidirectional link leaving node `from` in
-// direction `dir`.
-type linkID struct {
-	from int
-	dir  int // 0 = +x, 1 = -x, 2 = +y, 3 = -y
-}
+// Link directions: 0 = +x, 1 = -x, 2 = +y, 3 = -y.
+const numDirs = 4
 
 // Network is the mesh. Methods must be called in engine context (they
 // never block; completion is signalled through callbacks).
@@ -29,7 +24,12 @@ type Network struct {
 	dimX int
 	dimY int
 
-	links map[linkID]*sim.Resource
+	// links is dense per-node, per-direction storage: the unidirectional
+	// link leaving node f in direction d is links[f*numDirs+d]. A value
+	// slice replaces the old map[linkID]*Resource so the per-hop lookup
+	// on the send fast path is an index computation, not a hashed map
+	// access, and the resources sit contiguously in cache.
+	links []sim.Resource
 	// egress[n] is node n's network-interface send side: each message
 	// occupies it for its per-message overhead, so high messaging
 	// overheads serialize back-to-back sends (the effect Figure 13's
@@ -49,7 +49,9 @@ func New(cfg *params.Config, eng *sim.Engine, n int) *Network {
 	dimY := (n + dimX - 1) / dimX
 	return &Network{
 		cfg: cfg, eng: eng, n: n, dimX: dimX, dimY: dimY,
-		links:  make(map[linkID]*sim.Resource),
+		// dimX*dimY covers the full rectangle: X-Y routes can pass
+		// through grid positions beyond node n-1 on non-square meshes.
+		links:  make([]sim.Resource, dimX*dimY*numDirs),
 		egress: make([]sim.Resource, n),
 	}
 }
@@ -76,16 +78,19 @@ func abs(v int) int {
 }
 
 func (nw *Network) link(from, dir int) *sim.Resource {
-	id := linkID{from, dir}
-	r, ok := nw.links[id]
-	if !ok {
-		r = &sim.Resource{Name: fmt.Sprintf("link%d.%d", from, dir)}
-		nw.links[id] = r
-	}
-	return r
+	return &nw.links[from*numDirs+dir]
+}
+
+// linkID identifies a unidirectional link leaving node `from` in
+// direction `dir`.
+type linkID struct {
+	from int
+	dir  int // 0 = +x, 1 = -x, 2 = +y, 3 = -y
 }
 
 // route returns the sequence of (node, direction) links on the X-Y path.
+// Send walks the same path inline without materializing it; this helper
+// exists for tests and diagnostics.
 func (nw *Network) route(src, dst int) []linkID {
 	var path []linkID
 	x, y := nw.coords(src)
@@ -112,6 +117,23 @@ func (nw *Network) route(src, dst int) []linkID {
 		cur = y*nw.dimX + x
 	}
 	return path
+}
+
+// reserveHop queues the message body on one link of the path: the head
+// cannot enter the link before `arrive+hop`, it additionally queues FCFS
+// behind earlier traffic, and the body occupies the link for `transfer`
+// cycles. It returns the cycle the head entered the link.
+func (nw *Network) reserveHop(from, dir int, arrive, hop, transfer sim.Time) sim.Time {
+	r := nw.link(from, dir)
+	earliest := arrive + hop
+	start := earliest
+	if f := r.FreeAt(); f > start {
+		start = f
+		nw.LinkWaits += f - earliest
+	}
+	r.PadTo(start)
+	r.Reserve(nw.eng, transfer)
+	return start
 }
 
 // Send injects a message of `bytes` payload (plus header) from src to
@@ -145,20 +167,31 @@ func (nw *Network) Send(src, dst, bytes int, overhead sim.Time, done func()) {
 	transfer := nw.cfg.NetTransferTime(bytes)
 	hop := nw.cfg.SwitchLatency + nw.cfg.WireLatency
 	arrive := head
-	for _, id := range nw.route(src, dst) {
-		r := nw.link(id.from, id.dir)
-		earliest := arrive + hop
-		start := earliest
-		if f := r.FreeAt(); f > start {
-			start = f
-			nw.LinkWaits += f - earliest
+	// Walk the X-Y route link by link (X hops, then Y hops), reserving
+	// each in order — the old route() helper without its per-message
+	// path slice.
+	x, y := nw.coords(src)
+	dx, dy := nw.coords(dst)
+	cur := src
+	for x != dx {
+		dir := 0
+		step := 1
+		if dx < x {
+			dir, step = 1, -1
 		}
-		// Occupy the link for the body transfer starting at `start`.
-		// The head cannot enter the link before it arrives there, so pad
-		// the resource's free time forward to the head's arrival.
-		r.PadTo(start)
-		r.Reserve(nw.eng, transfer)
-		arrive = start
+		arrive = nw.reserveHop(cur, dir, arrive, hop, transfer)
+		x += step
+		cur = y*nw.dimX + x
+	}
+	for y != dy {
+		dir := 2
+		step := 1
+		if dy < y {
+			dir, step = 3, -1
+		}
+		arrive = nw.reserveHop(cur, dir, arrive, hop, transfer)
+		y += step
+		cur = y*nw.dimX + x
 	}
 	delivery := arrive + hop + transfer
 	nw.eng.At(delivery, done)

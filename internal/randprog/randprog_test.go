@@ -111,3 +111,52 @@ func TestFuzzLazyHybrid(t *testing.T) {
 		}
 	}
 }
+
+// TestFuzzCorpus is the short-mode fuzz gate: 32 fixed seeds, a TreadMarks
+// overlap variant and AURC, at 4 and 16 processors, every run validated
+// against the sequential oracle inside core.Run. It is cheap enough to run
+// on every `go test -short`, so engine and protocol changes cannot land
+// without surviving the corpus.
+func TestFuzzCorpus(t *testing.T) {
+	protocols := []core.Spec{core.TM(tmk.IPD), core.AURC(false)}
+	for seed := uint64(1); seed <= 32; seed++ {
+		for _, spec := range protocols {
+			for _, procs := range []int{4, 16} {
+				seed, spec, procs := seed, spec, procs
+				t.Run(fmt.Sprintf("seed%d/%s/%dp", seed, spec, procs), func(t *testing.T) {
+					t.Parallel()
+					prog := randprog.New(seed, 8, 1024, 2)
+					cfg := params.Default()
+					cfg.Processors = procs
+					if _, err := core.Run(cfg, spec, prog); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// FuzzRandprog is a native fuzz target over the program generator's
+// parameters: any generated DRF program must validate against the
+// sequential oracle under both protocol families. Seed inputs live in
+// testdata/fuzz/FuzzRandprog; run with
+//
+//	go test ./internal/randprog -fuzz FuzzRandprog -fuzztime 30s
+func FuzzRandprog(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(1))
+	f.Add(uint64(17), uint8(12), uint8(3))
+	f.Add(uint64(42), uint8(10), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, steps, procSel uint8) {
+		nSteps := 4 + int(steps)%12
+		procs := []int{2, 4, 8, 16}[int(procSel)%4]
+		prog := randprog.New(seed, nSteps, 1024, 2)
+		cfg := params.Default()
+		cfg.Processors = procs
+		for _, spec := range []core.Spec{core.TM(tmk.ID), core.AURC(false)} {
+			if _, err := core.Run(cfg, spec, prog); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

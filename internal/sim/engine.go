@@ -11,62 +11,86 @@
 // Determinism: events at equal times fire in submission order (a strictly
 // increasing sequence number breaks ties), and because at most one
 // goroutine is runnable at any moment, repeated runs of the same program
-// produce bit-identical schedules.
+// produce bit-identical schedules. Engine.Fingerprint hashes the fired
+// (time, seq) stream so tests can assert that property — and so that
+// fast-path rewrites of the queue below can prove they changed nothing.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Time is simulated time in processor cycles (the paper uses 10 ns cycles).
 type Time = int64
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are stored by value inside the
+// engine's queue slice: the slice's storage is the event pool (no
+// per-event heap allocation, no free-list bookkeeping, no pointer
+// chasing while sifting).
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// heapArity is the fan-out of the event queue's d-ary min-heap. Four
+// halves the tree depth versus a binary heap: pushes compare against
+// half as many ancestors, and the four children examined per pop level
+// share a cache line pair instead of being scattered.
+const heapArity = 4
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // call NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+	// events is a d-ary min-heap ordered by (at, seq), stored by value.
+	events  []event
 	handoff chan struct{} // engine parks here while a Proc runs
 	procs   []*Proc
 	stopped bool
+	// limit bounds inline event elision: during RunUntil(t) a process
+	// may not advance the clock past t on its own.
+	limit Time
 
 	// Stats.
-	eventsRun uint64
+	eventsRun    uint64
+	fingerprint  uint64
+	handoffs     uint64
+	elidedParks  uint64
+	maxHeapDepth int
 }
+
+// Stats is a snapshot of the engine's internal counters, for diagnostics
+// and benchmarks.
+type Stats struct {
+	// EventsRun is the number of events fired (including elided wakes,
+	// which fire logically without touching the queue).
+	EventsRun uint64
+	// Handoffs counts engine<->process control transfers (goroutine
+	// round trips): one per park/resume pair and one per process start.
+	Handoffs uint64
+	// ElidedParks counts sleeps satisfied inline because the wake was
+	// provably the next event — each one saved a goroutine round trip.
+	ElidedParks uint64
+	// MaxHeapDepth is the high-water mark of the pending-event queue.
+	MaxHeapDepth int
+}
+
+// FNV-1a parameters for the determinism fingerprint.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
 
 // NewEngine returns a fresh engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{handoff: make(chan struct{})}
+	return &Engine{
+		handoff:     make(chan struct{}),
+		fingerprint: fnvOffset,
+		limit:       math.MaxInt64,
+	}
 }
 
 // Now returns the current simulated time.
@@ -75,6 +99,94 @@ func (e *Engine) Now() Time { return e.now }
 // EventsRun reports how many events have executed, for diagnostics.
 func (e *Engine) EventsRun() uint64 { return e.eventsRun }
 
+// Stats returns the engine's counter block.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		EventsRun:    e.eventsRun,
+		Handoffs:     e.handoffs,
+		ElidedParks:  e.elidedParks,
+		MaxHeapDepth: e.maxHeapDepth,
+	}
+}
+
+// Fingerprint returns an FNV-1a hash of the fired (time, seq) event
+// stream so far. Two runs that produce the same fingerprint executed
+// bit-identical schedules; any reordering, insertion, or elision of
+// events changes it.
+func (e *Engine) Fingerprint() uint64 { return e.fingerprint }
+
+// fired folds one executed event into the run counters and fingerprint.
+func (e *Engine) fired(at Time, seq uint64) {
+	e.eventsRun++
+	e.fingerprint = (e.fingerprint ^ uint64(at)) * fnvPrime
+	e.fingerprint = (e.fingerprint ^ seq) * fnvPrime
+}
+
+// before reports whether event (at, seq) fires before the heap element h.
+func before(at Time, seq uint64, h *event) bool {
+	return at < h.at || (at == h.at && seq < h.seq)
+}
+
+// push inserts an event into the d-ary heap, sifting up with hole
+// propagation (the new event is written exactly once).
+func (e *Engine) push(at Time, seq uint64, fn func()) {
+	h := append(e.events, event{})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !before(at, seq, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = event{at: at, seq: seq, fn: fn}
+	e.events = h
+	if len(h) > e.maxHeapDepth {
+		e.maxHeapDepth = len(h)
+	}
+}
+
+// pop removes and returns the earliest event. The caller must ensure the
+// heap is non-empty.
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the callback for GC; the slot stays pooled
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		// Sift `last` down from the root, moving the smallest child up
+		// until last fits.
+		i := 0
+		for {
+			c := i*heapArity + 1
+			if c >= n {
+				break
+			}
+			end := c + heapArity
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if before(h[j].at, h[j].seq, &h[m]) {
+					m = j
+				}
+			}
+			if !before(h[m].at, h[m].seq, &last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return root
+}
+
 // At schedules fn to run in engine context at absolute time t.
 // Scheduling in the past panics: it indicates a modelling bug.
 func (e *Engine) At(t Time, fn func()) {
@@ -82,7 +194,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.push(t, e.seq, fn)
 }
 
 // After schedules fn to run d cycles from now.
@@ -91,6 +203,32 @@ func (e *Engine) After(d Time, fn func()) {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
 	e.At(e.now+d, fn)
+}
+
+// canElide reports whether a wake event at time `wake`, scheduled right
+// now by the currently-running process for itself, would be the very
+// next event to fire. If so the process may advance the clock inline
+// (via elide) instead of queueing the event and parking — the schedule,
+// sequence numbering, and fingerprint come out bit-identical, but the
+// goroutine round trip through the engine is saved.
+//
+// Any queued event at the same time has a smaller sequence number and
+// would fire first, so equality disqualifies. Elision is also off while
+// stopped (the park must survive Stop/Run cycles) and past the RunUntil
+// limit (the process must stay parked at the boundary).
+func (e *Engine) canElide(wake Time) bool {
+	return !e.stopped && wake <= e.limit &&
+		(len(e.events) == 0 || e.events[0].at > wake)
+}
+
+// elide fires the would-be wake event inline: it consumes the sequence
+// number the queued event would have carried and advances the clock.
+// Callers must have checked canElide with no intervening scheduling.
+func (e *Engine) elide(wake Time) {
+	e.seq++
+	e.fired(wake, e.seq)
+	e.elidedParks++
+	e.now = wake
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -102,10 +240,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // queue drains (a simulated deadlock).
 func (e *Engine) Run() error {
 	e.stopped = false
+	e.limit = math.MaxInt64
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.pop()
 		e.now = ev.at
-		e.eventsRun++
+		e.fired(ev.at, ev.seq)
 		ev.fn()
 	}
 	if e.stopped {
@@ -130,12 +269,14 @@ func (e *Engine) Run() error {
 // RunUntil executes events with time <= t, then returns. Processes blocked
 // past t remain blocked.
 func (e *Engine) RunUntil(t Time) {
+	e.limit = t
 	for len(e.events) > 0 && e.events[0].at <= t {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.pop()
 		e.now = ev.at
-		e.eventsRun++
+		e.fired(ev.at, ev.seq)
 		ev.fn()
 	}
+	e.limit = math.MaxInt64
 	if e.now < t {
 		e.now = t
 	}

@@ -196,3 +196,128 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// fnvFold replicates the engine's fingerprint folding for expected-value
+// tests.
+func fnvFold(fp uint64, at Time, seq uint64) uint64 {
+	fp = (fp ^ uint64(at)) * fnvPrime
+	return (fp ^ seq) * fnvPrime
+}
+
+// TestElisionMatchesQueuedSchedule pins the park-elision fast path to the
+// exact event stream the queued slow path would produce: a lone sleeping
+// proc elides every wake, and the resulting fingerprint must equal the
+// hand-folded (time, seq) stream of the equivalent queued schedule —
+// start event (0,1), wake (5,2), wake (8,3).
+func TestElisionMatchesQueuedSchedule(t *testing.T) {
+	e := NewEngine()
+	e.NewProc(0, "p", 0, func(p *Proc) {
+		p.Sleep(5)
+		p.Sleep(3)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := fnvFold(fnvFold(fnvFold(uint64(fnvOffset), 0, 1), 5, 2), 8, 3)
+	if got := e.Fingerprint(); got != want {
+		t.Fatalf("fingerprint = %016x, want %016x", got, want)
+	}
+	if e.Now() != 8 {
+		t.Fatalf("now = %d, want 8", e.Now())
+	}
+	s := e.Stats()
+	if s.EventsRun != 3 || s.ElidedParks != 2 || s.Handoffs != 1 {
+		t.Fatalf("stats = %+v, want EventsRun=3 ElidedParks=2 Handoffs=1", s)
+	}
+}
+
+// TestElisionDisabledByPendingEvent checks a sleep does NOT elide past a
+// pending event: the competing event must fire during the sleep, in order.
+func TestElisionDisabledByPendingEvent(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(3, func() { order = append(order, "mid") })
+	e.NewProc(0, "p", 0, func(p *Proc) {
+		p.Sleep(5)
+		order = append(order, "woke")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "mid" || order[1] != "woke" {
+		t.Fatalf("order = %v, want [mid woke]", order)
+	}
+	if e.Stats().ElidedParks != 0 {
+		t.Fatalf("elided %d parks across a pending event", e.Stats().ElidedParks)
+	}
+}
+
+// TestElisionRespectsRunUntil checks a proc cannot elide its clock past a
+// RunUntil boundary: it must park at the limit and resume on the next run.
+func TestElisionRespectsRunUntil(t *testing.T) {
+	e := NewEngine()
+	var woke bool
+	e.NewProc(0, "p", 0, func(p *Proc) {
+		p.Sleep(100)
+		woke = true
+	})
+	e.RunUntil(50)
+	if woke {
+		t.Fatal("proc advanced past the RunUntil boundary")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("now = %d, want 50", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woke || e.Now() != 100 {
+		t.Fatalf("woke=%v now=%d, want true/100", woke, e.Now())
+	}
+}
+
+func nopEvent() {}
+
+// TestSchedulingAllocFree checks the steady-state schedule/fire cycle does
+// not allocate: the heap slice's storage is the event pool, so once grown
+// it is reused across drains.
+func TestSchedulingAllocFree(t *testing.T) {
+	e := NewEngine()
+	// Warm the heap slice up to its high-water mark.
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), nopEvent)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			e.After(Time(i%7), nopEvent)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/drain cycle allocated %v times per run, want 0", avg)
+	}
+}
+
+// TestStatsMaxHeapDepth checks the heap high-water mark tracks the peak
+// number of simultaneously pending events.
+func TestStatsMaxHeapDepth(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10; i++ {
+		e.After(Time(i), nopEvent)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.MaxHeapDepth != 10 {
+		t.Fatalf("MaxHeapDepth = %d, want 10", s.MaxHeapDepth)
+	}
+	if s.EventsRun != 10 {
+		t.Fatalf("EventsRun = %d, want 10", s.EventsRun)
+	}
+}

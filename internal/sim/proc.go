@@ -17,6 +17,11 @@ type Proc struct {
 	wake chan struct{}
 	done bool
 
+	// resumeFn is the resume method bound once at construction, so hot
+	// paths (Sleep, Cond wakeups) schedule it without allocating a new
+	// method-value closure per event.
+	resumeFn func()
+
 	// blockReason describes what the process is waiting on, for deadlock
 	// reports and stall accounting by higher layers.
 	blockReason string
@@ -34,6 +39,7 @@ type Proc struct {
 // `start`. The body runs to completion; the process is then done.
 func (e *Engine) NewProc(id int, name string, start Time, body func(*Proc)) *Proc {
 	p := &Proc{ID: id, Name: name, eng: e, wake: make(chan struct{})}
+	p.resumeFn = p.resume
 	e.procs = append(e.procs, p)
 	e.At(start, func() {
 		go func() {
@@ -41,6 +47,7 @@ func (e *Engine) NewProc(id int, name string, start Time, body func(*Proc)) *Pro
 			p.done = true
 			e.handoff <- struct{}{} // return control to engine forever
 		}()
+		e.handoffs++
 		<-e.handoff // wait for the body to park or finish
 	})
 	return p
@@ -77,6 +84,7 @@ func (p *Proc) resume() {
 	if p.done {
 		panic(fmt.Sprintf("sim: resuming finished proc %s", p.Name))
 	}
+	p.eng.handoffs++
 	p.wake <- struct{}{}
 	<-p.eng.handoff // wait for the proc to park again or finish
 }
@@ -87,6 +95,11 @@ func (p *Proc) Sleep(d Time) {
 }
 
 // SleepReason is Sleep with an accounting label.
+//
+// Fast path: when the wake event would be the very next event to fire
+// (nothing else pending before now+d), the sleep completes inline —
+// same sequence numbering, same fingerprint, same hook calls as the
+// queued path, but without the goroutine round trip through the engine.
 func (p *Proc) SleepReason(d Time, reason string) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %d", d))
@@ -94,14 +107,37 @@ func (p *Proc) SleepReason(d Time, reason string) {
 	if d == 0 {
 		return
 	}
-	p.eng.After(d, p.resume)
+	e := p.eng
+	if wake := e.now + d; e.canElide(wake) {
+		if p.OnBlock != nil {
+			p.OnBlock(reason)
+		}
+		e.elide(wake)
+		if p.OnUnblock != nil {
+			p.OnUnblock(reason, d)
+		}
+		return
+	}
+	e.After(d, p.resumeFn)
 	p.park(reason)
 }
 
 // Yield lets every event already scheduled for the current instant run
-// before the process continues.
+// before the process continues. With nothing pending at the current
+// instant it is satisfied inline, like SleepReason's fast path.
 func (p *Proc) Yield() {
-	p.eng.After(0, p.resume)
+	e := p.eng
+	if e.canElide(e.now) {
+		if p.OnBlock != nil {
+			p.OnBlock("yield")
+		}
+		e.elide(e.now)
+		if p.OnUnblock != nil {
+			p.OnUnblock("yield", 0)
+		}
+		return
+	}
+	e.After(0, p.resumeFn)
 	p.park("yield")
 }
 
@@ -131,7 +167,7 @@ func (c *Cond) Signal(e *Engine) bool {
 	p := c.waiters[0]
 	copy(c.waiters, c.waiters[1:])
 	c.waiters = c.waiters[:len(c.waiters)-1]
-	e.After(0, p.resume)
+	e.After(0, p.resumeFn)
 	return true
 }
 
@@ -139,8 +175,7 @@ func (c *Cond) Signal(e *Engine) bool {
 func (c *Cond) Broadcast(e *Engine) int {
 	n := len(c.waiters)
 	for _, p := range c.waiters {
-		q := p
-		e.After(0, q.resume)
+		e.After(0, p.resumeFn)
 	}
 	c.waiters = c.waiters[:0]
 	return n

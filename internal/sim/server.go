@@ -38,6 +38,13 @@ type Server struct {
 	high, low []*Job
 	busy      bool
 
+	// cur is the job in service on the reusable completion path, and
+	// completeFn its engine callback, bound once: a single-server queue
+	// has at most one job in service, so the completion closure need not
+	// be allocated per job.
+	cur        *Job
+	completeFn func()
+
 	busyCycles Time
 	jobsDone   uint64
 	waitTotal  Time
@@ -107,12 +114,30 @@ func (s *Server) dispatch(e *Engine) {
 		d = 0
 	}
 	s.busyCycles += d
-	e.After(d, func() {
-		s.busy = false
-		s.jobsDone++
-		if j.Done != nil {
-			j.Done()
+	if s.cur == nil {
+		s.cur = j
+		if s.completeFn == nil {
+			s.completeFn = func() {
+				j := s.cur
+				s.cur = nil
+				s.complete(e, j)
+			}
 		}
-		s.dispatch(e)
-	})
+		e.After(d, s.completeFn)
+		return
+	}
+	// A Done callback re-submitted to this server mid-completion, so two
+	// services overlap (a pre-existing quirk this fast path must not
+	// change): fall back to a dedicated closure for the extra job.
+	e.After(d, func() { s.complete(e, j) })
+}
+
+// complete finishes job j's service and dispatches the next job.
+func (s *Server) complete(e *Engine, j *Job) {
+	s.busy = false
+	s.jobsDone++
+	if j.Done != nil {
+		j.Done()
+	}
+	s.dispatch(e)
 }

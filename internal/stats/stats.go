@@ -8,7 +8,6 @@ package stats
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -30,7 +29,10 @@ const (
 	// Other bundles TLB miss latency, write-buffer stalls, interrupt
 	// entry/exit, and cache miss latency (paper: "others").
 	Other
-	numCategories
+	// NumCategories is the number of accounting categories; valid
+	// Category values are 0 <= c < NumCategories, so fixed-size arrays
+	// indexed by Category replace maps in result types.
+	NumCategories
 )
 
 // String returns the paper's label for the category.
@@ -59,7 +61,7 @@ func Categories() []Category {
 // ProcStats accumulates cycles and event counters for one computation
 // processor.
 type ProcStats struct {
-	Cycles [numCategories]int64
+	Cycles [NumCategories]int64
 
 	// DiffCycles is time spent on diff-related operations (twinning, diff
 	// generation, diff application) attributable to this processor's
@@ -213,37 +215,38 @@ func (b *Breakdown) FormatBar(label string, baseRunningTime int64) string {
 	return sb.String()
 }
 
-// CounterTable renders the aggregate counters sorted by name, for reports.
+// CounterTable renders the aggregate counters for reports. Rows are an
+// ordered slice, not a ranged map, so the emission order is fixed by
+// construction: memory behavior first, then protocol activity, then
+// traffic and prefetching.
 func (b *Breakdown) CounterTable() string {
 	s := b.Sum()
-	rows := map[string]uint64{
-		"shared reads":     s.SharedReads,
-		"shared writes":    s.SharedWrites,
-		"cache misses":     s.CacheMisses,
-		"tlb misses":       s.TLBMisses,
-		"wbuf stalls":      s.WriteBuffStalls,
-		"page faults":      s.PageFaults,
-		"write faults":     s.WriteFaults,
-		"lock acquires":    s.LockAcquires,
-		"barriers":         s.Barriers,
-		"diffs created":    s.DiffsCreated,
-		"diffs applied":    s.DiffsApplied,
-		"twins created":    s.TwinsCreated,
-		"messages":         s.MsgsSent,
-		"bytes":            s.BytesSent,
-		"prefetches":       s.Prefetches,
-		"useless prefetch": s.UselessPrefetch,
-		"useful prefetch":  s.UsefulPrefetch,
-		"interrupts":       s.Interrupts,
+	rows := []struct {
+		name string
+		val  uint64
+	}{
+		{"shared reads", s.SharedReads},
+		{"shared writes", s.SharedWrites},
+		{"cache misses", s.CacheMisses},
+		{"tlb misses", s.TLBMisses},
+		{"wbuf stalls", s.WriteBuffStalls},
+		{"page faults", s.PageFaults},
+		{"write faults", s.WriteFaults},
+		{"lock acquires", s.LockAcquires},
+		{"barriers", s.Barriers},
+		{"twins created", s.TwinsCreated},
+		{"diffs created", s.DiffsCreated},
+		{"diffs applied", s.DiffsApplied},
+		{"interrupts", s.Interrupts},
+		{"messages", s.MsgsSent},
+		{"bytes", s.BytesSent},
+		{"prefetches", s.Prefetches},
+		{"useful prefetch", s.UsefulPrefetch},
+		{"useless prefetch", s.UselessPrefetch},
 	}
-	names := make([]string, 0, len(rows))
-	for n := range rows {
-		names = append(names, n)
-	}
-	sort.Strings(names)
 	var sb strings.Builder
-	for _, n := range names {
-		fmt.Fprintf(&sb, "  %-18s %12d\n", n, rows[n])
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-18s %12d\n", r.name, r.val)
 	}
 	if s.PrefetchUseCount > 0 {
 		fmt.Fprintf(&sb, "  %-18s %12.0f cycles\n", "prefetch lead", s.AvgPrefetchLead())

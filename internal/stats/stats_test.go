@@ -15,8 +15,8 @@ func TestCategoryStrings(t *testing.T) {
 			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), w)
 		}
 	}
-	if len(Categories()) != int(numCategories) {
-		t.Errorf("Categories() has %d entries, want %d", len(Categories()), numCategories)
+	if len(Categories()) != int(NumCategories) {
+		t.Errorf("Categories() has %d entries, want %d", len(Categories()), NumCategories)
 	}
 }
 

@@ -53,7 +53,8 @@ func (n *pnode) fault(p *sim.Proc, pg int, pe *page, write bool) {
 // notices from each previous writer and applies them. The faulting
 // processor stalls for the whole transaction (data fetch latency).
 func (n *pnode) demandFetch(p *sim.Proc, pg int, pe *page) {
-	owners := pendingByOwner(pe)
+	owners := pendingByOwner(pe, n.ownerScratch)
+	n.ownerScratch = owners
 	if len(owners) == 0 {
 		// No outstanding writer (e.g. raced with a completed fetch).
 		pe.state = stRO
@@ -324,17 +325,18 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 	localDiff, localWords := n.flushLocalDiff(pg)
 	if localDiff != nil {
 		// Our own just-flushed words reflect everything we have seen.
-		tag := n.vts.Clone()
+		idx := pe.tagIndex(n.vts.Clone())
 		for _, w := range localDiff.Words {
-			pe.setTag(w, tag, cfg.PageWords())
+			pe.setTagIdx(w, idx, cfg.PageWords())
 		}
 	}
-	ordered := orderDiffs(f.diffs)
+	ordered := n.sorter.order(f.diffs)
 	totalWords := 0
 	bytes := 0
 	frame := n.frames.Page(pg)
 	for _, d := range ordered {
 		n.emit(pg, trace.KindDiffApply, "owner=%d seq=%d..%d words=%d", d.Owner, d.OldSeq, d.Seq, d.Len())
+		idx := pe.tagIndex(d.VTS)
 		for i, w := range d.Words {
 			// Skip words whose current writer had already seen this
 			// diff's whole span: their value is strictly newer (data
@@ -344,7 +346,7 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 				continue
 			}
 			binary.LittleEndian.PutUint32(frame[int(w)*4:], d.Data[i])
-			pe.setTag(w, d.VTS, cfg.PageWords())
+			pe.setTagIdx(w, idx, cfg.PageWords())
 		}
 		if d.Seq > pe.applied[d.Owner] {
 			pe.applied[d.Owner] = d.Seq
@@ -435,7 +437,7 @@ func (n *pnode) applyPiggyback(diffs []*lrc.Diff) {
 		}
 		n.flushLocalDiff(pg)
 		frame := n.frames.Page(pg)
-		for _, d := range orderDiffs(byPage[pg]) {
+		for _, d := range n.sorter.order(byPage[pg]) {
 			if d.Seq <= pe.applied[d.Owner] {
 				continue
 			}
@@ -455,12 +457,13 @@ func (n *pnode) applyPiggyback(diffs []*lrc.Diff) {
 			if !covered || d.OldSeq > pe.applied[d.Owner]+1 && !hasPendingAtLeast(pe, d.Owner, d.OldSeq) {
 				continue
 			}
+			idx := pe.tagIndex(d.VTS)
 			for i, w := range d.Words {
 				if t := pe.tag(w); t != nil && t.CoversEntry(d.Owner, d.OldSeq) {
 					continue
 				}
 				binary.LittleEndian.PutUint32(frame[int(w)*4:], d.Data[i])
-				pe.setTag(w, d.VTS, cfg.PageWords())
+				pe.setTagIdx(w, idx, cfg.PageWords())
 			}
 			if d.Seq > pe.applied[d.Owner] {
 				pe.applied[d.Owner] = d.Seq
@@ -498,8 +501,21 @@ func hasPendingAtLeast(pe *page, owner int, seq int32) bool {
 // span after seeing that diff's span-start interval, so comparing b's
 // span VTS against a's OldSeq orders every conflicting pair correctly.
 func orderDiffs(diffs []*lrc.Diff) []*lrc.Diff {
-	rest := append([]*lrc.Diff(nil), diffs...)
-	var out []*lrc.Diff
+	var s diffSorter
+	return s.order(diffs)
+}
+
+// diffSorter holds orderDiffs's working storage so a node can reuse it
+// across faults instead of allocating two slices per diff application.
+// The returned ordering is only valid until the next order call; callers
+// consume it synchronously.
+type diffSorter struct {
+	rest, out []*lrc.Diff
+}
+
+func (s *diffSorter) order(diffs []*lrc.Diff) []*lrc.Diff {
+	rest := append(s.rest[:0], diffs...)
+	out := s.out[:0]
 	before := func(a, b *lrc.Diff) bool {
 		return b.VTS != nil && b.VTS.CoversEntry(a.Owner, a.OldSeq)
 	}
@@ -524,5 +540,6 @@ func orderDiffs(diffs []*lrc.Diff) []*lrc.Diff {
 		out = append(out, rest[pick])
 		rest = append(rest[:pick], rest[pick+1:]...)
 	}
+	s.rest, s.out = rest[:0], out
 	return out
 }

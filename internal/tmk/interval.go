@@ -162,15 +162,19 @@ func (n *pnode) listCost(ivs []*lrc.Interval) int64 {
 
 // pendingByOwner groups a page's pending notices: for each owner, the
 // lowest already-applied sequence (the reply must cover everything after
-// it). Owners are returned in ascending order for determinism.
-func pendingByOwner(pe *page) []int {
-	seen := map[int]bool{}
-	var owners []int
+// it). Owners are returned in ascending order for determinism. The
+// result lives in scratch (grown as needed); owner sets are tiny, so the
+// dedup is a linear scan rather than a map.
+func pendingByOwner(pe *page, scratch []int) []int {
+	owners := scratch[:0]
+outer:
 	for _, wn := range pe.pending {
-		if !seen[wn.Owner] {
-			seen[wn.Owner] = true
-			owners = append(owners, wn.Owner)
+		for _, o := range owners {
+			if o == wn.Owner {
+				continue outer
+			}
 		}
+		owners = append(owners, wn.Owner)
 	}
 	sort.Ints(owners)
 	return owners

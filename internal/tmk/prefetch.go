@@ -33,7 +33,8 @@ func (n *pnode) issuePrefetches(p *sim.Proc) {
 				continue
 			}
 		}
-		owners := pendingByOwner(pe)
+		owners := pendingByOwner(pe, n.ownerScratch)
+		n.ownerScratch = owners
 		if len(owners) == 0 {
 			continue
 		}

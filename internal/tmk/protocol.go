@@ -87,12 +87,14 @@ type page struct {
 	// firstIval is the oldest closed interval covering the current
 	// twin/vector span (0 = none yet); it becomes the diff's OldSeq.
 	firstIval int32
-	// wordTag[w] is the span vector timestamp of the writer whose value
-	// currently occupies word w (nil = never written by an applied diff).
-	// Cumulative diffs can deliver data AHEAD of its write notices; when
-	// the notices finally arrive and the old diffs are fetched, these
-	// tags let the apply skip exactly the superseded words.
-	wordTag []lrc.VTS
+	// wordTag[w] is 1+index into tagVals of the span vector timestamp of
+	// the writer whose value currently occupies word w (0 = never written
+	// by an applied diff). Cumulative diffs can deliver data AHEAD of its
+	// write notices; when the notices finally arrive and the old diffs are
+	// fetched, these tags let the apply skip exactly the superseded words.
+	// The indirection keeps the per-word array pointer-free for the GC.
+	wordTag []int32
+	tagVals []lrc.VTS
 	// prefetchedUnused marks a completed prefetch not yet referenced;
 	// if the page is invalidated in this state the prefetch was useless.
 	prefetchedUnused bool
@@ -146,12 +148,20 @@ type pnode struct {
 	// notices this node has processed (always trails or equals vts[o]).
 	noticed []int32
 	ivals   [][]*lrc.Interval // ivals[o][s-1] = interval s of owner o
-	pages   map[int]*page
+	// pages[pg] is this node's view of page pg (nil until first touched);
+	// page numbers are dense, so a slice beats a map on the fault path.
+	pages []*page
 	// dirty is the set of pages with a live twin / write vector; each
 	// interval this node closes carries write notices for all of them.
 	dirty     map[int]bool
 	diffCache map[int][]*lrc.Diff
 	locks     map[int]*plock
+	// sorter and ownerScratch are per-node working storage for the fault
+	// path (diff topological sort, pending-owner dedup); at most one
+	// fault transaction per node is in these phases at a time, so the
+	// buffers are reused across faults instead of allocated per message.
+	sorter       diffSorter
+	ownerScratch []int
 	// prefetchQueue lists pages invalidated since the last acquire, in
 	// invalidation order (deterministic).
 	prefetchQueue []int
@@ -207,7 +217,6 @@ func New(cfg *params.Config, eng *sim.Engine, net *network.Network, mode Mode) *
 			lastBarrierVTS: lrc.NewVTS(cfg.Processors),
 			noticed:        make([]int32, cfg.Processors),
 			ivals:          make([][]*lrc.Interval, cfg.Processors),
-			pages:          make(map[int]*page),
 			dirty:          make(map[int]bool),
 
 			diffCache: make(map[int][]*lrc.Diff),
@@ -283,28 +292,47 @@ func (pr *Protocol) Breakdown(runningTime sim.Time) *stats.Breakdown {
 func (pr *Protocol) FinishProc(id int, p *sim.Proc) { pr.nodes[id].fp.Flush(p) }
 
 func (n *pnode) page(pg int) *page {
-	pe, ok := n.pages[pg]
-	if !ok {
-		pe = &page{state: stRO, applied: make([]int32, n.pr.cfg.Processors)}
-		n.pages[pg] = pe
+	if pg < len(n.pages) {
+		if pe := n.pages[pg]; pe != nil {
+			return pe
+		}
+	} else {
+		n.pages = append(n.pages, make([]*page, pg+1-len(n.pages))...)
 	}
+	pe := &page{state: stRO, applied: make([]int32, n.pr.cfg.Processors)}
+	n.pages[pg] = pe
 	return pe
 }
 
 // tag returns word w's supersession tag (nil if untagged).
 func (pe *page) tag(w int32) lrc.VTS {
-	if pe.wordTag == nil {
+	if pe.wordTag == nil || pe.wordTag[w] == 0 {
 		return nil
 	}
-	return pe.wordTag[w]
+	return pe.tagVals[pe.wordTag[w]-1]
 }
 
-// setTag records word w's writer-knowledge vector.
-func (pe *page) setTag(w int32, v lrc.VTS, pageWords int) {
+// tagIndex interns a writer-knowledge vector for setTagIdx. Callers tag
+// whole runs of words with the same vector (all words of one diff), so
+// interning it once and storing a compact index per word keeps wordTag
+// pointer-free and 6x smaller than storing the VTS slice header per word.
+func (pe *page) tagIndex(v lrc.VTS) int32 {
+	pe.tagVals = append(pe.tagVals, v)
+	return int32(len(pe.tagVals))
+}
+
+// setTagIdx records word w's writer-knowledge vector by interned index.
+func (pe *page) setTagIdx(w, idx int32, pageWords int) {
 	if pe.wordTag == nil {
-		pe.wordTag = make([]lrc.VTS, pageWords)
+		pe.wordTag = make([]int32, pageWords)
 	}
-	pe.wordTag[w] = v
+	pe.wordTag[w] = idx
+}
+
+// setTag records word w's writer-knowledge vector (single-word
+// convenience; loops should intern once with tagIndex).
+func (pe *page) setTag(w int32, v lrc.VTS, pageWords int) {
+	pe.setTagIdx(w, pe.tagIndex(v), pageWords)
 }
 
 func (n *pnode) lock(l int) *plock {
