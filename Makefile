@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench golden fuzz
+.PHONY: check fmt vet build test race bench golden fuzz docs
 
 check: fmt vet build test race
 
@@ -38,3 +38,10 @@ golden:
 # Exploratory fuzzing beyond the checked-in corpus.
 fuzz:
 	$(GO) test ./internal/randprog -fuzz FuzzRandprog -fuzztime 30s
+
+# Docs gate: vet + formatting, every example builds, and the prose in
+# README/ARCHITECTURE/EXPERIMENTS references only make targets and
+# paths that actually exist (scripts/checkdocs.sh).
+docs: fmt vet
+	$(GO) build ./examples/...
+	sh scripts/checkdocs.sh

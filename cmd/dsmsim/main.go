@@ -6,8 +6,13 @@
 //
 //	dsmsim -app ocean -proto I+D -procs 16 [-scale default]
 //	dsmsim -app tsp -proto AURC+P
+//	dsmsim -app em3d -proto I+P+D -drop 0.02 -fault-seed 7
 //
 // Protocols: Base, I, I+D, P, I+P, I+P+D, AURC, AURC+P.
+//
+// The -drop/-dup/-delay flags make the simulated network unreliable
+// (deterministically, keyed by -fault-seed); the protocols recover via
+// the reliable transport, and the reliability counter block is printed.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"dsm96/internal/apps"
 	"dsm96/internal/core"
 	"dsm96/internal/dsm"
+	"dsm96/internal/faults"
 	"dsm96/internal/params"
 	"dsm96/internal/stats"
 	"dsm96/internal/tmk"
@@ -35,6 +41,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-processor breakdown")
 	tracePg := flag.Int("trace", -1, "dump the protocol event history of this page (TreadMarks variants)")
 	traceN := flag.Int("tracen", 200, "how many trace events to retain")
+	drop := flag.Float64("drop", 0, "message drop probability per link (0..1)")
+	dup := flag.Float64("dup", 0, "message duplication probability per link (0..1)")
+	delay := flag.Float64("delay", 0, "message reorder-delay probability per link (0..1)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
 	flag.Parse()
 
 	var app dsm.App
@@ -102,6 +112,12 @@ func main() {
 		tracer.Page = *tracePg
 		spec.Tracer = tracer
 	}
+	if *drop > 0 || *dup > 0 || *delay > 0 {
+		spec.Faults = &faults.Plan{
+			Seed:    *faultSeed,
+			Default: faults.Link{Drop: *drop, Dup: *dup, Delay: *delay},
+		}
+	}
 	res, err := core.Run(cfg, spec, app)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmsim:", err)
@@ -120,6 +136,10 @@ func main() {
 	fmt.Printf("    diff-ops %5.1f%% of execution time\n", res.Breakdown.DiffPercent())
 	fmt.Println("  counters:")
 	fmt.Print(res.Breakdown.CounterTable())
+	if res.Reliability.Degraded() {
+		fmt.Println("  reliability (fault injection active):")
+		fmt.Print(res.Reliability.Table())
+	}
 	if tracer != nil {
 		fmt.Printf("  protocol trace for page %d (%d events recorded, last %d shown):\n",
 			*tracePg, tracer.Total(), len(tracer.Events()))

@@ -1,7 +1,9 @@
 // Command sweep reproduces the architectural sensitivity studies of
-// Section 5.3 (Figures 13-16): the effect of messaging overhead, network
-// bandwidth, memory latency, and memory bandwidth on Em3d under the
-// overlapping TreadMarks (I+D) and AURC.
+// Section 5.3 (Figures 13-16) — the effect of messaging overhead,
+// network bandwidth, memory latency, and memory bandwidth on Em3d under
+// the overlapping TreadMarks (I+D) and AURC — plus a reliability sweep
+// the paper could not run: the same protocols over a network that
+// loses, duplicates, and delays messages.
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 //	sweep -netbw                # Figure 14
 //	sweep -memlat               # Figure 15
 //	sweep -membw                # Figure 16
+//	sweep -reliability [-fault-seed N]
 //	sweep -all [-scale tiny]
 package main
 
@@ -25,7 +28,9 @@ func main() {
 	netbw := flag.Bool("netbw", false, "sweep network bandwidth (Figure 14)")
 	memlat := flag.Bool("memlat", false, "sweep memory latency (Figure 15)")
 	membw := flag.Bool("membw", false, "sweep memory bandwidth (Figure 16)")
-	all := flag.Bool("all", false, "run all four sweeps")
+	reliability := flag.Bool("reliability", false, "sweep message loss rate (deterministic fault injection)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed for -reliability")
+	all := flag.Bool("all", false, "run all five sweeps")
 	scale := flag.String("scale", "default", "problem scale: tiny, default, paper")
 	flag.Parse()
 
@@ -75,7 +80,12 @@ func main() {
 		die(err)
 		fmt.Println(experiments.FormatSweep("Figure 16: Memory Bandwidth vs Em3d running time", "MB/s", pts))
 	}
-	if !*all && !*messaging && !*netbw && !*memlat && !*membw {
+	if *all || *reliability {
+		pts, err := experiments.ReliabilitySweep(sc, *faultSeed, experiments.DefaultLossPcts())
+		die(err)
+		fmt.Println(experiments.FormatReliability(*faultSeed, pts))
+	}
+	if !*all && !*messaging && !*netbw && !*memlat && !*membw && !*reliability {
 		flag.Usage()
 	}
 }

@@ -7,7 +7,40 @@
 // AURC automatic-update DSM, the six applications of the evaluation, and
 // a harness that regenerates every table and figure.
 //
-// The root package carries the benchmark harness (see bench_test.go);
-// the implementation lives under internal/ and the runnable tools under
-// cmd/. Start with README.md, DESIGN.md and EXPERIMENTS.md.
+// # Layout
+//
+// The root package carries only the benchmark harness (bench_test.go:
+// one benchmark per table/figure). The implementation lives under
+// internal/, layered bottom-up:
+//
+//   - internal/sim — the deterministic discrete-event engine: coroutine
+//     processors, FCFS resources, priority servers, and the determinism
+//     fingerprint every reproducibility gate hangs off.
+//   - internal/params, internal/memsys, internal/network,
+//     internal/faults, internal/controller — the machine: Table 1
+//     constants, per-node memory systems, the wormhole mesh with its
+//     reliable transport, deterministic fault injection, and the
+//     paper's programmable protocol controller.
+//   - internal/lrc, internal/tmk, internal/aurc — the protocols:
+//     shared lazy-release-consistency machinery, TreadMarks in six
+//     overlap variants, and AURC automatic updates.
+//   - internal/dsm, internal/apps, internal/randprog — the programs:
+//     the application-facing API with its sequential oracle, the six
+//     applications, and the random program fuzzer.
+//   - internal/core, internal/stats, internal/trace,
+//     internal/experiments — the harness: the Run facade, the paper's
+//     time accounting, protocol event tracing, and the figure/table
+//     and reliability-sweep generators.
+//
+// The runnable tools live under cmd/ (dsmsim, figures, sweep, ablation,
+// profile, validate) and examples/ (quickstart, protocol-compare,
+// em3d-study).
+//
+// # Where to start
+//
+// README.md for the elevator pitch and quick start; ARCHITECTURE.md for
+// the layer-by-layer tour and the life of one page fault; DESIGN.md for
+// the rationale behind each subsystem; EXPERIMENTS.md for
+// paper-vs-measured on every table and figure, the reliability sweep,
+// and the regeneration commands.
 package dsm96

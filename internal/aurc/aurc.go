@@ -472,7 +472,7 @@ func (n *anode) sendFromProc(p *sim.Proc, reason string, dst, bytes int, deliver
 	n.st.MsgsSent++
 	n.st.BytesSent += uint64(bytes)
 	p.SleepReason(n.pr.cfg.MessagingOverhead, reason)
-	n.pr.net.Send(n.id, dst, bytes, 0, deliver)
+	n.pr.net.SendReliable(n.id, dst, bytes, 0, deliver)
 }
 
 // sendAsync transmits from engine context, reserving the CPU for the
@@ -482,7 +482,7 @@ func (n *anode) sendAsync(dst, bytes int, deliver func()) {
 	n.st.BytesSent += uint64(bytes)
 	_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.MessagingOverhead)
 	n.pr.eng.At(end, func() {
-		n.pr.net.Send(n.id, dst, bytes, 0, deliver)
+		n.pr.net.SendReliable(n.id, dst, bytes, 0, deliver)
 	})
 }
 

@@ -1,0 +1,79 @@
+package aurc
+
+import (
+	"testing"
+
+	"dsm96/internal/lrc"
+	"dsm96/internal/sim"
+)
+
+// These tests deliver the same protocol message twice, straight into the
+// receive paths — bypassing the reliable transport's own deduplication —
+// and check that the protocol-level guards apply it exactly once.
+
+// TestDuplicatePageReplyAppliedOnce: a second copy of a whole-page reply
+// lands after the fetch completed; re-copying the stale snapshot would
+// clobber automatic updates applied since, so it must be dropped.
+func TestDuplicatePageReplyAppliedOnce(t *testing.T) {
+	pr, eng := newTestAURC(2)
+	n := pr.nodes[0]
+	pe := n.page(2)
+	pe.state = stInvalid
+	f := &fetchOp{snap: n.vts.Clone()}
+	pe.fetch = f
+	data := make([]byte, pr.cfg.PageSize)
+	data[0] = 11
+	eng.At(0, func() {
+		n.receivePage(2, data, f)
+		// An automatic update lands after the fetch completes...
+		n.frames.Page(2)[0] = 99
+		// ...then the duplicated reply arrives.
+		n.receivePage(2, data, f)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pe.state != stValid {
+		t.Fatal("fetch did not complete")
+	}
+	if got := n.frames.Page(2)[0]; got != 99 {
+		t.Fatalf("duplicate reply clobbered newer data: frame[0] = %d, want 99", got)
+	}
+	if n.st.DupMsgsSuppressed != 1 {
+		t.Fatalf("DupMsgsSuppressed = %d, want 1", n.st.DupMsgsSuppressed)
+	}
+}
+
+// TestDuplicateGrantAppliedOnce mirrors the TreadMarks test: the token
+// is taken once, the duplicate is suppressed, intervals integrate once.
+func TestDuplicateGrantAppliedOnce(t *testing.T) {
+	pr, eng := newTestAURC(2)
+	n := pr.nodes[0]
+	lk := n.lock(5)
+	lk.gate = &sim.Gate{}
+	grantVTS := lrc.VTS{0, 1}
+	ivs := []*lrc.Interval{{Owner: 1, Seq: 1, VTS: lrc.VTS{0, 1}, Pages: []int{6}}}
+	eng.At(0, func() {
+		n.receiveGrant(5, ivs, grantVTS)
+		n.receiveGrant(5, ivs, grantVTS)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !lk.hasToken || !lk.inCS || lk.gate != nil {
+		t.Fatal("grant not applied exactly once")
+	}
+	if n.st.DupMsgsSuppressed != 1 {
+		t.Fatalf("DupMsgsSuppressed = %d, want 1", n.st.DupMsgsSuppressed)
+	}
+	eng.At(eng.Now(), func() { n.receiveGrant(5, ivs, grantVTS) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.st.DupMsgsSuppressed != 2 {
+		t.Fatalf("late duplicate not suppressed: %d", n.st.DupMsgsSuppressed)
+	}
+	if got := len(n.page(6).pending); got != 1 {
+		t.Fatalf("pending notices = %d, want 1", got)
+	}
+}

@@ -85,6 +85,12 @@ func (n *anode) servePageReq(from, pg int, f *fetchOp) {
 // receivePage lands the page at the requester.
 func (n *anode) receivePage(pg int, data []byte, f *fetchOp) {
 	pe := n.page(pg)
+	if pe.fetch != f {
+		// Duplicated (or stale) page reply: its fetch already completed —
+		// re-copying the snapshot would clobber updates applied since.
+		n.st.DupMsgsSuppressed++
+		return
+	}
 	n.frames.CopyPage(pg, data)
 	n.mem.DMA(len(data))
 	n.mem.InvalidatePage(int64(pg) * int64(n.pr.cfg.PageSize))

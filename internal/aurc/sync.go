@@ -197,18 +197,26 @@ func (n *anode) grantLockFromProc(p *sim.Proc, lock int, req lockReq) {
 }
 
 func (n *anode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS) {
+	if n.lock(lock).gate == nil {
+		// No acquire is waiting: a duplicated grant already handed us the
+		// token (see the TreadMarks twin of this guard).
+		n.st.DupMsgsSuppressed++
+		return
+	}
 	cost := n.pr.cfg.InterruptTime + n.listCost(ivs)
 	_, end := n.cpu.Reserve(n.pr.eng, cost)
 	n.pr.eng.At(end, func() {
+		lk := n.lock(lock)
+		if lk.gate == nil {
+			n.st.DupMsgsSuppressed++
+			return
+		}
 		n.integrate(ivs)
 		n.vts.Max(grantVTS)
-		lk := n.lock(lock)
 		lk.hasToken = true
 		lk.inCS = true
-		if lk.gate != nil {
-			lk.gate.Open(n.pr.eng)
-			lk.gate = nil
-		}
+		lk.gate.Open(n.pr.eng)
+		lk.gate = nil
 	})
 }
 

@@ -95,7 +95,7 @@ func (w *writeCache) flushEntry(e wcEntry) {
 	n.updatesSent[e.dst]++
 	n.st.MsgsSent++
 	n.st.BytesSent += uint64(bytes)
-	n.pr.net.Send(n.id, e.dst, bytes, cfg.AURCUpdateOverhead, func() {
+	n.pr.net.SendReliable(n.id, e.dst, bytes, cfg.AURCUpdateOverhead, func() {
 		for _, u := range ups {
 			dst.frames.WriteU32(u.addr, u.val)
 		}

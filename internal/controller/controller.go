@@ -9,6 +9,7 @@ package controller
 import (
 	"dsm96/internal/lrc"
 	"dsm96/internal/memsys"
+	"dsm96/internal/network"
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
 )
@@ -67,6 +68,22 @@ func (c *Controller) SnoopWrite(addr int64) {
 
 // Submit places a job in the controller's command queue.
 func (c *Controller) Submit(e *sim.Engine, j *sim.Job) { c.Core.Submit(e, j) }
+
+// SubmitSend queues the common "send a message" command: the controller
+// core pays its dispatch cost plus the per-message overhead (the
+// computation processor pays nothing — that is the point of the I
+// variants), then hands the message to the reliable transport, which
+// retries and deduplicates it if a fault model is installed on the
+// network.
+func (c *Controller) SubmitSend(e *sim.Engine, nw *network.Network, dst, bytes int, deliver func()) {
+	c.Submit(e, &sim.Job{
+		Name:    "send",
+		Service: DispatchCost + c.Cfg.MessagingOverhead,
+		Done: func() {
+			nw.SendReliable(c.ID, dst, bytes, 0, deliver)
+		},
+	})
+}
 
 // HWDiffCreateCost is the DMA engine's time to scan page pg's bit vector
 // and gather the written words (200 cycles for a clean 4 KB page, ~2100

@@ -10,6 +10,7 @@ import (
 
 	"dsm96/internal/aurc"
 	"dsm96/internal/dsm"
+	"dsm96/internal/faults"
 	"dsm96/internal/network"
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
@@ -41,6 +42,12 @@ type Spec struct {
 	// Tracer, when set, receives structured protocol events from
 	// protocols that support tracing (the TreadMarks variants).
 	Tracer *trace.Buffer
+	// Faults, when set and enabled, makes the simulated network lose,
+	// duplicate, and delay messages per the plan; the protocols recover
+	// through the reliable transport. A nil (or all-zero) plan leaves the
+	// network exactly as reliable — and the event schedule exactly as
+	// reproducible — as a build without fault injection.
+	Faults *faults.Plan
 }
 
 // String returns the paper's label for the protocol.
@@ -84,6 +91,9 @@ type Result struct {
 	AppResult, SeqResult float64
 	// Messages and Bytes summarize network traffic.
 	Messages, Bytes uint64
+	// Reliability counts injected faults and the transport's recovery
+	// work (all-zero when Spec.Faults was nil or disabled).
+	Reliability stats.Reliability
 	// EventsRun is the number of simulation events the engine executed.
 	EventsRun uint64
 	// EventFingerprint is the engine's FNV-1a hash of the fired
@@ -134,8 +144,12 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 	// Sequential oracle first (the app's Setup must reset all state).
 	seq := dsm.RunSequential(app, cfg.PageSize)
 
+	if err := spec.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	eng := sim.NewEngine()
 	net := network.New(&cfg, eng, cfg.Processors)
+	net.InstallFaults(faults.NewModel(spec.Faults, cfg.Processors))
 	var sys system
 	switch spec.Kind {
 	case KindTM:
@@ -176,6 +190,7 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 		SeqResult:        seq,
 		Messages:         net.Messages,
 		Bytes:            net.Bytes,
+		Reliability:      net.Rel,
 		EventsRun:        eng.EventsRun(),
 		EventFingerprint: eng.Fingerprint(),
 		EngineStats:      eng.Stats(),

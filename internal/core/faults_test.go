@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+
+	"dsm96/internal/core"
+	"dsm96/internal/faults"
+	"dsm96/internal/params"
+	"dsm96/internal/randprog"
+	"dsm96/internal/tmk"
+)
+
+// faultyRun simulates a fixed randprog seed under spec with the given
+// fault plan and returns the result (already oracle-validated by Run).
+func faultyRun(t *testing.T, spec core.Spec, plan *faults.Plan) *core.Result {
+	t.Helper()
+	spec.Faults = plan
+	prog := randprog.New(42, 10, 2048, 3)
+	cfg := params.Default()
+	res, err := core.Run(cfg, spec, prog)
+	if err != nil {
+		t.Fatalf("%s under faults: %v", spec, err)
+	}
+	return res
+}
+
+func lossPlan(seed uint64) *faults.Plan {
+	return &faults.Plan{
+		Seed:    seed,
+		Default: faults.Link{Drop: 0.02, Dup: 0.02, Delay: 0.05},
+	}
+}
+
+// TestFaultyRunsCompleteAndValidate: under a fixed fault seed with real
+// loss, every protocol family still finishes and computes the
+// sequential oracle's answer, and the transport visibly worked for it.
+//
+// This test deliberately does NOT use t.Parallel: it flips GOMAXPROCS.
+func TestFaultyRunsCompleteAndValidate(t *testing.T) {
+	specs := []core.Spec{
+		core.TM(tmk.Base), core.TM(tmk.IPD), core.AURC(false),
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			res := faultyRun(t, spec, lossPlan(1))
+			if !res.Validated() {
+				t.Fatalf("oracle mismatch: %v vs %v", res.AppResult, res.SeqResult)
+			}
+			if res.Reliability.MessagesDropped == 0 {
+				t.Fatal("2% loss plan dropped nothing (interposer not wired?)")
+			}
+			if res.Reliability.Retries == 0 || res.Reliability.AcksSent == 0 {
+				t.Fatalf("transport idle under loss: %+v", res.Reliability)
+			}
+
+			// Repeat-run invariance under the same plan.
+			res2 := faultyRun(t, spec, lossPlan(1))
+			if res.EventFingerprint != res2.EventFingerprint ||
+				res.RunningTime != res2.RunningTime || res.EventsRun != res2.EventsRun {
+				t.Fatalf("faulty repeat run diverged: fp %016x/%016x cycles %d/%d events %d/%d",
+					res.EventFingerprint, res2.EventFingerprint,
+					res.RunningTime, res2.RunningTime, res.EventsRun, res2.EventsRun)
+			}
+
+			// GOMAXPROCS invariance: goroutine scheduling must not leak
+			// into fault decisions or retry timing.
+			prev := runtime.GOMAXPROCS(1)
+			res3 := faultyRun(t, spec, lossPlan(1))
+			runtime.GOMAXPROCS(prev)
+			if res.EventFingerprint != res3.EventFingerprint || res.RunningTime != res3.RunningTime {
+				t.Fatalf("GOMAXPROCS=1 faulty run diverged: fp %016x/%016x cycles %d/%d",
+					res.EventFingerprint, res3.EventFingerprint, res.RunningTime, res3.RunningTime)
+			}
+
+			// A different seed must fail different messages somewhere.
+			res4 := faultyRun(t, spec, lossPlan(2))
+			if res4.EventFingerprint == res.EventFingerprint {
+				t.Errorf("seeds 1 and 2 produced identical schedules %016x (suspicious)", res.EventFingerprint)
+			}
+		})
+	}
+}
+
+// TestZeroLossPlanIsPassThrough: a plan whose rates are all zero must
+// produce the bit-identical schedule of no plan at all — the structural
+// guarantee that keeps testdata/golden_cycles.txt valid.
+func TestZeroLossPlanIsPassThrough(t *testing.T) {
+	for _, spec := range []core.Spec{core.TM(tmk.IPD), core.AURC(false)} {
+		clean := faultyRun(t, spec, nil)
+		zero := faultyRun(t, spec, &faults.Plan{Seed: 12345})
+		if clean.EventFingerprint != zero.EventFingerprint ||
+			clean.RunningTime != zero.RunningTime || clean.EventsRun != zero.EventsRun {
+			t.Fatalf("%s: zero-rate plan changed the schedule: fp %016x/%016x cycles %d/%d",
+				spec, clean.EventFingerprint, zero.EventFingerprint, clean.RunningTime, zero.RunningTime)
+		}
+		if zero.Reliability.Degraded() {
+			t.Fatalf("%s: zero-rate plan recorded reliability activity: %+v", spec, zero.Reliability)
+		}
+	}
+}
+
+// TestFaultsDegradeRunningTime: loss is not free — the same program
+// under the same protocol must take at least as long with retries as
+// without (strictly longer, in practice, for 2% loss).
+func TestFaultsDegradeRunningTime(t *testing.T) {
+	clean := faultyRun(t, core.TM(tmk.IPD), nil)
+	lossy := faultyRun(t, core.TM(tmk.IPD), lossPlan(1))
+	if lossy.RunningTime <= clean.RunningTime {
+		t.Fatalf("2%% loss did not slow the run: clean %d, lossy %d cycles",
+			clean.RunningTime, lossy.RunningTime)
+	}
+}
+
+// TestInvalidPlanRejected: Run surfaces a malformed plan as an error,
+// not a panic.
+func TestInvalidPlanRejected(t *testing.T) {
+	spec := core.TM(tmk.Base)
+	spec.Faults = &faults.Plan{Default: faults.Link{Drop: 1.5}}
+	prog := randprog.New(42, 4, 1024, 2)
+	if _, err := core.Run(params.Default(), spec, prog); err == nil {
+		t.Fatal("Drop=1.5 plan accepted")
+	}
+}

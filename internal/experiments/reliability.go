@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dsm96/internal/core"
+	"dsm96/internal/faults"
+	"dsm96/internal/params"
+	"dsm96/internal/stats"
+	"dsm96/internal/tmk"
+)
+
+// The reliability sweep: the paper evaluates its protocols on a
+// perfectly reliable mesh, but their overheads live exactly where a
+// network of workstations loses, duplicates, and reorders packets. This
+// sweep runs {Base, I+P+D, AURC} × {tsp, em3d} over increasing message
+// loss and reports the slowdown and the transport's recovery work — a
+// scenario the paper could not explore.
+
+// ReliabilityPoint is one (application × protocol × loss rate) run.
+type ReliabilityPoint struct {
+	App      string
+	Protocol string
+	// LossPct is the drop probability in percent (the x axis). The plan
+	// also duplicates at half and delays at the same rate, so the axis
+	// reads "how bad is the network", anchored by loss.
+	LossPct float64
+	// Norm is running time normalized to the same app × protocol at
+	// loss 0 (1.00 = no degradation).
+	Norm   float64
+	Cycles int64
+	Rel    stats.Reliability
+}
+
+// ReliabilityPlan builds the fault plan the sweep uses for a loss
+// percentage: drop at the given rate, duplicate at half of it, delay at
+// the full rate. A 0% plan is disabled by construction (pass-through).
+func ReliabilityPlan(seed uint64, lossPct float64) *faults.Plan {
+	rate := lossPct / 100
+	return &faults.Plan{
+		Seed:    seed,
+		Default: faults.Link{Drop: rate, Dup: rate / 2, Delay: rate},
+	}
+}
+
+// ReliabilitySweep runs the sweep under one fault seed. Every point is
+// oracle-validated by core.Run; an error therefore also means a
+// correctness escape, not just a crash.
+func ReliabilitySweep(sc Scale, seed uint64, lossPcts []float64) ([]ReliabilityPoint, error) {
+	appNames := []string{"tsp", "em3d"}
+	protos := []core.Spec{core.TM(tmk.Base), core.TM(tmk.IPD), core.AURC(false)}
+	idx := func(ai, pi, li int) int { return (ai*len(protos)+pi)*len(lossPcts) + li }
+	runs := make([]Run, len(appNames)*len(protos)*len(lossPcts))
+	var specs []runSpec
+	for ai, name := range appNames {
+		for pi, proto := range protos {
+			for li, loss := range lossPcts {
+				sp := proto
+				sp.Faults = ReliabilityPlan(seed, loss)
+				specs = append(specs, runSpec{
+					app: name, spec: sp, cfg: params.Default(), scale: sc,
+					out: &runs[idx(ai, pi, li)],
+				})
+			}
+		}
+	}
+	execute(specs)
+	var out []ReliabilityPoint
+	for ai, name := range appNames {
+		for pi := range protos {
+			var denom float64
+			for li, loss := range lossPcts {
+				r := runs[idx(ai, pi, li)]
+				if r.Err != nil {
+					return nil, fmt.Errorf("reliability %s/%s loss=%v%%: %w", name, r.Protocol, loss, r.Err)
+				}
+				if li == 0 {
+					denom = float64(r.Result.RunningTime)
+				}
+				out = append(out, ReliabilityPoint{
+					App:      name,
+					Protocol: r.Protocol,
+					LossPct:  loss,
+					Norm:     float64(r.Result.RunningTime) / denom,
+					Cycles:   r.Result.RunningTime,
+					Rel:      r.Result.Reliability,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatReliability renders the sweep as a table: one row per run, with
+// the degradation metrics the transport collected.
+func FormatReliability(seed uint64, pts []ReliabilityPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Reliability sweep (fault seed %d): slowdown and recovery work under message loss\n", seed)
+	fmt.Fprintf(&sb, "  %-5s %-7s %6s %7s %12s %8s %8s %8s %8s\n",
+		"app", "proto", "loss%", "norm", "cycles", "dropped", "retries", "timeouts", "dupdrops")
+	for _, p := range pts {
+		fmt.Fprintf(&sb, "  %-5s %-7s %6.2f %7.3f %12d %8d %8d %8d %8d\n",
+			p.App, p.Protocol, p.LossPct, p.Norm, p.Cycles,
+			p.Rel.MessagesDropped, p.Rel.Retries, p.Rel.TimeoutsFired, p.Rel.DuplicatesDropped)
+	}
+	return sb.String()
+}
+
+// DefaultLossPcts is the sweep's default x axis (percent loss).
+func DefaultLossPcts() []float64 { return []float64{0, 0.5, 1, 2, 5} }

@@ -1,0 +1,243 @@
+// Package faults injects deterministic message-level failures into the
+// simulated mesh: per-link drop, duplication, and reorder-delay of wire
+// messages, driven by a splittable counter-based PRNG.
+//
+// # Why
+//
+// The paper's evaluation assumes a perfectly reliable 16-node mesh, but
+// the protocol overheads it studies live exactly where real
+// network-of-workstations deployments lose, delay, and duplicate
+// packets. This package lets every scenario the simulator can express
+// also be run over an unreliable network, so the retry/ack machinery of
+// the DSM protocols (see network.SendReliable) can be exercised and its
+// degradation measured.
+//
+// # Determinism
+//
+// Every injection decision is a pure function of
+//
+//	(plan seed, source node, destination node, per-link message index)
+//
+// hashed through a SplitMix64-style mixer (see Derive). The per-link
+// message index counts physical transmissions on the ordered pair
+// (src, dst), so the fate of "the k-th message from 3 to 7" does not
+// depend on how transmissions on other links interleave with it — the
+// injections are schedule-independent and bit-reproducible. Two runs
+// with the same plan make identical decisions; the engine's event
+// fingerprint (sim.Engine.Fingerprint) stays repeat-run and
+// GOMAXPROCS invariant under any fixed plan.
+//
+// # Usage
+//
+//	plan := &faults.Plan{Seed: 1, Default: faults.Link{Drop: 0.02}}
+//	net.InstallFaults(faults.NewModel(plan, cfg.Processors))
+//
+// or, at the facade level, set core.Spec.Faults and let core.Run wire
+// it up. A nil plan — or one whose rates are all zero — is pass-through
+// by construction: Network refuses to install a disabled model, so the
+// fault-free event schedule is bit-identical to a build without this
+// package (the golden-fingerprint gates prove it).
+package faults
+
+import (
+	"fmt"
+
+	"dsm96/internal/sim"
+)
+
+// Link holds the failure rates of one unidirectional node pair
+// (probabilities in [0, 1]) and the bounds of the injected delay.
+type Link struct {
+	// Drop is the probability a message is discarded at the destination
+	// NIC (it still occupies the links it crossed).
+	Drop float64
+	// Dup is the probability the destination NIC delivers the message a
+	// second time, DupDelay cycles after the first copy.
+	Dup float64
+	// Delay is the probability the message is held in the destination
+	// NIC for an extra DelayMin..DelayMax cycles before delivery —
+	// messages behind it on other paths can overtake it (reordering).
+	Delay float64
+	// DelayMin and DelayMax bound the injected extra delay in cycles.
+	// Zero values default to 200..2000 cycles.
+	DelayMin, DelayMax sim.Time
+}
+
+// active reports whether any failure can occur on this link.
+func (l Link) active() bool { return l.Drop > 0 || l.Dup > 0 || l.Delay > 0 }
+
+// validate reports the first inconsistency in the link's rates.
+func (l Link) validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"Drop", l.Drop}, {"Dup", l.Dup}, {"Delay", l.Delay}} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	if l.DelayMin < 0 || l.DelayMax < 0 || (l.DelayMax > 0 && l.DelayMax < l.DelayMin) {
+		return fmt.Errorf("faults: delay bounds [%d,%d] invalid", l.DelayMin, l.DelayMax)
+	}
+	return nil
+}
+
+// Pair names a unidirectional link by its endpoints.
+type Pair struct {
+	Src, Dst int
+}
+
+// Plan describes one unreliable-network scenario: a seed, a default
+// fault model applied to every link, and optional per-link overrides.
+type Plan struct {
+	// Seed keys every injection decision. Two plans that differ only in
+	// Seed fail different messages.
+	Seed uint64
+	// Default applies to every ordered node pair without an override.
+	Default Link
+	// PerLink overrides the default for specific ordered pairs.
+	PerLink map[Pair]Link
+}
+
+// Enabled reports whether the plan can inject any fault at all. A
+// disabled plan must behave exactly like no plan: callers gate the
+// interposer on this so that zero-rate runs stay bit-identical to
+// fault-free runs.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	if p.Default.active() {
+		return true
+	}
+	for _, l := range p.PerLink {
+		if l.active() {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate reports the first inconsistency in the plan.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Default.validate(); err != nil {
+		return err
+	}
+	for pr, l := range p.PerLink {
+		if err := l.validate(); err != nil {
+			return fmt.Errorf("link %d->%d: %w", pr.Src, pr.Dst, err)
+		}
+	}
+	return nil
+}
+
+// Outcome is the fate of one physical message transmission.
+type Outcome struct {
+	// Drop: the message is discarded at the destination; deliver nothing.
+	Drop bool
+	// Duplicate: deliver a second copy DupDelay cycles after the first.
+	Duplicate bool
+	DupDelay  sim.Time
+	// ExtraDelay is added to the delivery time (0 = on time).
+	ExtraDelay sim.Time
+}
+
+// defaultDelayMin and defaultDelayMax bound injected delays when the
+// plan leaves them zero: long enough to reorder messages behind
+// multi-hop transfers, short enough not to trip retry timeouts.
+const (
+	defaultDelayMin = 200
+	defaultDelayMax = 2000
+)
+
+// Model is a Plan bound to a machine size, with the per-link message
+// counters that key the PRNG. It is single-threaded, like everything
+// else that runs in engine context.
+type Model struct {
+	plan  *Plan
+	nodes int
+	// seq[src*nodes+dst] counts physical transmissions on the ordered
+	// pair, including retransmissions and acks: each consumes one PRNG
+	// index so its fate is independent and reproducible.
+	seq []uint64
+
+	// Counters (what the model injected; the network layer counts what
+	// the transport did about it).
+	Dropped    uint64
+	Duplicated uint64
+	Delayed    uint64
+}
+
+// NewModel binds a plan to a machine of n nodes. Returns nil for a
+// disabled plan so callers can treat "no faults" and "zero faults"
+// identically. Panics on an invalid plan: a malformed scenario is a
+// configuration bug, not a runtime condition.
+func NewModel(p *Plan, n int) *Model {
+	if !p.Enabled() {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Model{plan: p, nodes: n, seq: make([]uint64, n*n)}
+}
+
+// link returns the fault rates governing the ordered pair.
+func (m *Model) link(src, dst int) Link {
+	if l, ok := m.plan.PerLink[Pair{src, dst}]; ok {
+		return l
+	}
+	return m.plan.Default
+}
+
+// Decide consumes the next message index on (src, dst) and returns the
+// transmission's fate. Call exactly once per physical transmission.
+func (m *Model) Decide(src, dst int) Outcome {
+	i := src*m.nodes + dst
+	seq := m.seq[i]
+	m.seq[i]++
+	return m.DecideAt(src, dst, seq)
+}
+
+// DecideAt computes the fate of message number msgSeq on (src, dst)
+// without consuming a counter — the pure function behind Decide,
+// exposed for tests and for reasoning about scenarios ("what happens
+// to the 7th message from 3 to 0 under seed 42?").
+func (m *Model) DecideAt(src, dst int, msgSeq uint64) Outcome {
+	l := m.link(src, dst)
+	if !l.active() {
+		return Outcome{}
+	}
+	s := Derive(m.plan.Seed, src, dst, msgSeq)
+	var o Outcome
+	if s.Float() < l.Drop {
+		o.Drop = true
+		m.Dropped++
+		return o
+	}
+	if s.Float() < l.Dup {
+		o.Duplicate = true
+		o.DupDelay = delayIn(&s, l)
+		m.Duplicated++
+	}
+	if s.Float() < l.Delay {
+		o.ExtraDelay = delayIn(&s, l)
+		m.Delayed++
+	}
+	return o
+}
+
+// delayIn draws a delay from the link's [DelayMin, DelayMax] range.
+func delayIn(s *Stream, l Link) sim.Time {
+	lo, hi := l.DelayMin, l.DelayMax
+	if hi == 0 {
+		lo, hi = defaultDelayMin, defaultDelayMax
+	}
+	if hi <= lo {
+		return lo
+	}
+	return lo + sim.Time(s.Next()%uint64(hi-lo+1))
+}

@@ -1,0 +1,186 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScheduleIndependence: the fate of message k on (src, dst) must not
+// depend on what other links did in between — it is a pure function of
+// (seed, src, dst, k).
+func TestScheduleIndependence(t *testing.T) {
+	plan := &Plan{Seed: 7, Default: Link{Drop: 0.3, Dup: 0.2, Delay: 0.4}}
+
+	// Run A: interleave pairs in one order.
+	a := NewModel(plan, 4)
+	var aOut []Outcome
+	for k := 0; k < 50; k++ {
+		a.Decide(0, 1) // other traffic
+		a.Decide(2, 3)
+		aOut = append(aOut, a.Decide(1, 2))
+	}
+	// Run B: completely different interleaving, same (1,2) sequence.
+	b := NewModel(plan, 4)
+	var bOut []Outcome
+	for k := 0; k < 50; k++ {
+		bOut = append(bOut, b.Decide(1, 2))
+	}
+	for k := range aOut {
+		if aOut[k] != bOut[k] {
+			t.Fatalf("message %d on (1,2) changed fate with interleaving: %+v vs %+v", k, aOut[k], bOut[k])
+		}
+	}
+}
+
+// TestReproducible: same plan, same decisions; different seed, different
+// decisions somewhere.
+func TestReproducible(t *testing.T) {
+	plan := &Plan{Seed: 42, Default: Link{Drop: 0.1, Dup: 0.1, Delay: 0.1}}
+	m1 := NewModel(plan, 2)
+	m2 := NewModel(plan, 2)
+	diff := false
+	other := NewModel(&Plan{Seed: 43, Default: plan.Default}, 2)
+	for k := 0; k < 200; k++ {
+		o1, o2, o3 := m1.Decide(0, 1), m2.Decide(0, 1), other.Decide(0, 1)
+		if o1 != o2 {
+			t.Fatalf("same seed diverged at message %d: %+v vs %+v", k, o1, o2)
+		}
+		if o1 != o3 {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 made identical decisions for 200 messages (suspicious)")
+	}
+}
+
+// TestRates: empirical drop/dup/delay frequencies track the configured
+// probabilities.
+func TestRates(t *testing.T) {
+	plan := &Plan{Seed: 3, Default: Link{Drop: 0.05, Dup: 0.10, Delay: 0.20}}
+	m := NewModel(plan, 2)
+	const n = 20000
+	var drops, dups, delays int
+	for k := 0; k < n; k++ {
+		o := m.Decide(0, 1)
+		if o.Drop {
+			drops++
+		}
+		if o.Duplicate {
+			dups++
+		}
+		if o.ExtraDelay > 0 {
+			delays++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		f := float64(got) / n
+		if math.Abs(f-want) > 0.02 {
+			t.Errorf("%s rate %.3f, want ~%.3f", name, f, want)
+		}
+	}
+	check("drop", drops, 0.05)
+	// Dup and delay are drawn only for non-dropped messages.
+	check("dup", dups, 0.10*0.95)
+	check("delay", delays, 0.20*0.95)
+	if m.Dropped != uint64(drops) || m.Duplicated != uint64(dups) || m.Delayed != uint64(delays) {
+		t.Errorf("model counters (%d,%d,%d) disagree with observations (%d,%d,%d)",
+			m.Dropped, m.Duplicated, m.Delayed, drops, dups, delays)
+	}
+}
+
+// TestDelayBounds: injected delays respect the configured range, and the
+// zero-value range defaults sanely.
+func TestDelayBounds(t *testing.T) {
+	plan := &Plan{Seed: 9, Default: Link{Delay: 1, DelayMin: 100, DelayMax: 150}}
+	m := NewModel(plan, 2)
+	for k := 0; k < 1000; k++ {
+		o := m.Decide(0, 1)
+		if o.ExtraDelay < 100 || o.ExtraDelay > 150 {
+			t.Fatalf("delay %d outside [100,150]", o.ExtraDelay)
+		}
+	}
+	m = NewModel(&Plan{Seed: 9, Default: Link{Delay: 1}}, 2)
+	for k := 0; k < 1000; k++ {
+		o := m.Decide(0, 1)
+		if o.ExtraDelay < defaultDelayMin || o.ExtraDelay > defaultDelayMax {
+			t.Fatalf("default-range delay %d outside [%d,%d]", o.ExtraDelay, defaultDelayMin, defaultDelayMax)
+		}
+	}
+}
+
+// TestDisabledPlans: nil plans, zero plans, and zero-rate per-link maps
+// all produce a nil model — the structural pass-through guarantee.
+func TestDisabledPlans(t *testing.T) {
+	if NewModel(nil, 4) != nil {
+		t.Error("nil plan built a model")
+	}
+	if NewModel(&Plan{Seed: 5}, 4) != nil {
+		t.Error("zero-rate plan built a model")
+	}
+	zeroPer := &Plan{Seed: 5, PerLink: map[Pair]Link{{0, 1}: {}}}
+	if NewModel(zeroPer, 4) != nil {
+		t.Error("zero-rate per-link plan built a model")
+	}
+	if NewModel(&Plan{Default: Link{Drop: 0.1}}, 4) == nil {
+		t.Error("active plan did not build a model")
+	}
+}
+
+// TestPerLinkOverride: overrides isolate faults to named pairs.
+func TestPerLinkOverride(t *testing.T) {
+	plan := &Plan{
+		Seed:    11,
+		PerLink: map[Pair]Link{{0, 1}: {Drop: 1}},
+	}
+	m := NewModel(plan, 3)
+	for k := 0; k < 100; k++ {
+		if o := m.Decide(0, 1); !o.Drop {
+			t.Fatal("override pair (0,1) with Drop=1 delivered a message")
+		}
+		if o := m.Decide(1, 0); o.Drop || o.Duplicate || o.ExtraDelay != 0 {
+			t.Fatal("non-override pair (1,0) suffered a fault")
+		}
+	}
+}
+
+// TestValidate rejects malformed plans.
+func TestValidate(t *testing.T) {
+	bad := []*Plan{
+		{Default: Link{Drop: 1.5}},
+		{Default: Link{Dup: -0.1}},
+		{Default: Link{Delay: 0.5, DelayMin: 300, DelayMax: 100}},
+		{PerLink: map[Pair]Link{{0, 1}: {Drop: 2}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated despite bad rates", i)
+		}
+	}
+	ok := &Plan{Default: Link{Drop: 0.5, Dup: 1, Delay: 0, DelayMin: 10, DelayMax: 20}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan rejected: %v", err)
+	}
+}
+
+// TestStreamUniformity: a crude sanity check that Float covers [0,1)
+// without gross bias.
+func TestStreamUniformity(t *testing.T) {
+	s := Derive(1, 0, 1, 0)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := s.Float()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float() = %v outside [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean of %d draws = %.4f, want ~0.5", n, mean)
+	}
+}

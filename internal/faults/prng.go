@@ -1,0 +1,44 @@
+package faults
+
+// Stream is a tiny counter-based PRNG (SplitMix64). Each call to Next
+// advances the state through the SplitMix64 finalizer, which is a
+// bijection with good avalanche behavior — more than enough for fault
+// injection, and far cheaper and more "splittable" than carrying a
+// math/rand source per link: any (seed, src, dst, msgSeq) tuple derives
+// its own independent stream in O(1) with no shared state.
+type Stream struct {
+	state uint64
+}
+
+// golden64 is the SplitMix64 increment (floor(2^64 / phi), odd).
+const golden64 = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 output function.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Derive builds the stream for message msgSeq on the ordered link
+// (src, dst) under seed. The three key components are folded in through
+// separate mixing rounds so that adjacent tuples (src vs dst swapped,
+// consecutive msgSeq) land in unrelated parts of the state space.
+func Derive(seed uint64, src, dst int, msgSeq uint64) Stream {
+	s := mix64(seed + golden64)
+	s = mix64(s ^ (uint64(src+1) * 0xff51afd7ed558ccd))
+	s = mix64(s ^ (uint64(dst+1) * 0xc4ceb9fe1a85ec53))
+	s = mix64(s ^ msgSeq)
+	return Stream{state: s}
+}
+
+// Next returns the next 64 uniform bits.
+func (s *Stream) Next() uint64 {
+	s.state += golden64
+	return mix64(s.state)
+}
+
+// Float returns a uniform float64 in [0, 1).
+func (s *Stream) Float() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}

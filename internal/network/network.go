@@ -1,15 +1,48 @@
 // Package network models the mesh interconnect of the simulated network
-// of workstations: X-Y (dimension-ordered) wormhole routing, per-hop
-// switch and wire latencies, 8-bit-wide links modelled as FCFS resources
-// so that messages contend for link bandwidth, and a per-message sender
-// overhead (the cycles spent setting up the network interface).
+// of workstations, plus the reliable transport the DSM protocols run on.
+//
+// # The mesh
+//
+// Messages travel the paper's 4x4 wormhole-routed mesh (any rectangular
+// mesh, really): X-Y dimension-ordered routing, a per-hop switch+wire
+// latency, and 8-bit-wide links modelled as FCFS resources so that
+// message bodies contend for link bandwidth hop by hop. Each node also
+// has an egress resource — its network-interface send side — which a
+// message occupies for its per-message overhead, serializing
+// back-to-back sends from one node. Send is the raw datagram primitive:
+// fire-and-forget, completion signalled by a callback when the tail
+// arrives.
+//
+// # Fault injection
+//
+// InstallFaults interposes a faults.Model between Send and delivery:
+// each physical transmission can be dropped at the destination NIC
+// (after consuming link bandwidth), duplicated, or held for extra
+// cycles so later messages overtake it. Decisions are deterministic —
+// pure functions of (seed, src, dst, per-link message index) — so
+// faulty runs are exactly as reproducible as fault-free ones. With no
+// model installed the interposer does not exist: Send's schedule is
+// bit-identical to a build without the faults package.
+//
+// # Reliable transport
+//
+// SendReliable is what the protocols use. With no fault model it
+// delegates verbatim to Send. With one installed it layers, per ordered
+// node pair: sequence numbers, receiver-side duplicate suppression,
+// in-order hold-back delivery (the protocols — AURC's automatic
+// updates especially — rely on per-pair FIFO), hardware
+// acknowledgements, and timeout-driven retransmission with exponential
+// backoff in simulated cycles. Degradation is surfaced through the Rel
+// counter block (stats.Reliability).
 package network
 
 import (
 	"math"
 
+	"dsm96/internal/faults"
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
+	"dsm96/internal/stats"
 )
 
 // Link directions: 0 = +x, 1 = -x, 2 = +y, 3 = -y.
@@ -36,10 +69,20 @@ type Network struct {
 	// pessimistic AURC curve depends on).
 	egress []sim.Resource
 
+	// faults, when non-nil, decides the fate of every physical
+	// transmission (see InstallFaults). pairs holds the reliable
+	// transport's per-ordered-pair sequencing state; it exists only
+	// while a fault model is installed.
+	faults *faults.Model
+	pairs  []pairState
+
 	// Counters.
 	Messages  uint64
 	Bytes     uint64
 	LinkWaits sim.Time // total queueing across all messages and links
+	// Rel counts injected faults and the transport's recovery work.
+	// All-zero unless a fault model is installed.
+	Rel stats.Reliability
 }
 
 // New builds a mesh for n nodes, as close to square as possible
@@ -149,6 +192,15 @@ func (nw *Network) reserveHop(from, dir int, arrive, hop, transfer sim.Time) sim
 // traffic on each link (wormhole back-pressure is approximated by
 // per-link serialization).
 func (nw *Network) Send(src, dst, bytes int, overhead sim.Time, done func()) {
+	nw.sendTimed(src, dst, bytes, overhead, done)
+}
+
+// sendTimed is Send, but returns the cycle the tail of the message is
+// scheduled to arrive at dst — including link queueing and any injected
+// delay, and for a dropped message the cycle it would have arrived. The
+// reliable transport uses this to base retry timeouts on the actual
+// congestion the message experienced rather than an uncontended bound.
+func (nw *Network) sendTimed(src, dst, bytes int, overhead sim.Time, done func()) sim.Time {
 	nw.Messages++
 	nw.Bytes += uint64(bytes)
 	// The network interface processes one send at a time: the message's
@@ -162,7 +214,7 @@ func (nw *Network) Send(src, dst, bytes int, overhead sim.Time, done func()) {
 	if src == dst {
 		// Local loopback: no links, just the overhead.
 		nw.eng.At(head, done)
-		return
+		return head
 	}
 	transfer := nw.cfg.NetTransferTime(bytes)
 	hop := nw.cfg.SwitchLatency + nw.cfg.WireLatency
@@ -194,8 +246,42 @@ func (nw *Network) Send(src, dst, bytes int, overhead sim.Time, done func()) {
 		cur = y*nw.dimX + x
 	}
 	delivery := arrive + hop + transfer
+	if nw.faults != nil {
+		o := nw.faults.Decide(src, dst)
+		if o.Drop {
+			// Discarded at the destination NIC: the body crossed (and
+			// occupied) every link on the path, but done never runs.
+			nw.Rel.MessagesDropped++
+			return delivery
+		}
+		if o.ExtraDelay > 0 {
+			nw.Rel.MessagesDelayed++
+			delivery += o.ExtraDelay
+		}
+		if o.Duplicate {
+			nw.Rel.MessagesDuplicated++
+			nw.eng.At(delivery+o.DupDelay, done)
+		}
+	}
 	nw.eng.At(delivery, done)
+	return delivery
 }
+
+// InstallFaults interposes a fault model between Send and delivery and
+// arms the reliable transport (SendReliable). A nil model — what
+// faults.NewModel returns for a disabled plan — is refused, keeping the
+// fault-free fast path structurally identical to a build without fault
+// injection.
+func (nw *Network) InstallFaults(m *faults.Model) {
+	if m == nil {
+		return
+	}
+	nw.faults = m
+	nw.pairs = make([]pairState, nw.n*nw.n)
+}
+
+// FaultsEnabled reports whether a fault model is installed.
+func (nw *Network) FaultsEnabled() bool { return nw.faults != nil }
 
 // LatencyLowerBound returns the uncontended cycles for a message of
 // `bytes` between src and dst including overhead — useful for tests and

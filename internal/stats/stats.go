@@ -87,6 +87,11 @@ type ProcStats struct {
 	UselessPrefetch uint64 // prefetched but invalidated before use
 	UsefulPrefetch  uint64 // page fault satisfied by a prefetch
 	Interrupts      uint64
+	// DupMsgsSuppressed counts protocol-level duplicate messages this
+	// node refused to re-apply (stale lock grants, repeated diff or page
+	// replies). The reliable transport already deduplicates at the NIC;
+	// this counter is the protocols' own defense-in-depth firing.
+	DupMsgsSuppressed uint64
 
 	// PrefetchUseCycles accumulates, over prefetches that were used, the
 	// simulated cycles between issuing the prefetch and the first use of
@@ -136,6 +141,7 @@ func (s *ProcStats) Merge(o *ProcStats) {
 	s.UselessPrefetch += o.UselessPrefetch
 	s.UsefulPrefetch += o.UsefulPrefetch
 	s.Interrupts += o.Interrupts
+	s.DupMsgsSuppressed += o.DupMsgsSuppressed
 	s.PrefetchUseCycles += o.PrefetchUseCycles
 	s.PrefetchUseCount += o.PrefetchUseCount
 }
@@ -243,6 +249,7 @@ func (b *Breakdown) CounterTable() string {
 		{"prefetches", s.Prefetches},
 		{"useful prefetch", s.UsefulPrefetch},
 		{"useless prefetch", s.UselessPrefetch},
+		{"dup msgs dropped", s.DupMsgsSuppressed},
 	}
 	var sb strings.Builder
 	for _, r := range rows {

@@ -1,0 +1,96 @@
+package tmk
+
+import (
+	"testing"
+
+	"dsm96/internal/lrc"
+	"dsm96/internal/sim"
+)
+
+// These tests deliver the same protocol message twice, straight into the
+// receive paths — bypassing the reliable transport's own deduplication —
+// and check that the protocol-level guards apply it exactly once.
+
+// TestDuplicateGrantAppliedOnce: two copies of a lock grant arrive; the
+// token must be taken once and the second copy suppressed, whether the
+// copies race through the interrupt queue together or the second one
+// trails after the first was fully applied.
+func TestDuplicateGrantAppliedOnce(t *testing.T) {
+	pr := newTestProtocol(2, Base)
+	n := pr.nodes[0]
+	lk := n.lock(7)
+	lk.gate = &sim.Gate{}
+	grantVTS := lrc.VTS{0, 1}
+	ivs := []*lrc.Interval{{Owner: 1, Seq: 1, VTS: lrc.VTS{0, 1}, Pages: []int{3}}}
+	pr.eng.At(0, func() {
+		// Near-simultaneous duplicates: both pass the entry guard, the
+		// second must bail in its post-interrupt callback.
+		n.receiveGrant(7, ivs, grantVTS, nil)
+		n.receiveGrant(7, ivs, grantVTS, nil)
+	})
+	if err := pr.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !lk.hasToken || !lk.inCS {
+		t.Fatal("grant not applied")
+	}
+	if lk.gate != nil {
+		t.Fatal("gate not consumed")
+	}
+	if n.st.DupMsgsSuppressed != 1 {
+		t.Fatalf("DupMsgsSuppressed = %d, want 1", n.st.DupMsgsSuppressed)
+	}
+	// A late straggler after the grant was applied is caught at entry.
+	pr.eng.At(pr.eng.Now(), func() { n.receiveGrant(7, ivs, grantVTS, nil) })
+	if err := pr.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.st.DupMsgsSuppressed != 2 {
+		t.Fatalf("late duplicate not suppressed: %d", n.st.DupMsgsSuppressed)
+	}
+	if got := len(n.page(3).pending); got != 1 {
+		t.Fatalf("pending notices = %d, want 1 (intervals integrated once)", got)
+	}
+}
+
+// TestDuplicateDiffReplyAppliedOnce: a fetch waiting on two owners gets
+// the first owner's reply twice. The duplicate must not decrement
+// outstanding — the fetch completes only when the second owner answers.
+func TestDuplicateDiffReplyAppliedOnce(t *testing.T) {
+	pr := newTestProtocol(3, Base)
+	n := pr.nodes[0]
+	pe := n.page(4)
+	pe.state = stInvalid
+	f := &fetchOp{outstanding: 2}
+	pe.fetch = f
+	pr.eng.At(0, func() {
+		n.receiveDiffReply(4, 1, nil, 1)
+		n.receiveDiffReply(4, 1, nil, 1) // duplicate
+	})
+	if err := pr.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pe.fetch == nil {
+		t.Fatal("duplicate reply completed the fetch before owner 2 answered")
+	}
+	if f.outstanding != 1 {
+		t.Fatalf("outstanding = %d, want 1", f.outstanding)
+	}
+	if n.st.DupMsgsSuppressed != 1 {
+		t.Fatalf("DupMsgsSuppressed = %d, want 1", n.st.DupMsgsSuppressed)
+	}
+	applied := n.st.DiffsApplied
+	pr.eng.At(pr.eng.Now(), func() { n.receiveDiffReply(4, 2, nil, 1) })
+	if err := pr.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pe.fetch != nil {
+		t.Fatal("fetch did not complete after the real second reply")
+	}
+	if pe.state != stRO {
+		t.Fatalf("page state = %d, want read-only", pe.state)
+	}
+	if n.st.DiffsApplied != applied {
+		t.Fatal("empty replies applied diffs")
+	}
+}

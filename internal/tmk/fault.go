@@ -230,8 +230,9 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool) {
 	// intervals while the reply is in flight, making the requester skip
 	// later write notices and read stale data.)
 	upToSeq := n.vts[n.id]
+	owner := n.id
 	deliver := func() {
-		requester.receiveDiffReply(pg, reply, upToSeq)
+		requester.receiveDiffReply(pg, owner, reply, upToSeq)
 	}
 
 	if !n.pr.mode.Ctrl() {
@@ -275,7 +276,7 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool) {
 			return cost
 		},
 		Done: func() {
-			n.pr.net.Send(n.id, from, bytes, 0, deliver)
+			n.pr.net.SendReliable(n.id, from, bytes, 0, deliver)
 		},
 	})
 }
@@ -293,18 +294,22 @@ func containsPage(pages []int, pg int) bool {
 // engine context. When all owners have replied the diffs are ordered by
 // the happened-before relation and applied to the page (and to a live
 // twin, so local modifications stay separable).
-func (n *pnode) receiveDiffReply(pg int, diffs []*lrc.Diff, upToSeq int32) {
+func (n *pnode) receiveDiffReply(pg, owner int, diffs []*lrc.Diff, upToSeq int32) {
 	pe := n.page(pg)
 	f := pe.fetch
 	if f == nil {
 		return // stale reply (fetch already satisfied)
 	}
+	if !f.markReplied(owner) {
+		// A duplicated reply must not double-decrement outstanding and
+		// complete the fetch before the real missing owner answers.
+		n.st.DupMsgsSuppressed++
+		return
+	}
 	f.diffs = append(f.diffs, diffs...)
-	// Even an empty reply advances the applied horizon for that owner.
 	if len(diffs) > 0 {
-		o := diffs[0].Owner
-		if upToSeq > pe.applied[o] {
-			pe.applied[o] = upToSeq
+		if upToSeq > pe.applied[owner] {
+			pe.applied[owner] = upToSeq
 		}
 	}
 	f.outstanding--

@@ -66,7 +66,7 @@ func (n *pnode) homeForward(lock int, req lockReq) {
 			Done: func() {
 				n.st.MsgsSent++
 				n.st.BytesSent += uint64(requestWireBytes + req.vts.WireBytes())
-				n.pr.net.Send(n.id, prev, requestWireBytes+req.vts.WireBytes(), 0, forward)
+				n.pr.net.SendReliable(n.id, prev, requestWireBytes+req.vts.WireBytes(), 0, forward)
 			},
 		})
 		return
@@ -163,6 +163,13 @@ func (n *pnode) hybridDiffs(reqVTS lrc.VTS, ivs []*lrc.Interval) ([]*lrc.Diff, i
 // the processor walks the intervals and write notices, invalidating
 // pages, then enters the critical section.
 func (n *pnode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS, piggy []*lrc.Diff) {
+	if n.lock(lock).gate == nil {
+		// No acquire is waiting: a duplicated grant already handed us the
+		// token. Re-applying it would corrupt the distributed queue (and
+		// re-integrate intervals).
+		n.st.DupMsgsSuppressed++
+		return
+	}
 	cost := n.pr.cfg.InterruptTime + n.listCost(ivs)
 	if len(piggy) > 0 {
 		words := 0
@@ -173,17 +180,21 @@ func (n *pnode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS, pi
 	}
 	_, end := n.cpu.Reserve(n.pr.eng, cost)
 	n.pr.eng.At(end, func() {
+		lk := n.lock(lock)
+		if lk.gate == nil {
+			// A twin of this grant was applied while we sat in the
+			// interrupt queue.
+			n.st.DupMsgsSuppressed++
+			return
+		}
 		n.integrate(ivs)
 		n.vts.Max(grantVTS)
 		n.checkVTSRecords("receiveGrant")
 		n.applyPiggyback(piggy)
-		lk := n.lock(lock)
 		lk.hasToken = true
 		lk.inCS = true
-		if lk.gate != nil {
-			lk.gate.Open(n.pr.eng)
-			lk.gate = nil
-		}
+		lk.gate.Open(n.pr.eng)
+		lk.gate = nil
 	})
 }
 

@@ -65,6 +65,24 @@ type fetchOp struct {
 	prefetch    bool
 	outstanding int
 	diffs       []*lrc.Diff
+	// replied marks the owners whose reply has been integrated (bitmask,
+	// one word per 64 nodes), so a duplicated diff reply cannot
+	// double-count against outstanding and complete the fetch early.
+	replied []uint64
+}
+
+// markReplied records owner's reply, returning false if it had already
+// replied (the arrival is a duplicate).
+func (f *fetchOp) markReplied(owner int) bool {
+	w, bit := owner/64, uint64(1)<<(owner%64)
+	for len(f.replied) <= w {
+		f.replied = append(f.replied, 0)
+	}
+	if f.replied[w]&bit != 0 {
+		return false
+	}
+	f.replied[w] |= bit
+	return true
 }
 
 // page is one node's view of one shared page.
@@ -466,17 +484,11 @@ func (n *pnode) sendFromProc(p *sim.Proc, reason string, dst, bytes int, deliver
 	n.st.BytesSent += uint64(bytes)
 	if n.pr.mode.Ctrl() {
 		p.SleepReason(controller.CommandIssueCost, reason)
-		n.ctl.Submit(n.pr.eng, &sim.Job{
-			Name:    "send",
-			Service: controller.DispatchCost + n.pr.cfg.MessagingOverhead,
-			Done: func() {
-				n.pr.net.Send(n.id, dst, bytes, 0, deliver)
-			},
-		})
+		n.ctl.SubmitSend(n.pr.eng, n.pr.net, dst, bytes, deliver)
 		return
 	}
 	p.SleepReason(n.pr.cfg.MessagingOverhead, reason)
-	n.pr.net.Send(n.id, dst, bytes, 0, deliver)
+	n.pr.net.SendReliable(n.id, dst, bytes, 0, deliver)
 }
 
 // sendAsync transmits from engine context (replies, forwards): on Base/P
@@ -486,18 +498,12 @@ func (n *pnode) sendAsync(dst, bytes int, deliver func()) {
 	n.st.MsgsSent++
 	n.st.BytesSent += uint64(bytes)
 	if n.pr.mode.Ctrl() {
-		n.ctl.Submit(n.pr.eng, &sim.Job{
-			Name:    "send",
-			Service: controller.DispatchCost + n.pr.cfg.MessagingOverhead,
-			Done: func() {
-				n.pr.net.Send(n.id, dst, bytes, 0, deliver)
-			},
-		})
+		n.ctl.SubmitSend(n.pr.eng, n.pr.net, dst, bytes, deliver)
 		return
 	}
 	_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.MessagingOverhead)
 	n.pr.eng.At(end, func() {
-		n.pr.net.Send(n.id, dst, bytes, 0, deliver)
+		n.pr.net.SendReliable(n.id, dst, bytes, 0, deliver)
 	})
 }
 

@@ -1,0 +1,32 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"dsm96/internal/trace"
+)
+
+// Attach a Buffer filtered to one page, record a fault's life, and dump
+// the page's history. In real use the same buffer is handed to a run
+// via core.Spec.Tracer (or `dsmsim -trace <page>`) and the protocol
+// emits these events itself; the timestamps below stand in for engine
+// cycles.
+func Example_pageHistory() {
+	b := trace.New(16)
+	b.Page = 7 // keep page 7 only
+
+	b.Emit(trace.Event{Time: 1040, Node: 2, Page: 7, Kind: trace.KindNotice, Detail: "wn from n0 iv=3"})
+	b.Emit(trace.Event{Time: 1460, Node: 1, Page: 9, Kind: trace.KindFault, Detail: "read"}) // filtered out
+	b.Emit(trace.Event{Time: 2210, Node: 2, Page: 7, Kind: trace.KindFault, Detail: "read, fetch from n0"})
+	b.Emit(trace.Event{Time: 5890, Node: 2, Page: 7, Kind: trace.KindDiffApply, Detail: "diff n0 iv=3 words=12"})
+	b.Emit(trace.Event{Time: 7035, Node: 2, Page: 7, Kind: trace.KindWritable, Detail: "twinned"})
+
+	fmt.Printf("recorded %d events\n", b.Total())
+	fmt.Print(b.String())
+	// Output:
+	// recorded 4 events
+	// [      1040] n2  pg7     notice      wn from n0 iv=3
+	// [      2210] n2  pg7     fault       read, fetch from n0
+	// [      5890] n2  pg7     diff-apply  diff n0 iv=3 words=12
+	// [      7035] n2  pg7     writable    twinned
+}

@@ -4,6 +4,30 @@
 // the debugging instrument that located every consistency bug found
 // while building this reproduction, promoted into a first-class tool:
 // attach a Buffer to a run and dump the exact protocol history of a page.
+//
+// # Attaching a buffer
+//
+// Set core.Spec.Tracer to a Buffer before core.Run and protocols that
+// support tracing (the TreadMarks variants) emit into it; the dsmsim
+// command exposes the same path as `-trace <page>`. Emitting into a nil
+// *Buffer is a no-op, so protocol code keeps an always-present field
+// with zero cost when tracing is off.
+//
+// # Filtering
+//
+// The ring holds the last `capacity` events that pass the filters: set
+// Page to record a single page's history (the common use — page -1
+// records all), and Kinds to keep only selected event kinds. Total
+// still counts every event that passed the filters, including ones the
+// ring has overwritten, so "how much happened" survives a small buffer.
+//
+// # Reading
+//
+// Events returns the retained events in chronological order regardless
+// of ring wrap; String renders them one per line in the fixed
+// `[time] node page kind detail` layout. Because the simulation is
+// deterministic, a trace is bit-for-bit reproducible across runs — a
+// protocol bug's event history can be diffed between two builds.
 package trace
 
 import (

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Docs gate (make docs): the documentation must not drift from the code.
+# Checks that every `make <target>` the docs mention exists in the
+# Makefile, and that every repo-relative path the docs reference exists.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+docs="README.md ARCHITECTURE.md EXPERIMENTS.md"
+
+# 1. Every `make X` mentioned in the docs must be a real Makefile target.
+for t in $(grep -ohE 'make [a-z-]+' $docs | awk '{print $2}' | sort -u); do
+	if ! grep -qE "^$t:" Makefile; then
+		echo "checkdocs: $t mentioned as a make target but not in Makefile" >&2
+		fail=1
+	fi
+done
+
+# 2. Every path-looking reference must exist: `cmd/...`, `internal/...`,
+# `examples/...` (testdata files are covered by their qualified
+# internal/... spelling), and `*.md` files.
+refs=$(
+	grep -ohE '(\./)?(cmd|internal|examples)/[A-Za-z0-9_./-]+' $docs
+	grep -ohE '[A-Za-z0-9_-]+\.md' $docs
+)
+for r in $(printf '%s\n' "$refs" | sed 's|^\./||; s|[).,:;]*$||' | sort -u); do
+	case "$r" in
+	# Prose shorthands that name a package family, not a literal path.
+	*/...) continue ;;
+	esac
+	if [ ! -e "$r" ]; then
+		# Paths inside packages may be referenced as pkg/file.go even
+		# when only the package dir is meant; require the dir at least.
+		if [ ! -e "$(dirname "$r")" ]; then
+			echo "checkdocs: $r referenced in docs but does not exist" >&2
+			fail=1
+		fi
+	fi
+done
+
+# 3. Quick-start commands must name real main packages.
+for d in $(grep -ohE 'go run \./[A-Za-z0-9/_-]+' $docs | awk '{print $3}' | sort -u); do
+	if [ ! -d "${d#./}" ]; then
+		echo "checkdocs: quick-start names $d but the directory is missing" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "checkdocs: FAILED" >&2
+	exit 1
+fi
+echo "checkdocs: ok"
