@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench golden fuzz docs
+.PHONY: check fmt vet build test race bench golden fuzz docs timeline
 
-check: fmt vet build test race
+check: fmt vet build test race timeline
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -38,6 +38,19 @@ golden:
 # Exploratory fuzzing beyond the checked-in corpus.
 fuzz:
 	$(GO) test ./internal/randprog -fuzz FuzzRandprog -fuzztime 30s
+
+# Smoke-test the observability artifacts: generate a Perfetto timeline
+# and run-metrics JSON from a tiny run, then validate both with jq (the
+# timeline must be one trace-event object, the metrics must carry the
+# v1 schema tag and a per-processor breakdown).
+timeline:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/dsmsim -p 8 -app radix -mode ipd -scale tiny \
+		-timeline "$$dir/t.json" -metrics "$$dir/m.json" >/dev/null; \
+	jq -e '.traceEvents | length > 0' "$$dir/t.json" >/dev/null; \
+	jq -e '.schema == "dsm96/run-metrics/v1" and (.per_proc_cycles | length == 8)' \
+		"$$dir/m.json" >/dev/null; \
+	echo "timeline: ok"
 
 # Docs gate: vet + formatting, every example builds, and the prose in
 # README/ARCHITECTURE/EXPERIMENTS references only make targets and

@@ -7,18 +7,29 @@
 //	dsmsim -app ocean -proto I+D -procs 16 [-scale default]
 //	dsmsim -app tsp -proto AURC+P
 //	dsmsim -app em3d -proto I+P+D -drop 0.02 -fault-seed 7
+//	dsmsim -p 16 -app radix -mode ipd -timeline t.json -metrics m.json
 //
-// Protocols: Base, I, I+D, P, I+P, I+P+D, AURC, AURC+P.
+// Protocols: Base, I, I+D, P, I+P, I+P+D, AURC, AURC+P (matched
+// case-insensitively, "+" optional: "ipd" means I+P+D). -mode is an
+// alias for -proto, -p for -procs.
 //
 // The -drop/-dup/-delay flags make the simulated network unreliable
 // (deterministically, keyed by -fault-seed); the protocols recover via
 // the reliable transport, and the reliability counter block is printed.
+//
+// -timeline writes a Perfetto-loadable Chrome trace-event timeline of
+// the run (per-processor phase tracks, controller occupancy, mesh-link
+// occupancy, protocol instant events; open at ui.perfetto.dev, where
+// 1 µs = 1 simulated cycle); -metrics writes the machine-readable run
+// metrics JSON. Both artifacts are byte-identical across repeat runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"dsm96/internal/apps"
 	"dsm96/internal/core"
@@ -26,14 +37,32 @@ import (
 	"dsm96/internal/faults"
 	"dsm96/internal/params"
 	"dsm96/internal/stats"
+	"dsm96/internal/timeline"
 	"dsm96/internal/tmk"
 	"dsm96/internal/trace"
 )
 
+// writeArtifact creates path and streams write into it, exiting on error.
+func writeArtifact(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmsim:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	appName := flag.String("app", "ocean", "application: tsp, water, radix, barnes, ocean, em3d")
 	proto := flag.String("proto", "Base", "protocol: Base, I, I+D, P, I+P, I+P+D, AURC, AURC+P")
+	flag.StringVar(proto, "mode", "Base", "alias for -proto")
 	procs := flag.Int("procs", 16, "number of processors")
+	flag.IntVar(procs, "p", 16, "alias for -procs")
 	scale := flag.String("scale", "default", "problem scale: tiny, default, paper")
 	netBW := flag.Float64("netbw", 0, "override network bandwidth (MB/s)")
 	memLat := flag.Float64("memlat", 0, "override memory latency (ns)")
@@ -45,6 +74,8 @@ func main() {
 	dup := flag.Float64("dup", 0, "message duplication probability per link (0..1)")
 	delay := flag.Float64("delay", 0, "message reorder-delay probability per link (0..1)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
+	timelineOut := flag.String("timeline", "", "write a Perfetto-loadable timeline (Chrome trace-event JSON) to this file")
+	metricsOut := flag.String("metrics", "", "write machine-readable run metrics JSON to this file")
 	flag.Parse()
 
 	var app dsm.App
@@ -80,10 +111,10 @@ func main() {
 	}
 
 	var spec core.Spec
-	switch *proto {
-	case "AURC":
+	switch strings.ToLower(strings.ReplaceAll(*proto, "+", "")) {
+	case "aurc":
 		spec = core.AURC(false)
-	case "AURC+P":
+	case "aurcp":
 		spec = core.AURC(true)
 	default:
 		m, ok := tmk.ParseMode(*proto)
@@ -111,6 +142,17 @@ func main() {
 		tracer = trace.New(*traceN)
 		tracer.Page = *tracePg
 		spec.Tracer = tracer
+	}
+	var rec *timeline.Recorder
+	if *timelineOut != "" {
+		rec = timeline.NewRecorder(cfg.Processors)
+		spec.Timeline = rec
+		if tracer == nil {
+			// Capture protocol events for the timeline's instant markers
+			// (all pages; a generous ring so small runs keep everything).
+			tracer = trace.New(1 << 16)
+			spec.Tracer = tracer
+		}
 	}
 	if *drop > 0 || *dup > 0 || *delay > 0 {
 		spec.Faults = &faults.Plan{
@@ -140,10 +182,20 @@ func main() {
 		fmt.Println("  reliability (fault injection active):")
 		fmt.Print(res.Reliability.Table())
 	}
-	if tracer != nil {
+	if *tracePg >= 0 {
 		fmt.Printf("  protocol trace for page %d (%d events recorded, last %d shown):\n",
 			*tracePg, tracer.Total(), len(tracer.Events()))
 		fmt.Print(tracer.String())
+	}
+	if *timelineOut != "" {
+		writeArtifact(*timelineOut, func(w io.Writer) error {
+			return rec.WritePerfetto(w, tracer.Events())
+		})
+		fmt.Printf("  timeline:       %s (open at ui.perfetto.dev; 1 us = 1 cycle)\n", *timelineOut)
+	}
+	if *metricsOut != "" {
+		writeArtifact(*metricsOut, res.Metrics().WriteJSON)
+		fmt.Printf("  metrics:        %s\n", *metricsOut)
 	}
 	if *verbose {
 		fmt.Println("  per-processor:")

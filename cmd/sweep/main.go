@@ -13,12 +13,23 @@
 //	sweep -membw                # Figure 16
 //	sweep -reliability [-fault-seed N]
 //	sweep -all [-scale tiny]
+//	sweep -all -j 4 -metrics out/   # 4 workers, one metrics JSON per cell
+//
+// Independent sweep cells run on a worker pool (-j N; 0 = one worker per
+// CPU); each cell is a self-contained deterministic simulation, so the
+// figure output is identical for any -j. A progress line tracks
+// completed cells on stderr (suppress with -q). With -metrics DIR, every
+// completed cell additionally writes machine-readable run metrics JSON
+// to DIR/cell-<seq>-<app>-<protocol>-p<procs>.json, where <seq> is the
+// cell's deterministic submission number.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"dsm96/internal/experiments"
 )
@@ -32,7 +43,44 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed for -reliability")
 	all := flag.Bool("all", false, "run all five sweeps")
 	scale := flag.String("scale", "default", "problem scale: tiny, default, paper")
+	jobs := flag.Int("j", 0, "simulation worker pool size (0 = one worker per CPU)")
+	quiet := flag.Bool("q", false, "suppress the stderr progress line")
+	metricsDir := flag.String("metrics", "", "write per-cell run metrics JSON files into this directory")
 	flag.Parse()
+
+	experiments.SetWorkers(*jobs)
+	if !*quiet {
+		experiments.SetProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
+	}
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		dir := *metricsDir
+		experiments.SetRunObserver(func(seq int, r experiments.Run) {
+			if r.Err != nil || r.Result == nil {
+				return
+			}
+			name := fmt.Sprintf("cell-%04d-%s-%s-p%d.json", seq, r.App,
+				strings.ReplaceAll(r.Protocol, "+", ""), r.Procs)
+			f, err := os.Create(filepath.Join(dir, name))
+			if err == nil {
+				err = r.Result.Metrics().WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "\nsweep: metrics:", err)
+			}
+		})
+	}
 
 	var sc experiments.Scale
 	switch *scale {

@@ -28,9 +28,10 @@
 //     the application-facing API with its sequential oracle, the six
 //     applications, and the random program fuzzer.
 //   - internal/core, internal/stats, internal/trace,
-//     internal/experiments — the harness: the Run facade, the paper's
-//     time accounting, protocol event tracing, and the figure/table
-//     and reliability-sweep generators.
+//     internal/timeline, internal/experiments — the harness: the Run
+//     facade, the paper's time accounting, protocol event tracing, the
+//     timeline recorder with its Perfetto and run-metrics exporters,
+//     and the figure/table and reliability-sweep generators.
 //
 // The runnable tools live under cmd/ (dsmsim, figures, sweep, ablation,
 // profile, validate) and examples/ (quickstart, protocol-compare,

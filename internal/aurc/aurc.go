@@ -23,6 +23,8 @@ import (
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
 	"dsm96/internal/stats"
+	"dsm96/internal/timeline"
+	"dsm96/internal/trace"
 )
 
 // Page access states.
@@ -213,6 +215,11 @@ type Protocol struct {
 	bars  map[int]*barrier
 
 	profiles map[int]*stats.PageProfile
+	// tracer, when set, records structured protocol events (faults,
+	// automatic-update drains, prefetch issues) — see SetTracer.
+	tracer *trace.Buffer
+	// rec, when set, records per-node phase spans — see SetTimeline.
+	rec *timeline.Recorder
 }
 
 // New builds the protocol (prefetch selects AURC+P).
@@ -265,6 +272,16 @@ func (pr *Protocol) InstallProc(id int, p *sim.Proc) {
 	n := pr.nodes[id]
 	n.proc = p
 	st := n.st
+	if rec := pr.rec; rec != nil {
+		// Timeline on: mirror every charge as the span [now-waited, now)
+		// on the node's track, so per-category span sums reconcile with
+		// the Breakdown by construction.
+		p.OnUnblock = func(reason string, waited sim.Time) {
+			st.Add(categoryFor(reason), waited)
+			rec.Stall(id, reason, p.Now()-waited, p.Now())
+		}
+		return
+	}
 	p.OnUnblock = func(reason string, waited sim.Time) {
 		st.Add(categoryFor(reason), waited)
 	}

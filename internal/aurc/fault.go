@@ -2,6 +2,7 @@ package aurc
 
 import (
 	"dsm96/internal/sim"
+	"dsm96/internal/trace"
 )
 
 // fault brings an invalid page back. AURC has no diffs: the faulting
@@ -13,6 +14,7 @@ func (n *anode) fault(p *sim.Proc, pg int, pe *page, d *pageDir) {
 	p.SleepReason(n.pr.cfg.InterruptTime, reasonInterrupt)
 	n.st.PageFaults++
 	n.pr.profile(pg).Faults++
+	n.emit(pg, trace.KindFault, "pending=%d", len(pe.pending))
 	if f := pe.fetch; f != nil {
 		if f.prefetch {
 			n.st.UsefulPrefetch++
@@ -135,6 +137,7 @@ func (n *anode) issuePrefetches(p *sim.Proc) {
 		}
 		d := n.pr.pageDir(pg)
 		n.st.Prefetches++
+		n.emit(pg, trace.KindPrefetch, "issue home=%d", d.home)
 		f := &fetchOp{prefetch: true}
 		pe.fetch = f
 		n.startFetch(p, pg, pe, d, f)

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"dsm96/internal/sim"
+	"dsm96/internal/trace"
 )
 
 // updateHeaderBytes is the wire header of one automatic-update message.
@@ -95,6 +96,8 @@ func (w *writeCache) flushEntry(e wcEntry) {
 	n.updatesSent[e.dst]++
 	n.st.MsgsSent++
 	n.st.BytesSent += uint64(bytes)
+	pg := int(e.block) / cfg.PageSize
+	n.emit(pg, trace.KindUpdate, "flush dst=%d words=%d", e.dst, words)
 	n.pr.net.SendReliable(n.id, e.dst, bytes, cfg.AURCUpdateOverhead, func() {
 		for _, u := range ups {
 			dst.frames.WriteU32(u.addr, u.val)
@@ -104,6 +107,7 @@ func (w *writeCache) flushEntry(e wcEntry) {
 		dst.mem.DMA(bytes)
 		dst.mem.Cache.InvalidateRange(e.block, 32)
 		dst.updatesArrived++
+		dst.emit(pg, trace.KindUpdate, "apply from=%d words=%d", n.id, words)
 		dst.checkDrainWaiters()
 	})
 }

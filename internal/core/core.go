@@ -15,6 +15,7 @@ import (
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
 	"dsm96/internal/stats"
+	"dsm96/internal/timeline"
 	"dsm96/internal/tmk"
 	"dsm96/internal/trace"
 )
@@ -39,9 +40,17 @@ type Spec struct {
 	TMOptions tmk.Options
 	// Prefetch enables page prefetching (KindAURC).
 	Prefetch bool
-	// Tracer, when set, receives structured protocol events from
-	// protocols that support tracing (the TreadMarks variants).
+	// Tracer, when set, receives structured protocol events (both
+	// protocol families emit).
 	Tracer *trace.Buffer
+	// Timeline, when set, records per-node phase spans (compute and the
+	// stall categories), controller occupancy, and mesh-link occupancy
+	// for the run; export with Timeline.WritePerfetto. Build it with
+	// timeline.NewRecorder(cfg.Processors). Nil — the default — leaves
+	// the instrumentation structurally absent: the event schedule,
+	// fingerprint, and allocation profile are those of an uninstrumented
+	// run.
+	Timeline *timeline.Recorder
 	// Faults, when set and enabled, makes the simulated network lose,
 	// duplicate, and delay messages per the plan; the protocols recover
 	// through the reliable transport. A nil (or all-zero) plan leaves the
@@ -163,6 +172,14 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 	if spec.Tracer != nil {
 		if tr, ok := sys.(interface{ SetTracer(*trace.Buffer) }); ok {
 			tr.SetTracer(spec.Tracer)
+		}
+	}
+	if spec.Timeline != nil {
+		// Before InstallProc below: the protocols install the recording
+		// accounting hook only when a recorder is attached.
+		net.SetTimeline(spec.Timeline)
+		if tl, ok := sys.(interface{ SetTimeline(*timeline.Recorder) }); ok {
+			tl.SetTimeline(spec.Timeline)
 		}
 	}
 	app.Setup(sys.Heap())

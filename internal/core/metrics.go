@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"dsm96/internal/stats"
+	"dsm96/internal/timeline"
+)
+
+// Metrics converts the result into the machine-readable per-run metrics
+// block (timeline.Metrics): the same numbers the dsmsim report prints —
+// running time, the per-processor and machine-wide category breakdown,
+// every event counter, the reliability block, and the schedule
+// fingerprint — as stable snake_case JSON. dsmsim -metrics and the sweep
+// command's per-cell output both serialize this.
+func (r *Result) Metrics() *timeline.Metrics {
+	m := &timeline.Metrics{
+		Schema:         timeline.MetricsSchema,
+		App:            r.App,
+		Protocol:       r.Protocol,
+		Processors:     len(r.Breakdown.PerProc),
+		Pages:          len(r.Pages),
+		RunningTime:    int64(r.RunningTime),
+		EventsRun:      r.EventsRun,
+		Fingerprint:    fmt.Sprintf("%016x", r.EventFingerprint),
+		Validated:      r.Validated(),
+		DiffOpsPercent: r.Breakdown.DiffPercent(),
+	}
+	for i, ps := range r.Breakdown.PerProc {
+		m.PerProc = append(m.PerProc, procCycles(i, ps))
+	}
+	sum := r.Breakdown.Sum()
+	m.Machine = procCycles(-1, sum)
+	m.Counters = timeline.Counters{
+		SharedReads:       sum.SharedReads,
+		SharedWrites:      sum.SharedWrites,
+		CacheMisses:       sum.CacheMisses,
+		TLBMisses:         sum.TLBMisses,
+		WriteBuffStalls:   sum.WriteBuffStalls,
+		PageFaults:        sum.PageFaults,
+		WriteFaults:       sum.WriteFaults,
+		LockAcquires:      sum.LockAcquires,
+		Barriers:          sum.Barriers,
+		TwinsCreated:      sum.TwinsCreated,
+		DiffsCreated:      sum.DiffsCreated,
+		DiffsApplied:      sum.DiffsApplied,
+		Interrupts:        sum.Interrupts,
+		Messages:          r.Messages,
+		Bytes:             r.Bytes,
+		Prefetches:        sum.Prefetches,
+		UsefulPrefetch:    sum.UsefulPrefetch,
+		UselessPrefetch:   sum.UselessPrefetch,
+		DupMsgsSuppressed: sum.DupMsgsSuppressed,
+		PrefetchUseCycles: sum.PrefetchUseCycles,
+		PrefetchUseCount:  sum.PrefetchUseCount,
+	}
+	m.Reliability = timeline.ReliabilityMetrics{
+		MessagesDropped:    r.Reliability.MessagesDropped,
+		MessagesDuplicated: r.Reliability.MessagesDuplicated,
+		MessagesDelayed:    r.Reliability.MessagesDelayed,
+		TimeoutsFired:      r.Reliability.TimeoutsFired,
+		Retries:            r.Reliability.Retries,
+		DuplicatesDropped:  r.Reliability.DuplicatesDropped,
+		HeldForOrder:       r.Reliability.HeldForOrder,
+		AcksSent:           r.Reliability.AcksSent,
+		RetryWaitCycles:    r.Reliability.RetryWaitCycles,
+	}
+	return m
+}
+
+// procCycles flattens one processor's category array into the metrics
+// row shape (node -1 = machine-wide sum).
+func procCycles(node int, ps *stats.ProcStats) timeline.ProcCycles {
+	return timeline.ProcCycles{
+		Node:  node,
+		Busy:  ps.Cycles[stats.Busy],
+		Data:  ps.Cycles[stats.Data],
+		Synch: ps.Cycles[stats.Synch],
+		IPC:   ps.Cycles[stats.IPC],
+		Other: ps.Cycles[stats.Other],
+		Total: ps.Total(),
+	}
+}

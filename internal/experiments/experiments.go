@@ -77,10 +77,67 @@ type runSpec struct {
 	out   *Run
 }
 
+// Run-pool knobs (cmd/sweep -j, the progress line, per-cell metrics
+// output). The zero values preserve the historical behavior: one worker
+// per CPU, no progress callback, no observer. Results are written into
+// preallocated slots in submission order regardless of worker count or
+// completion order, so figure output stays deterministic.
+var (
+	poolMu sync.Mutex
+	// poolWorkers bounds concurrent simulations (<= 0 = NumCPU).
+	poolWorkers int
+	// poolProgress, when set, is called after every completed run with
+	// the running (done, submitted) totals across all batches.
+	poolProgress func(done, total int)
+	// poolObserver, when set, is called once per completed run with the
+	// run's global submission sequence number (deterministic: batches
+	// are submitted serially) and a copy of the Run. Calls are
+	// serialized but may arrive out of sequence order.
+	poolObserver func(seq int, r Run)
+	poolSeq      int
+	poolDone     int
+	poolTotal    int
+)
+
+// SetWorkers bounds how many simulations run concurrently (cmd/sweep
+// -j). n <= 0 restores the default of one worker per CPU.
+func SetWorkers(n int) {
+	poolMu.Lock()
+	poolWorkers = n
+	poolMu.Unlock()
+}
+
+// SetProgress installs a callback invoked (serialized) after every
+// completed run with cumulative done/submitted counts; nil disables.
+func SetProgress(fn func(done, total int)) {
+	poolMu.Lock()
+	poolProgress = fn
+	poolMu.Unlock()
+}
+
+// SetRunObserver installs a callback invoked (serialized) once per
+// completed run — cmd/sweep's per-cell metrics emission; nil disables.
+// seq is the run's global submission sequence number, stable across
+// worker counts because batches submit serially.
+func SetRunObserver(fn func(seq int, r Run)) {
+	poolMu.Lock()
+	poolObserver = fn
+	poolMu.Unlock()
+}
+
 // execute performs a batch of runs concurrently (each run owns its
 // engine, so parallelism is safe and results stay deterministic).
 func execute(specs []runSpec) {
-	workers := runtime.NumCPU()
+	poolMu.Lock()
+	workers := poolWorkers
+	base := poolSeq
+	poolSeq += len(specs)
+	poolTotal += len(specs)
+	progress, observer := poolProgress, poolObserver
+	poolMu.Unlock()
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if workers > len(specs) {
 		workers = len(specs)
 	}
@@ -88,28 +145,41 @@ func execute(specs []runSpec) {
 		workers = 1
 	}
 	var wg sync.WaitGroup
-	ch := make(chan runSpec)
+	ch := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for rs := range ch {
+			for i := range ch {
+				rs := specs[i]
 				app, err := appAt(rs.app, rs.scale)
 				if err != nil {
 					rs.out.Err = err
+				} else {
+					res, rerr := core.Run(rs.cfg, rs.spec, app)
+					rs.out.App = rs.app
+					rs.out.Protocol = rs.spec.String()
+					rs.out.Procs = rs.cfg.Processors
+					rs.out.Result = res
+					rs.out.Err = rerr
+				}
+				if progress == nil && observer == nil {
 					continue
 				}
-				res, err := core.Run(rs.cfg, rs.spec, app)
-				rs.out.App = rs.app
-				rs.out.Protocol = rs.spec.String()
-				rs.out.Procs = rs.cfg.Processors
-				rs.out.Result = res
-				rs.out.Err = err
+				poolMu.Lock()
+				poolDone++
+				if progress != nil {
+					progress(poolDone, poolTotal)
+				}
+				if observer != nil {
+					observer(base+i, *rs.out)
+				}
+				poolMu.Unlock()
 			}
 		}()
 	}
-	for _, rs := range specs {
-		ch <- rs
+	for i := range specs {
+		ch <- i
 	}
 	close(ch)
 	wg.Wait()

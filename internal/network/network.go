@@ -37,12 +37,14 @@
 package network
 
 import (
+	"fmt"
 	"math"
 
 	"dsm96/internal/faults"
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
 	"dsm96/internal/stats"
+	"dsm96/internal/timeline"
 )
 
 // Link directions: 0 = +x, 1 = -x, 2 = +y, 3 = -y.
@@ -75,6 +77,10 @@ type Network struct {
 	// while a fault model is installed.
 	faults *faults.Model
 	pairs  []pairState
+
+	// rec, when non-nil, receives per-link occupancy spans (see
+	// SetTimeline). Nil — the default — is a no-op receiver.
+	rec *timeline.Recorder
 
 	// Counters.
 	Messages  uint64
@@ -176,7 +182,25 @@ func (nw *Network) reserveHop(from, dir int, arrive, hop, transfer sim.Time) sim
 	}
 	r.PadTo(start)
 	r.Reserve(nw.eng, transfer)
+	nw.rec.Link(from*numDirs+dir, start, start+transfer)
 	return start
+}
+
+// SetTimeline attaches a timeline recorder: every link the mesh owns is
+// registered as a named track ("n<from><dir>" — the unidirectional link
+// leaving node from in direction dir), and each message body's occupancy
+// of a link is recorded as a span. Pass nil to detach.
+func (nw *Network) SetTimeline(rec *timeline.Recorder) {
+	nw.rec = rec
+	if rec == nil {
+		return
+	}
+	dirs := [numDirs]string{"+x", "-x", "+y", "-y"}
+	names := make([]string, len(nw.links))
+	for i := range names {
+		names[i] = fmt.Sprintf("n%d%s", i/numDirs, dirs[i%numDirs])
+	}
+	rec.InitLinks(names)
 }
 
 // Send injects a message of `bytes` payload (plus header) from src to

@@ -35,6 +35,13 @@ type Job struct {
 type Server struct {
 	Name string
 
+	// Trace, when non-nil, observes every service window as it is
+	// dispatched: the job's name and its [start, end) occupancy of the
+	// server. It is the timeline recorder's controller-occupancy feed
+	// (internal/timeline); purely observational, it must not touch
+	// simulation state. Nil costs one branch per dispatch.
+	Trace func(job string, start, end Time)
+
 	high, low []*Job
 	busy      bool
 
@@ -112,6 +119,9 @@ func (s *Server) dispatch(e *Engine) {
 	}
 	if d < 0 {
 		d = 0
+	}
+	if s.Trace != nil {
+		s.Trace(j.Name, e.now, e.now+d)
 	}
 	s.busyCycles += d
 	if s.cur == nil {

@@ -1,0 +1,180 @@
+package timeline_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"testing"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/params"
+	"dsm96/internal/stats"
+	"dsm96/internal/timeline"
+	"dsm96/internal/tmk"
+	"dsm96/internal/trace"
+)
+
+// Regenerate the goldens after an INTENTIONAL protocol or timing change:
+//
+//	go test ./internal/timeline -run TestGoldenArtifacts -update-golden
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata golden artifacts from the current simulator")
+
+const (
+	goldenMetricsPath  = "testdata/radix_ipd_p4.metrics.json"
+	goldenTimelinePath = "testdata/radix_ipd_p4.timeline.sum"
+)
+
+// runInstrumented performs one ScaleTiny radix run with the timeline
+// attached and returns the recorder, rendered artifacts, and result.
+func runInstrumented(t *testing.T, spec core.Spec, procs int) (*timeline.Recorder, []byte, []byte, *core.Result) {
+	t.Helper()
+	app, err := apps.Tiny("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := params.Default()
+	cfg.Processors = procs
+	rec := timeline.NewRecorder(cfg.Processors)
+	spec.Timeline = rec
+	spec.Tracer = trace.New(1 << 16)
+	res, err := core.Run(cfg, spec, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl bytes.Buffer
+	if err := rec.WritePerfetto(&tl, spec.Tracer.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var m bytes.Buffer
+	if err := res.Metrics().WriteJSON(&m); err != nil {
+		t.Fatal(err)
+	}
+	return rec, tl.Bytes(), m.Bytes(), res
+}
+
+// TestTimelineReconcilesBreakdown is the tentpole's accounting gate: for
+// every processor, the sum of recorded span durations per category must
+// equal the cycles stats.Breakdown reports — exactly, not approximately —
+// under both protocol families (controller and controller-less).
+func TestTimelineReconcilesBreakdown(t *testing.T) {
+	for _, spec := range []core.Spec{core.TM(tmk.IPD), core.AURC(true)} {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			t.Parallel()
+			rec, _, _, res := runInstrumented(t, spec, 8)
+			for node, ps := range res.Breakdown.PerProc {
+				got := rec.CategoryTotals(node)
+				for c := stats.Category(0); c < stats.NumCategories; c++ {
+					if int64(got[c]) != ps.Cycles[c] {
+						t.Errorf("node %d %s: spans sum to %d cycles, breakdown says %d",
+							node, c, got[c], ps.Cycles[c])
+					}
+				}
+			}
+			// Controller tracks populate only when the variant has one.
+			hasCtrl := false
+			for n := 0; n < rec.Nodes(); n++ {
+				hasCtrl = hasCtrl || len(rec.ControllerSpans(n)) > 0
+			}
+			if want := spec.Kind == core.KindTM && spec.TMMode.Ctrl(); hasCtrl != want {
+				t.Errorf("controller spans present=%v, want %v", hasCtrl, want)
+			}
+		})
+	}
+}
+
+// TestTimelineByteIdentical is the determinism gate the issue demands:
+// both artifacts are byte-identical across repeat runs and across
+// GOMAXPROCS settings.
+func TestTimelineByteIdentical(t *testing.T) {
+	_, tl1, m1, _ := runInstrumented(t, core.TM(tmk.IPD), 8)
+	_, tl2, m2, _ := runInstrumented(t, core.TM(tmk.IPD), 8)
+	if !bytes.Equal(tl1, tl2) {
+		t.Error("timeline JSON differs between repeat runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics JSON differs between repeat runs")
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, p := range []int{1, 8} {
+		runtime.GOMAXPROCS(p)
+		_, tl, m, _ := runInstrumented(t, core.TM(tmk.IPD), 8)
+		if !bytes.Equal(tl1, tl) {
+			t.Errorf("timeline JSON differs at GOMAXPROCS=%d", p)
+		}
+		if !bytes.Equal(m1, m) {
+			t.Errorf("metrics JSON differs at GOMAXPROCS=%d", p)
+		}
+	}
+}
+
+// TestRecorderLeavesScheduleUnchanged proves attaching the recorder is
+// observation only: the event schedule (count and fingerprint) of an
+// instrumented run is bit-identical to a bare run's.
+func TestRecorderLeavesScheduleUnchanged(t *testing.T) {
+	for _, spec := range []core.Spec{core.TM(tmk.IPD), core.AURC(true)} {
+		app, err := apps.Tiny("radix")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := params.Default()
+		cfg.Processors = 8
+		bare, err := core.Run(cfg, spec, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, _, inst := runInstrumented(t, spec, 8)
+		if bare.EventFingerprint != inst.EventFingerprint || bare.EventsRun != inst.EventsRun {
+			t.Errorf("%s: instrumented schedule differs: events %d/%d fingerprint %016x/%016x",
+				spec, bare.EventsRun, inst.EventsRun, bare.EventFingerprint, inst.EventFingerprint)
+		}
+	}
+}
+
+// timelineDigest summarizes a timeline artifact for the golden file
+// (the full JSON is megabytes; size + FNV-1a pin it just as hard).
+func timelineDigest(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("size=%d fnv1a=%016x\n", len(b), h.Sum64())
+}
+
+// TestGoldenArtifacts pins the exact bytes of the metrics JSON and a
+// digest of the timeline JSON for one fixed configuration, so any
+// unintended change to either exporter (or to the simulation itself)
+// fails loudly.
+func TestGoldenArtifacts(t *testing.T) {
+	_, tl, m, _ := runInstrumented(t, core.TM(tmk.IPD), 4)
+	digest := timelineDigest(tl)
+	if *updateGolden {
+		if err := os.WriteFile(goldenMetricsPath, m, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTimelinePath, []byte(digest), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s and %s", goldenMetricsPath, goldenTimelinePath)
+		return
+	}
+	wantM, err := os.ReadFile(goldenMetricsPath)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(m, wantM) {
+		t.Errorf("metrics JSON deviates from %s\n(intentional? regenerate with: go test ./internal/timeline -run TestGoldenArtifacts -update-golden)\ngot:\n%s", goldenMetricsPath, m)
+	}
+	wantD, err := os.ReadFile(goldenTimelinePath)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-golden): %v", err)
+	}
+	if digest != string(wantD) {
+		t.Errorf("timeline digest deviates from %s: got %q want %q\n(intentional? regenerate with -update-golden)",
+			goldenTimelinePath, digest, wantD)
+	}
+}

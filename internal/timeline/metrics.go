@@ -1,0 +1,102 @@
+package timeline
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// MetricsSchema names the metrics JSON layout; bump on incompatible
+// change so downstream consumers can dispatch.
+const MetricsSchema = "dsm96/run-metrics/v1"
+
+// ProcCycles is one processor's cycle accounting row (one bar segment
+// stack of the paper's figures), in the five categories of stats.
+type ProcCycles struct {
+	Node  int   `json:"node"`
+	Busy  int64 `json:"busy_cycles"`
+	Data  int64 `json:"data_cycles"`
+	Synch int64 `json:"synch_cycles"`
+	IPC   int64 `json:"ipc_cycles"`
+	Other int64 `json:"other_cycles"`
+	Total int64 `json:"total_cycles"`
+}
+
+// Counters mirrors stats.ProcStats' event counters (machine-wide sums),
+// in the same order Breakdown.CounterTable prints them.
+type Counters struct {
+	SharedReads       uint64 `json:"shared_reads"`
+	SharedWrites      uint64 `json:"shared_writes"`
+	CacheMisses       uint64 `json:"cache_misses"`
+	TLBMisses         uint64 `json:"tlb_misses"`
+	WriteBuffStalls   uint64 `json:"wbuf_stalls"`
+	PageFaults        uint64 `json:"page_faults"`
+	WriteFaults       uint64 `json:"write_faults"`
+	LockAcquires      uint64 `json:"lock_acquires"`
+	Barriers          uint64 `json:"barriers"`
+	TwinsCreated      uint64 `json:"twins_created"`
+	DiffsCreated      uint64 `json:"diffs_created"`
+	DiffsApplied      uint64 `json:"diffs_applied"`
+	Interrupts        uint64 `json:"interrupts"`
+	Messages          uint64 `json:"messages"`
+	Bytes             uint64 `json:"bytes"`
+	Prefetches        uint64 `json:"prefetches"`
+	UsefulPrefetch    uint64 `json:"useful_prefetches"`
+	UselessPrefetch   uint64 `json:"useless_prefetches"`
+	DupMsgsSuppressed uint64 `json:"dup_msgs_suppressed"`
+	PrefetchUseCycles uint64 `json:"prefetch_use_cycles"`
+	PrefetchUseCount  uint64 `json:"prefetch_use_count"`
+}
+
+// ReliabilityMetrics mirrors stats.Reliability.
+type ReliabilityMetrics struct {
+	MessagesDropped    uint64 `json:"messages_dropped"`
+	MessagesDuplicated uint64 `json:"messages_duplicated"`
+	MessagesDelayed    uint64 `json:"messages_delayed"`
+	TimeoutsFired      uint64 `json:"timeouts_fired"`
+	Retries            uint64 `json:"retries"`
+	DuplicatesDropped  uint64 `json:"duplicates_dropped"`
+	HeldForOrder       uint64 `json:"held_for_order"`
+	AcksSent           uint64 `json:"acks_sent"`
+	RetryWaitCycles    uint64 `json:"retry_wait_cycles"`
+}
+
+// Metrics is the machine-readable result of one run: everything the
+// dsmsim report prints, as stable snake_case JSON. Built by
+// core.Result.Metrics; serialized with WriteJSON. Field order is fixed
+// by the struct, so the artifact is byte-reproducible.
+type Metrics struct {
+	Schema     string `json:"schema"`
+	App        string `json:"app"`
+	Protocol   string `json:"protocol"`
+	Processors int    `json:"processors"`
+	Pages      int    `json:"pages"`
+
+	RunningTime int64  `json:"running_time_cycles"`
+	EventsRun   uint64 `json:"events_run"`
+	// Fingerprint is the engine's FNV-1a schedule fingerprint as fixed
+	// %016x hex — the determinism gate's currency, directly diffable.
+	Fingerprint string `json:"event_fingerprint"`
+	Validated   bool   `json:"validated"`
+
+	DiffOpsPercent float64 `json:"diff_ops_percent"`
+
+	// Machine is the all-processors cycle sum; PerProc one row per node.
+	Machine ProcCycles   `json:"machine_cycles"`
+	PerProc []ProcCycles `json:"per_proc_cycles"`
+
+	Counters    Counters           `json:"counters"`
+	Reliability ReliabilityMetrics `json:"reliability"`
+}
+
+// WriteJSON serializes the metrics as indented JSON with a trailing
+// newline. encoding/json over structs and slices (no maps) keeps the
+// byte stream deterministic.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

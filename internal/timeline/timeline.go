@@ -1,0 +1,271 @@
+// Package timeline records where every simulated nanosecond went — as
+// spans on a per-track timeline rather than as aggregate counters. It is
+// the observability layer the paper's figures imply: each computation
+// processor's run decomposes into compute, read-fault stall, write-fault
+// stall, lock stall, barrier stall, prefetch-issue, IPC steal, and
+// "other" phases; protocol controllers and mesh links get occupancy
+// tracks of their own. The Perfetto exporter (WritePerfetto) turns the
+// recording into a Chrome trace-event JSON file loadable in
+// ui.perfetto.dev, with the protocol events of an attached trace.Buffer
+// overlaid as instant markers on the same timebase.
+//
+// # Timebase contract
+//
+// All spans and instants are in simulated cycles, the same clock
+// sim.Engine.Now returns and trace.Event.Time carries (1 cycle = 10 ns
+// in the paper's machine). The exporter writes cycles verbatim into the
+// trace-event "ts"/"dur" fields, so one viewer microsecond reads as one
+// simulated cycle — a display convention, documented in the exported
+// file's metadata, that keeps the artifact integer-only and
+// byte-reproducible.
+//
+// # Zero cost when disabled
+//
+// Every recording method is safe on a nil *Recorder and returns
+// immediately, the same pattern trace.Buffer uses: instrumented layers
+// keep an always-present field (or skip hook installation entirely) and
+// a disabled run executes the exact event schedule — same fingerprint,
+// same goldens, zero additional allocations — as a build without the
+// package.
+//
+// # Determinism
+//
+// Recording happens only from the simulation's single logical thread, in
+// schedule order, into plain slices; the exporters iterate those slices
+// and write with fixed formatting. Because the simulation itself is
+// deterministic, the exported timeline and metrics files are
+// byte-identical across repeat runs and GOMAXPROCS settings — the
+// artifacts are correctness gates, not just viewers (see the golden and
+// repeat-run tests in this package).
+package timeline
+
+import (
+	"dsm96/internal/sim"
+	"dsm96/internal/stats"
+)
+
+// Phase classifies what a computation processor was doing during a span.
+type Phase int
+
+const (
+	// PhaseCompute is useful application work (the protocols' lazily
+	// flushed busy time).
+	PhaseCompute Phase = iota
+	// PhaseReadFault is stall on a page fetch: an invalid page being
+	// brought up to date (diff gather under TreadMarks, whole-page fetch
+	// under AURC).
+	PhaseReadFault
+	// PhaseWriteFault is stall making a page writable: twinning, or
+	// arming the controller's write bit vector.
+	PhaseWriteFault
+	// PhaseLock is lock acquire/grant stall.
+	PhaseLock
+	// PhaseBarrier is barrier wait.
+	PhaseBarrier
+	// PhasePrefetch is time spent issuing prefetch requests after an
+	// acquire or barrier.
+	PhasePrefetch
+	// PhaseIPC is backed-up interrupt service absorbed by the
+	// application (servicing remote requests on the computation
+	// processor).
+	PhaseIPC
+	// PhaseOther bundles interrupt entry/exit, TLB fills, cache misses,
+	// and write-buffer stalls (the paper's "others").
+	PhaseOther
+	// NumPhases bounds the Phase values; fixed-size arrays indexed by
+	// Phase replace maps in totals.
+	NumPhases
+)
+
+// String returns the track-slice label for the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseCompute:
+		return "compute"
+	case PhaseReadFault:
+		return "read-fault"
+	case PhaseWriteFault:
+		return "write-fault"
+	case PhaseLock:
+		return "lock"
+	case PhaseBarrier:
+		return "barrier"
+	case PhasePrefetch:
+		return "prefetch"
+	case PhaseIPC:
+		return "ipc"
+	case PhaseOther:
+		return "other"
+	}
+	return "phase?"
+}
+
+// Category maps a phase to the paper's accounting category, so per-node
+// span totals reconcile exactly with stats.Breakdown (the property
+// TestTimelineReconcilesBreakdown gates).
+func (p Phase) Category() stats.Category {
+	switch p {
+	case PhaseCompute:
+		return stats.Busy
+	case PhaseReadFault, PhaseWriteFault:
+		return stats.Data
+	case PhaseLock, PhaseBarrier, PhasePrefetch:
+		return stats.Synch
+	case PhaseIPC:
+		return stats.IPC
+	}
+	return stats.Other
+}
+
+// PhaseForReason maps a sim.Proc stall reason (the strings the protocol
+// layers pass to SleepReason and wait gates) to a timeline phase. The
+// mapping mirrors the protocols' CategoryFor: a reason's phase always
+// lands in the same stats.Category the protocols charge it to.
+func PhaseForReason(reason string) Phase {
+	switch reason {
+	case "busy":
+		return PhaseCompute
+	case "page-fetch":
+		return PhaseReadFault
+	case "twin":
+		return PhaseWriteFault
+	case "lock", "lock-grant":
+		return PhaseLock
+	case "barrier":
+		return PhaseBarrier
+	case "prefetch-issue":
+		return PhasePrefetch
+	case "ipc-steal":
+		return PhaseIPC
+	}
+	return PhaseOther
+}
+
+// Span is one phase interval on a processor track, [Start, End) in
+// simulated cycles.
+type Span struct {
+	Start, End sim.Time
+	Phase      Phase
+}
+
+// JobSpan is one controller-core service interval.
+type JobSpan struct {
+	Start, End sim.Time
+	Job        string
+}
+
+// Recorder accumulates per-track spans for one run. The zero value is
+// unusable; use NewRecorder. A nil *Recorder is safe to record into
+// (every method is a no-op), so instrumented layers keep an
+// always-present field with zero cost when the timeline is off.
+type Recorder struct {
+	procs     [][]Span
+	ctrl      [][]JobSpan
+	linkNames []string
+	links     [][]Span
+}
+
+// NewRecorder builds a recorder for a machine of `nodes` processors.
+func NewRecorder(nodes int) *Recorder {
+	return &Recorder{
+		procs: make([][]Span, nodes),
+		ctrl:  make([][]JobSpan, nodes),
+	}
+}
+
+// Nodes returns the number of processor tracks.
+func (r *Recorder) Nodes() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.procs)
+}
+
+// Stall records a completed processor stall (or busy flush): the span
+// [start, end) on node's track, classified by PhaseForReason. Adjacent
+// same-phase spans merge, so lazily flushed busy time stays one slice.
+// Safe on nil; zero-length spans are dropped.
+func (r *Recorder) Stall(node int, reason string, start, end sim.Time) {
+	if r == nil || end <= start || node < 0 || node >= len(r.procs) {
+		return
+	}
+	ph := PhaseForReason(reason)
+	tr := r.procs[node]
+	if n := len(tr); n > 0 && tr[n-1].Phase == ph && tr[n-1].End == start {
+		tr[n-1].End = end
+		return
+	}
+	r.procs[node] = append(tr, Span{Start: start, End: end, Phase: ph})
+}
+
+// Controller records one controller-core service window on node's
+// controller track. Safe on nil.
+func (r *Recorder) Controller(node int, job string, start, end sim.Time) {
+	if r == nil || end <= start || node < 0 || node >= len(r.ctrl) {
+		return
+	}
+	r.ctrl[node] = append(r.ctrl[node], JobSpan{Start: start, End: end, Job: job})
+}
+
+// InitLinks names the mesh-link tracks; index i of a later Link call
+// refers to names[i]. Called once by network.SetTimeline. Safe on nil.
+func (r *Recorder) InitLinks(names []string) {
+	if r == nil {
+		return
+	}
+	r.linkNames = names
+	r.links = make([][]Span, len(names))
+}
+
+// Link records one message body's occupancy of link idx. Back-to-back
+// transfers merge into one span. Safe on nil.
+func (r *Recorder) Link(idx int, start, end sim.Time) {
+	if r == nil || end <= start || idx < 0 || idx >= len(r.links) {
+		return
+	}
+	tr := r.links[idx]
+	if n := len(tr); n > 0 && tr[n-1].End == start {
+		tr[n-1].End = end
+		return
+	}
+	r.links[idx] = append(tr, Span{Start: start, End: end})
+}
+
+// ProcSpans returns node's recorded phase spans in chronological order.
+func (r *Recorder) ProcSpans(node int) []Span {
+	if r == nil || node < 0 || node >= len(r.procs) {
+		return nil
+	}
+	return r.procs[node]
+}
+
+// ControllerSpans returns node's controller service windows.
+func (r *Recorder) ControllerSpans(node int) []JobSpan {
+	if r == nil || node < 0 || node >= len(r.ctrl) {
+		return nil
+	}
+	return r.ctrl[node]
+}
+
+// PhaseTotals sums node's span durations per phase — the numbers that
+// must reconcile with stats.Breakdown per category.
+func (r *Recorder) PhaseTotals(node int) [NumPhases]sim.Time {
+	var out [NumPhases]sim.Time
+	if r == nil || node < 0 || node >= len(r.procs) {
+		return out
+	}
+	for _, s := range r.procs[node] {
+		out[s.Phase] += s.End - s.Start
+	}
+	return out
+}
+
+// CategoryTotals folds PhaseTotals through Phase.Category: entry c is
+// the cycles node spent in phases charged to stats category c.
+func (r *Recorder) CategoryTotals(node int) [stats.NumCategories]sim.Time {
+	var out [stats.NumCategories]sim.Time
+	for ph, d := range r.PhaseTotals(node) {
+		out[Phase(ph).Category()] += d
+	}
+	return out
+}

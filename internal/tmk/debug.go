@@ -3,6 +3,8 @@ package tmk
 import (
 	"fmt"
 
+	"dsm96/internal/sim"
+	"dsm96/internal/timeline"
 	"dsm96/internal/trace"
 )
 
@@ -17,6 +19,24 @@ func (pr *Protocol) SetTracer(b *trace.Buffer) { pr.tracer = b }
 
 // Tracer returns the attached buffer (nil if none).
 func (pr *Protocol) Tracer() *trace.Buffer { return pr.tracer }
+
+// SetTimeline attaches a phase recorder: processor stall/busy spans are
+// recorded per node, and on the controller variants each controller
+// core's service windows feed the recorder's controller tracks. Must be
+// called before InstallProc (core.Run's wiring order) so the recording
+// accounting hook is the one installed.
+func (pr *Protocol) SetTimeline(rec *timeline.Recorder) {
+	pr.rec = rec
+	if rec == nil || !pr.mode.Ctrl() {
+		return
+	}
+	for _, n := range pr.nodes {
+		id := n.id
+		n.ctl.Core.Trace = func(job string, start, end sim.Time) {
+			rec.Controller(id, job, start, end)
+		}
+	}
+}
 
 // emit records a structured protocol event and mirrors it to stdout when
 // TracePage matches.

@@ -53,14 +53,38 @@ func (m Mode) String() string {
 	return "?"
 }
 
-// ParseMode maps a label (as printed by String) back to a Mode.
+// ParseMode maps a label back to a Mode. Exact labels (as printed by
+// String) match first; otherwise matching is lenient — case-insensitive
+// with "+" separators optional — so command lines can say "ipd" or
+// "i+p" for I+P+D and I+P.
 func ParseMode(s string) (Mode, bool) {
 	for _, m := range Modes {
 		if m.String() == s {
 			return m, true
 		}
 	}
+	for _, m := range Modes {
+		if normMode(m.String()) == normMode(s) {
+			return m, true
+		}
+	}
 	return Base, false
+}
+
+// normMode lowercases a variant label and strips its "+" separators.
+func normMode(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '+' {
+			continue
+		}
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
 }
 
 // Ctrl reports whether the variant has a protocol controller doing the

@@ -2,6 +2,7 @@ package tmk
 
 import (
 	"dsm96/internal/sim"
+	"dsm96/internal/trace"
 )
 
 // issuePrefetches implements the paper's runtime heuristic: right after a
@@ -39,6 +40,7 @@ func (n *pnode) issuePrefetches(p *sim.Proc) {
 			continue
 		}
 		n.st.Prefetches++
+		n.emit(pg, trace.KindPrefetch, "issue owners=%d", len(owners))
 		pe.prefetchIssued = p.Now()
 		f := &fetchOp{outstanding: len(owners), prefetch: true}
 		pe.fetch = f

@@ -11,6 +11,7 @@ import (
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
 	"dsm96/internal/stats"
+	"dsm96/internal/timeline"
 	"dsm96/internal/trace"
 )
 
@@ -208,6 +209,11 @@ type Protocol struct {
 	profiles map[int]*stats.PageProfile
 	// tracer, when set, records structured protocol events.
 	tracer *trace.Buffer
+	// rec, when set, records per-node phase spans and controller
+	// occupancy (see SetTimeline). Nil for ordinary runs: InstallProc
+	// then installs the plain accounting hook, so a disabled timeline is
+	// structurally absent from the schedule-critical path.
+	rec *timeline.Recorder
 }
 
 // New builds the protocol for the machine described by cfg.
@@ -263,6 +269,16 @@ func (pr *Protocol) InstallProc(id int, p *sim.Proc) {
 	n := pr.nodes[id]
 	n.proc = p
 	st := n.st
+	if rec := pr.rec; rec != nil {
+		// Timeline on: mirror every charge as a span on the node's track.
+		// The span is exactly [now-waited, now), so per-category span sums
+		// reconcile with the Breakdown by construction.
+		p.OnUnblock = func(reason string, waited sim.Time) {
+			st.Add(CategoryFor(reason), waited)
+			rec.Stall(id, reason, p.Now()-waited, p.Now())
+		}
+		return
+	}
 	p.OnUnblock = func(reason string, waited sim.Time) {
 		st.Add(CategoryFor(reason), waited)
 	}

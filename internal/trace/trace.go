@@ -7,11 +7,14 @@
 //
 // # Attaching a buffer
 //
-// Set core.Spec.Tracer to a Buffer before core.Run and protocols that
-// support tracing (the TreadMarks variants) emit into it; the dsmsim
+// Set core.Spec.Tracer to a Buffer before core.Run and both protocol
+// families emit into it — the TreadMarks variants (faults, diffs, write
+// notices, intervals, prefetch issues) and AURC (faults, automatic-update
+// drains, prefetch issues, via KindUpdate/KindPrefetch); the dsmsim
 // command exposes the same path as `-trace <page>`. Emitting into a nil
 // *Buffer is a no-op, so protocol code keeps an always-present field
-// with zero cost when tracing is off.
+// with zero cost when tracing is off. The same events double as the
+// instant markers on an exported timeline (internal/timeline).
 //
 // # Filtering
 //
@@ -52,6 +55,12 @@ const (
 	KindWritable
 	// KindIntervalClose: an interval listing the page was closed.
 	KindIntervalClose
+	// KindUpdate: an AURC automatic update for the page was flushed from
+	// the write cache toward its home (or applied there).
+	KindUpdate
+	// KindPrefetch: a prefetch for the page was issued (TreadMarks P
+	// variants and AURC+P).
+	KindPrefetch
 	// KindOther: anything else a protocol wants to record.
 	KindOther
 )
@@ -71,6 +80,10 @@ func (k Kind) String() string {
 		return "writable"
 	case KindIntervalClose:
 		return "interval"
+	case KindUpdate:
+		return "update"
+	case KindPrefetch:
+		return "prefetch"
 	case KindOther:
 		return "other"
 	}

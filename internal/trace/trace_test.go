@@ -56,7 +56,7 @@ func TestKindFilterAndStrings(t *testing.T) {
 	if b.Total() != 1 {
 		t.Fatalf("kind filter admitted %d", b.Total())
 	}
-	for _, k := range []Kind{KindNotice, KindFault, KindDiffCreate, KindDiffApply, KindWritable, KindIntervalClose, KindOther} {
+	for _, k := range []Kind{KindNotice, KindFault, KindDiffCreate, KindDiffApply, KindWritable, KindIntervalClose, KindUpdate, KindPrefetch, KindOther} {
 		if strings.Contains(k.String(), "Kind(") {
 			t.Errorf("kind %d lacks a label", int(k))
 		}

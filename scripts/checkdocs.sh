@@ -47,6 +47,20 @@ for d in $(grep -ohE 'go run \./[A-Za-z0-9/_-]+' $docs | awk '{print $3}' | sort
 	fi
 done
 
+# 4. Every flag a documented dsmsim/sweep invocation uses must still be
+# registered in that command's main.go (catches stale flag names when a
+# CLI flag is renamed but the docs keep the old spelling).
+for tool in dsmsim sweep; do
+	flags=$(grep -ohE "$tool [^\`|]*" $docs |
+		grep -oE ' -[a-z][a-z-]*' | sed 's/^ -//' | sort -u)
+	for f in $flags; do
+		if ! grep -qE "flag\.[A-Za-z0-9]+\(\&?[A-Za-z]*,? ?\"$f\"" "cmd/$tool/main.go"; then
+			echo "checkdocs: docs use $tool -$f but cmd/$tool/main.go does not register it" >&2
+			fail=1
+		fi
+	done
+done
+
 if [ "$fail" -ne 0 ]; then
 	echo "checkdocs: FAILED" >&2
 	exit 1
