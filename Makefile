@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench golden fuzz docs timeline
+.PHONY: check fmt vet build test race bench golden fuzz docs timeline metricsdiff
 
-check: fmt vet build test race timeline
+check: fmt vet build test race timeline metricsdiff
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -39,18 +39,34 @@ golden:
 fuzz:
 	$(GO) test ./internal/randprog -fuzz FuzzRandprog -fuzztime 30s
 
-# Smoke-test the observability artifacts: generate a Perfetto timeline
-# and run-metrics JSON from a tiny run, then validate both with jq (the
-# timeline must be one trace-event object, the metrics must carry the
-# v1 schema tag and a per-processor breakdown).
+# Smoke-test the observability artifacts: generate a Perfetto timeline,
+# run-metrics JSON, and a causal-span JSONL from a tiny run, then
+# validate them with jq (the timeline must be one trace-event object,
+# the metrics must carry the v2 schema tag, a per-processor breakdown,
+# and a span digest; every span's stages must sum to its window).
 timeline:
 	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
 	$(GO) run ./cmd/dsmsim -p 8 -app radix -mode ipd -scale tiny \
-		-timeline "$$dir/t.json" -metrics "$$dir/m.json" >/dev/null; \
+		-timeline "$$dir/t.json" -metrics "$$dir/m.json" -spans "$$dir/s.jsonl" >/dev/null; \
 	jq -e '.traceEvents | length > 0' "$$dir/t.json" >/dev/null; \
-	jq -e '.schema == "dsm96/run-metrics/v1" and (.per_proc_cycles | length == 8)' \
-		"$$dir/m.json" >/dev/null; \
+	jq -e '.schema == "dsm96/run-metrics/v2" and (.per_proc_cycles | length == 8) and (.spans.digest | length == 16)' "$$dir/m.json" >/dev/null; \
+	jq -es 'all(.[]; (.stages | add) == .end - .start)' "$$dir/s.jsonl" >/dev/null; \
 	echo "timeline: ok"
+
+# Metrics regression gate: rerun the golden configuration (tiny radix,
+# I+P+D, 4 processors) and diff its metrics JSON — every counter, cycle
+# total, percentile, and the span digest — against the committed golden;
+# then prove the differ actually fails by injecting a counter drift.
+metricsdiff:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/dsmsim -p 4 -app radix -mode ipd -scale tiny \
+		-metrics "$$dir/m.json" >/dev/null; \
+	$(GO) run ./cmd/metricsdiff internal/timeline/testdata/radix_ipd_p4.metrics.json "$$dir/m.json"; \
+	jq '.counters.messages += 1' "$$dir/m.json" > "$$dir/drift.json"; \
+	if $(GO) run ./cmd/metricsdiff internal/timeline/testdata/radix_ipd_p4.metrics.json \
+		"$$dir/drift.json" >/dev/null 2>&1; then \
+		echo "metricsdiff: FAILED to detect injected drift"; exit 1; fi; \
+	echo "metricsdiff: drift detection ok"
 
 # Docs gate: vet + formatting, every example builds, and the prose in
 # README/ARCHITECTURE/EXPERIMENTS references only make targets and

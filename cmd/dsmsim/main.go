@@ -21,7 +21,11 @@
 // the run (per-processor phase tracks, controller occupancy, mesh-link
 // occupancy, protocol instant events; open at ui.perfetto.dev, where
 // 1 µs = 1 simulated cycle); -metrics writes the machine-readable run
-// metrics JSON. Both artifacts are byte-identical across repeat runs.
+// metrics JSON (schema dsm96/run-metrics/v2, including the causal-span
+// report); -spans writes one JSON line per blocking protocol operation
+// (read/write fault, lock, barrier, prefetch) with its stage-by-stage
+// latency decomposition. All artifacts are byte-identical across repeat
+// runs.
 package main
 
 import (
@@ -36,11 +40,20 @@ import (
 	"dsm96/internal/dsm"
 	"dsm96/internal/faults"
 	"dsm96/internal/params"
+	"dsm96/internal/spans"
 	"dsm96/internal/stats"
 	"dsm96/internal/timeline"
 	"dsm96/internal/tmk"
 	"dsm96/internal/trace"
 )
+
+// pct returns 100*num/den, or 0 when den is 0.
+func pct(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
 
 // writeArtifact creates path and streams write into it, exiting on error.
 func writeArtifact(path string, write func(io.Writer) error) {
@@ -76,6 +89,7 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
 	timelineOut := flag.String("timeline", "", "write a Perfetto-loadable timeline (Chrome trace-event JSON) to this file")
 	metricsOut := flag.String("metrics", "", "write machine-readable run metrics JSON to this file")
+	spansOut := flag.String("spans", "", "write one causal span per blocking protocol operation as JSONL to this file")
 	flag.Parse()
 
 	var app dsm.App
@@ -154,6 +168,13 @@ func main() {
 			spec.Tracer = tracer
 		}
 	}
+	var tracker *spans.Tracker
+	if *spansOut != "" || *metricsOut != "" {
+		// Metrics carry the span report (schema v2), so both artifacts
+		// share one tracker. Attaching it never perturbs the schedule.
+		tracker = spans.NewTracker(cfg.Processors)
+		spec.Spans = tracker
+	}
 	if *drop > 0 || *dup > 0 || *delay > 0 {
 		spec.Faults = &faults.Plan{
 			Seed:    *faultSeed,
@@ -196,6 +217,15 @@ func main() {
 	if *metricsOut != "" {
 		writeArtifact(*metricsOut, res.Metrics().WriteJSON)
 		fmt.Printf("  metrics:        %s\n", *metricsOut)
+	}
+	if *spansOut != "" {
+		writeArtifact(*spansOut, tracker.WriteJSONL)
+		fmt.Printf("  spans:          %s (%d operations)\n", *spansOut, len(tracker.Ops()))
+	}
+	if res.Spans != nil {
+		ov := res.Spans.Overlap
+		fmt.Printf("  overlap:        %d activity cycles, %d hidden (%.1f%% of activity overlapped compute)\n",
+			ov.ActivityCycles, ov.HiddenCycles, pct(ov.HiddenCycles, ov.ActivityCycles))
 	}
 	if *verbose {
 		fmt.Println("  per-processor:")

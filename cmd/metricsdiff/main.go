@@ -1,0 +1,223 @@
+// Command metricsdiff compares two run-metrics JSON artifacts (dsmsim
+// -metrics / sweep -metrics output, any dsm96/run-metrics schema) and
+// exits nonzero when they drift — the regression gate `make check` runs
+// against the committed golden.
+//
+// Usage:
+//
+//	metricsdiff golden.json new.json
+//	metricsdiff -tol 'counters.bytes=0.05' -tol 'spans.*=0.10' golden.json new.json
+//	metricsdiff -ignore 'per_proc_cycles.*' golden.json new.json
+//
+// Both files are flattened into dotted key paths (array indices become
+// path segments: per_proc_cycles.3.busy_cycles). Every key must appear
+// in both files with an equal value; -allow-extra tolerates keys that
+// exist only in the new file (a newer schema adding fields).
+//
+// -tol PATH=FRAC allows a relative drift of FRAC on numeric values at
+// PATH (repeatable). -ignore PATH skips paths entirely (repeatable). In
+// both, a trailing '*' matches any suffix: 'spans.*' covers the whole
+// spans block.
+//
+// Exit status: 0 when the artifacts match, 1 on drift (each drifted
+// path is reported), 2 on usage or read errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pattern is one -tol/-ignore rule; star means trailing-* prefix match.
+type pattern struct {
+	path string
+	star bool
+	frac float64 // tolerance fraction (unused for -ignore)
+}
+
+func parsePattern(s string) pattern {
+	if strings.HasSuffix(s, "*") {
+		return pattern{path: strings.TrimSuffix(s, "*"), star: true}
+	}
+	return pattern{path: s}
+}
+
+func (p pattern) matches(path string) bool {
+	if p.star {
+		return strings.HasPrefix(path, p.path)
+	}
+	return path == p.path
+}
+
+// flatten walks a decoded JSON value into dotted scalar paths. Numbers
+// arrive as json.Number (the decoder uses UseNumber), so integers far
+// beyond float64 precision — cycle counts, byte totals — compare
+// exactly unless a tolerance asks for arithmetic.
+func flatten(prefix string, v any, out map[string]any) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, sub, out)
+		}
+	case []any:
+		for i, sub := range x {
+			p := strconv.Itoa(i)
+			if prefix != "" {
+				p = prefix + "." + p
+			}
+			flatten(p, sub, out)
+		}
+	default:
+		out[prefix] = v
+	}
+}
+
+func load(path string) (map[string]any, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	flat := map[string]any{}
+	flatten("", v, flat)
+	return flat, nil
+}
+
+// equal compares two scalar leaves under a relative tolerance (0 =
+// exact). Non-numeric values always compare exactly.
+func equal(a, b any, frac float64) bool {
+	na, aok := a.(json.Number)
+	nb, bok := b.(json.Number)
+	if !aok || !bok {
+		return a == b
+	}
+	if na.String() == nb.String() {
+		return true
+	}
+	if frac <= 0 {
+		return false
+	}
+	fa, erra := na.Float64()
+	fb, errb := nb.Float64()
+	if erra != nil || errb != nil {
+		return false
+	}
+	return math.Abs(fa-fb) <= frac*math.Max(math.Abs(fa), math.Abs(fb))
+}
+
+func main() {
+	var tols, ignores []pattern
+	flag.Func("tol", "PATH=FRAC: allow relative drift FRAC at PATH (trailing * = prefix; repeatable)",
+		func(s string) error {
+			eq := strings.LastIndex(s, "=")
+			if eq < 0 {
+				return fmt.Errorf("want PATH=FRAC, got %q", s)
+			}
+			frac, err := strconv.ParseFloat(s[eq+1:], 64)
+			if err != nil || frac < 0 {
+				return fmt.Errorf("bad tolerance in %q", s)
+			}
+			p := parsePattern(s[:eq])
+			p.frac = frac
+			tols = append(tols, p)
+			return nil
+		})
+	flag.Func("ignore", "PATH: skip this path (trailing * = prefix; repeatable)",
+		func(s string) error {
+			ignores = append(ignores, parsePattern(s))
+			return nil
+		})
+	allowExtra := flag.Bool("allow-extra", false, "tolerate keys present only in the new file")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: metricsdiff [-tol PATH=FRAC]... [-ignore PATH]... [-allow-extra] golden.json new.json")
+		os.Exit(2)
+	}
+	golden, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricsdiff:", err)
+		os.Exit(2)
+	}
+	next, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricsdiff:", err)
+		os.Exit(2)
+	}
+
+	ignored := func(path string) bool {
+		for _, p := range ignores {
+			if p.matches(path) {
+				return true
+			}
+		}
+		return false
+	}
+	tolFor := func(path string) float64 {
+		// The last matching -tol wins, so broad patterns can be
+		// overridden by later, more specific ones.
+		frac := 0.0
+		for _, p := range tols {
+			if p.matches(path) {
+				frac = p.frac
+			}
+		}
+		return frac
+	}
+
+	paths := make([]string, 0, len(golden)+len(next))
+	for p := range golden {
+		paths = append(paths, p)
+	}
+	for p := range next {
+		if _, ok := golden[p]; !ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	drift := 0
+	report := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "metricsdiff: "+format+"\n", args...)
+		drift++
+	}
+	for _, p := range paths {
+		if ignored(p) {
+			continue
+		}
+		gv, inGolden := golden[p]
+		nv, inNext := next[p]
+		switch {
+		case !inNext:
+			report("%s: missing from %s (golden has %v)", p, flag.Arg(1), gv)
+		case !inGolden:
+			if !*allowExtra {
+				report("%s: only in %s (value %v)", p, flag.Arg(1), nv)
+			}
+		case !equal(gv, nv, tolFor(p)):
+			report("%s: golden %v, got %v", p, gv, nv)
+		}
+	}
+	if drift > 0 {
+		fmt.Fprintf(os.Stderr, "metricsdiff: %d path(s) drifted between %s and %s\n",
+			drift, flag.Arg(0), flag.Arg(1))
+		os.Exit(1)
+	}
+	fmt.Printf("metricsdiff: %s and %s match (%d paths compared)\n",
+		flag.Arg(0), flag.Arg(1), len(paths))
+}

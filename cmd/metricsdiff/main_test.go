@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func flatJSON(t *testing.T, src string) map[string]any {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFlatten(t *testing.T) {
+	m := flatJSON(t, `{"a":{"b":1,"c":[{"d":2},{"d":3}]},"e":"x","f":null}`)
+	want := map[string]string{
+		"a.b": "1", "a.c.0.d": "2", "a.c.1.d": "3", "e": "x",
+	}
+	if len(m) != len(want)+1 { // +1 for the null leaf at f
+		t.Fatalf("flattened to %d paths: %v", len(m), m)
+	}
+	for k, v := range want {
+		got, ok := m[k]
+		if !ok {
+			t.Errorf("missing path %s", k)
+			continue
+		}
+		if n, isNum := got.(json.Number); isNum {
+			if n.String() != v {
+				t.Errorf("%s = %v, want %s", k, n, v)
+			}
+		} else if got != any(v) {
+			t.Errorf("%s = %v, want %v", k, got, v)
+		}
+	}
+	if v, ok := m["f"]; !ok || v != nil {
+		t.Errorf("f = %v (present %v), want null leaf", v, ok)
+	}
+}
+
+func TestEqualExactIntegers(t *testing.T) {
+	// Integers beyond float64 precision must compare exactly when no
+	// tolerance applies: these differ only in the last digit.
+	a, b := json.Number("9007199254740993"), json.Number("9007199254740992")
+	if equal(a, b, 0) {
+		t.Error("distinct 2^53-scale integers compared equal")
+	}
+	if !equal(a, a, 0) {
+		t.Error("identical numbers compared unequal")
+	}
+}
+
+func TestEqualTolerance(t *testing.T) {
+	a, b := json.Number("100"), json.Number("104")
+	if equal(a, b, 0.03) {
+		t.Error("4% drift accepted at 3% tolerance")
+	}
+	if !equal(a, b, 0.05) {
+		t.Error("4% drift rejected at 5% tolerance")
+	}
+	if equal(json.Number("1"), "1", 1) {
+		t.Error("number compared equal to string")
+	}
+}
+
+func TestPatternMatching(t *testing.T) {
+	exact := parsePattern("counters.messages")
+	if !exact.matches("counters.messages") || exact.matches("counters.messages_dropped") {
+		t.Error("exact pattern mismatch")
+	}
+	star := parsePattern("spans.*")
+	if !star.matches("spans.digest") || !star.matches("spans.overlap.hidden_cycles") {
+		t.Error("star pattern should prefix-match")
+	}
+	if star.matches("counters.spans") {
+		t.Error("star pattern matched a non-prefix")
+	}
+}
+
+// TestEndToEnd exercises the comparison logic the way main does: two
+// artifacts that differ in one counter must disagree on exactly that
+// flattened path.
+func TestEndToEnd(t *testing.T) {
+	golden := flatJSON(t, `{"schema":"dsm96/run-metrics/v2","counters":{"messages":10,"bytes":2048}}`)
+	drifted := flatJSON(t, `{"schema":"dsm96/run-metrics/v2","counters":{"messages":11,"bytes":2048}}`)
+	var bad []string
+	for p, gv := range golden {
+		if !equal(gv, drifted[p], 0) {
+			bad = append(bad, p)
+		}
+	}
+	if len(bad) != 1 || bad[0] != "counters.messages" {
+		t.Errorf("drifted paths = %v, want [counters.messages]", bad)
+	}
+	if !strings.HasPrefix(bad[0], "counters.") {
+		t.Error("sanity: drift not in counters block")
+	}
+}

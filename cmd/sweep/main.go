@@ -21,12 +21,17 @@
 // completed cells on stderr (suppress with -q). With -metrics DIR, every
 // completed cell additionally writes machine-readable run metrics JSON
 // to DIR/cell-<seq>-<app>-<protocol>-p<procs>.json, where <seq> is the
-// cell's deterministic submission number.
+// cell's deterministic submission number; with -spans DIR, each cell
+// also writes its causal spans (one JSON line per blocking protocol
+// operation) to the same name with a .spans.jsonl suffix. Both are
+// written atomically (temp file + rename), so a sweep killed mid-write
+// never leaves a truncated artifact behind.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,6 +51,7 @@ func main() {
 	jobs := flag.Int("j", 0, "simulation worker pool size (0 = one worker per CPU)")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
 	metricsDir := flag.String("metrics", "", "write per-cell run metrics JSON files into this directory")
+	spansDir := flag.String("spans", "", "write per-cell causal span JSONL files into this directory")
 	flag.Parse()
 
 	experiments.SetWorkers(*jobs)
@@ -57,27 +63,39 @@ func main() {
 			}
 		})
 	}
-	if *metricsDir != "" {
-		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+	if *metricsDir != "" || *spansDir != "" {
+		for _, dir := range []string{*metricsDir, *spansDir} {
+			if dir == "" {
+				continue
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
 		}
-		dir := *metricsDir
+		mdir, sdir := *metricsDir, *spansDir
+		if sdir != "" {
+			experiments.SetSpans(true)
+		}
 		experiments.SetRunObserver(func(seq int, r experiments.Run) {
 			if r.Err != nil || r.Result == nil {
 				return
 			}
-			name := fmt.Sprintf("cell-%04d-%s-%s-p%d.json", seq, r.App,
+			stem := fmt.Sprintf("cell-%04d-%s-%s-p%d", seq, r.App,
 				strings.ReplaceAll(r.Protocol, "+", ""), r.Procs)
-			f, err := os.Create(filepath.Join(dir, name))
-			if err == nil {
-				err = r.Result.Metrics().WriteJSON(f)
-				if cerr := f.Close(); err == nil {
-					err = cerr
+			if mdir != "" {
+				err := experiments.WriteFileAtomic(filepath.Join(mdir, stem+".json"),
+					func(w io.Writer) error { return r.Result.Metrics().WriteJSON(w) })
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "\nsweep: metrics:", err)
 				}
 			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "\nsweep: metrics:", err)
+			if sdir != "" {
+				err := experiments.WriteFileAtomic(filepath.Join(sdir, stem+".spans.jsonl"),
+					r.Spans.WriteJSONL)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "\nsweep: spans:", err)
+				}
 			}
 		})
 	}

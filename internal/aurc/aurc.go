@@ -22,6 +22,7 @@ import (
 	"dsm96/internal/network"
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
+	"dsm96/internal/spans"
 	"dsm96/internal/stats"
 	"dsm96/internal/timeline"
 	"dsm96/internal/trace"
@@ -141,6 +142,10 @@ type fetchOp struct {
 	// snap is the requester's vector timestamp at fault time: after the
 	// fetch, everything it covers is reflected locally.
 	snap lrc.VTS
+	// op is the causal span riding the fetch (nil when spans are off).
+	// Demand ops are closed by the waiter in processor context; prefetch
+	// ops close when the page lands.
+	op *spans.Op
 }
 
 type plock struct {
@@ -154,6 +159,8 @@ type plock struct {
 type lockReq struct {
 	from int
 	vts  lrc.VTS
+	// op is the requester's acquire span, travelling with the request.
+	op *spans.Op
 }
 
 // anode is the per-node AURC state.
@@ -195,6 +202,9 @@ type anode struct {
 	// the manager's knowledge stays causally closed.
 	lastBarrierVTS lrc.VTS
 	barrierGate    *sim.Gate
+	// barrierOp is the node's in-flight barrier span, so the manager's
+	// release path can mark milestones on it.
+	barrierOp *spans.Op
 }
 
 type drainWaiter struct {
@@ -220,6 +230,8 @@ type Protocol struct {
 	tracer *trace.Buffer
 	// rec, when set, records per-node phase spans — see SetTimeline.
 	rec *timeline.Recorder
+	// sp, when set, collects causal operation spans — see SetSpans.
+	sp *spans.Tracker
 }
 
 // New builds the protocol (prefetch selects AURC+P).
@@ -272,13 +284,16 @@ func (pr *Protocol) InstallProc(id int, p *sim.Proc) {
 	n := pr.nodes[id]
 	n.proc = p
 	st := n.st
-	if rec := pr.rec; rec != nil {
-		// Timeline on: mirror every charge as the span [now-waited, now)
-		// on the node's track, so per-category span sums reconcile with
-		// the Breakdown by construction.
+	if rec, sp := pr.rec, pr.sp; rec != nil || sp != nil {
+		// Observability on: mirror every charge as the span
+		// [now-waited, now) on the node's timeline track and/or onto the
+		// node's current operation span. Both receivers are nil-safe, so
+		// one closure serves any combination.
 		p.OnUnblock = func(reason string, waited sim.Time) {
-			st.Add(categoryFor(reason), waited)
+			c := categoryFor(reason)
+			st.Add(c, waited)
 			rec.Stall(id, reason, p.Now()-waited, p.Now())
+			sp.Charge(id, c, waited, p.Now())
 		}
 		return
 	}
@@ -506,5 +521,17 @@ func (n *anode) sendAsync(dst, bytes int, deliver func()) {
 func (n *anode) serveCPU(cost sim.Time, fn func()) {
 	n.st.Interrupts++
 	_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.InterruptTime+cost)
+	n.pr.eng.At(end, fn)
+}
+
+// serveCPUSpan is serveCPU plus span milestones: the service window's
+// start closes the operation's queueing stage, its end the remote stage
+// (eagerly stamped with the reservation's future times; spans.End sorts
+// before partitioning).
+func (n *anode) serveCPUSpan(cost sim.Time, op *spans.Op, fn func()) {
+	n.st.Interrupts++
+	start, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.InterruptTime+cost)
+	op.Mark(spans.StageQueue, start)
+	op.Mark(spans.StageRemote, end)
 	n.pr.eng.At(end, fn)
 }

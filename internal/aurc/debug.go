@@ -3,6 +3,7 @@ package aurc
 import (
 	"fmt"
 
+	"dsm96/internal/spans"
 	"dsm96/internal/timeline"
 	"dsm96/internal/trace"
 )
@@ -23,6 +24,12 @@ func (pr *Protocol) Tracer() *trace.Buffer { return pr.tracer }
 // (core.Run's wiring order) so the recording accounting hook is the one
 // installed.
 func (pr *Protocol) SetTimeline(rec *timeline.Recorder) { pr.rec = rec }
+
+// SetSpans attaches a causal-span tracker. AURC has no protocol
+// controller, so only the processor-side span hooks apply. Must be
+// called before InstallProc (core.Run's wiring order) so the charging
+// accounting hook is the one installed.
+func (pr *Protocol) SetSpans(tr *spans.Tracker) { pr.sp = tr }
 
 // emit records a structured protocol event (no-op without a tracer).
 func (n *anode) emit(pg int, kind trace.Kind, format string, args ...any) {

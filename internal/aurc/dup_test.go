@@ -54,8 +54,8 @@ func TestDuplicateGrantAppliedOnce(t *testing.T) {
 	grantVTS := lrc.VTS{0, 1}
 	ivs := []*lrc.Interval{{Owner: 1, Seq: 1, VTS: lrc.VTS{0, 1}, Pages: []int{6}}}
 	eng.At(0, func() {
-		n.receiveGrant(5, ivs, grantVTS)
-		n.receiveGrant(5, ivs, grantVTS)
+		n.receiveGrant(5, ivs, grantVTS, nil)
+		n.receiveGrant(5, ivs, grantVTS, nil)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -66,7 +66,7 @@ func TestDuplicateGrantAppliedOnce(t *testing.T) {
 	if n.st.DupMsgsSuppressed != 1 {
 		t.Fatalf("DupMsgsSuppressed = %d, want 1", n.st.DupMsgsSuppressed)
 	}
-	eng.At(eng.Now(), func() { n.receiveGrant(5, ivs, grantVTS) })
+	eng.At(eng.Now(), func() { n.receiveGrant(5, ivs, grantVTS, nil) })
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}

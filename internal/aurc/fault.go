@@ -2,6 +2,7 @@ package aurc
 
 import (
 	"dsm96/internal/sim"
+	"dsm96/internal/spans"
 	"dsm96/internal/trace"
 )
 
@@ -15,18 +16,27 @@ func (n *anode) fault(p *sim.Proc, pg int, pe *page, d *pageDir) {
 	n.st.PageFaults++
 	n.pr.profile(pg).Faults++
 	n.emit(pg, trace.KindFault, "pending=%d", len(pe.pending))
+	// The span opens after the trap, so its window is exactly the cycles
+	// the fetch blocks the processor — one span per page fault, so span
+	// counts equal the PageFaults counter.
+	op := n.pr.sp.Begin(n.id, spans.OpReadFault, pg, p.Now())
 	if f := pe.fetch; f != nil {
 		if f.prefetch {
 			n.st.UsefulPrefetch++
 			f.prefetch = false
 		}
 		f.gate.Wait(p, reasonFetch)
+		// The whole wait rode a transaction someone else started
+		// (typically a prefetch): attribute it to remote service.
+		op.Mark(spans.StageRemote, p.Now())
+		n.pr.sp.End(op, p.Now())
 		return
 	}
-	f := &fetchOp{}
+	f := &fetchOp{op: op}
 	pe.fetch = f
 	n.startFetch(p, pg, pe, d, f)
 	f.gate.Wait(p, reasonFetch)
+	n.pr.sp.End(op, p.Now())
 }
 
 // startFetch launches the page transaction; p is the requesting
@@ -39,6 +49,9 @@ func (n *anode) startFetch(p *sim.Proc, pg int, pe *page, d *pageDir, f *fetchOp
 		// This node is the data holder (home or pairwise member): its
 		// copy is correct once in-flight updates have landed.
 		n.waitUpdatesDrained(func() {
+			// The whole wait was draining in-flight updates: the remote
+			// writers' traffic is the "service" this fetch waited on.
+			f.op.Mark(spans.StageRemote, n.pr.eng.Now())
 			n.completeFetch(pg, pe, f)
 		})
 		return
@@ -71,9 +84,14 @@ func (n *anode) startFetch(p *sim.Proc, pg int, pe *page, d *pageDir, f *fetchOp
 func (n *anode) servePageReq(from, pg int, f *fetchOp) {
 	cfg := n.pr.cfg
 	requester := n.pr.nodes[from]
-	n.serveCPU(pageReqCost, func() {
+	// The request is off the wire; the serve window closes the queueing
+	// stage and opens remote service.
+	f.op.Mark(spans.StageWire, n.pr.eng.Now())
+	n.serveCPUSpan(pageReqCost, f.op, func() {
 		n.waitUpdatesDrained(func() {
-			// Capture the page at this instant.
+			// Capture the page at this instant. The drain extended the
+			// remote stage to here.
+			f.op.Mark(spans.StageRemote, n.pr.eng.Now())
 			data := append([]byte(nil), n.frames.Page(pg)...)
 			n.mem.MemTouch(cfg.PageSize)
 			bytes := updateHeaderBytes + cfg.PageSize
@@ -93,6 +111,7 @@ func (n *anode) receivePage(pg int, data []byte, f *fetchOp) {
 		n.st.DupMsgsSuppressed++
 		return
 	}
+	f.op.Mark(spans.StageReply, n.pr.eng.Now())
 	n.frames.CopyPage(pg, data)
 	n.mem.DMA(len(data))
 	n.mem.InvalidatePage(int64(pg) * int64(n.pr.cfg.PageSize))
@@ -119,6 +138,11 @@ func (n *anode) completeFetch(pg int, pe *page, f *fetchOp) {
 		pe.prefetchedUnused = f.prefetch
 	}
 	pe.fetch = nil
+	// A prefetch span closes when the page lands (nobody is waiting);
+	// demand spans close in the waiter's proc context.
+	if f.op != nil && f.op.Kind == spans.OpPrefetch {
+		n.pr.sp.End(f.op, n.pr.eng.Now())
+	}
 	f.gate.Open(n.pr.eng)
 }
 
@@ -138,8 +162,13 @@ func (n *anode) issuePrefetches(p *sim.Proc) {
 		d := n.pr.pageDir(pg)
 		n.st.Prefetches++
 		n.emit(pg, trace.KindPrefetch, "issue home=%d", d.home)
-		f := &fetchOp{prefetch: true}
+		// The prefetch gets its own span: issue overheads charge to it,
+		// then it detaches and the span window is the flight time that
+		// overlap accounting credits as hidden.
+		op := n.pr.sp.Begin(n.id, spans.OpPrefetch, pg, p.Now())
+		f := &fetchOp{prefetch: true, op: op}
 		pe.fetch = f
 		n.startFetch(p, pg, pe, d, f)
+		n.pr.sp.Detach(n.id, op)
 	}
 }

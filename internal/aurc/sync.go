@@ -6,6 +6,8 @@ import (
 
 	"dsm96/internal/lrc"
 	"dsm96/internal/sim"
+	"dsm96/internal/spans"
+	"dsm96/internal/trace"
 )
 
 // AURC uses the same interval / write-notice machinery as lazy release
@@ -126,26 +128,31 @@ func (pr *Protocol) Lock(p *sim.Proc, id int, lock int) {
 	n.absorbSteal(p)
 	n.fp.Flush(p)
 	n.st.LockAcquires++
+	op := pr.sp.Begin(id, spans.OpLock, lock, p.Now())
 	lk := n.lock(lock)
 	if lk.hasToken && !lk.inCS && lk.next == nil {
 		lk.inCS = true
 		p.SleepReason(localLockCost, reasonLock)
+		n.emit(-1, trace.KindLock, "acquired lock=%d (cached token)", lock)
+		pr.sp.End(op, p.Now())
 		return
 	}
 	gate := &sim.Gate{}
 	lk.gate = gate
 	home := lock % pr.cfg.Processors
-	req := lockReq{from: id, vts: n.vts.Clone()}
+	req := lockReq{from: id, vts: n.vts.Clone(), op: op}
 	n.sendFromProc(p, reasonLock, home, requestWireBytes+n.vts.WireBytes(), func() {
 		pr.nodes[home].homeForward(lock, req)
 	})
 	gate.Wait(p, reasonLock)
+	pr.sp.End(op, p.Now())
 	if pr.prefetch {
 		n.issuePrefetches(p)
 	}
 }
 
 func (n *anode) homeForward(lock int, req lockReq) {
+	req.op.Mark(spans.StageWire, n.pr.eng.Now())
 	lk := n.lock(lock)
 	prev := lk.tail
 	lk.tail = req.from
@@ -162,6 +169,7 @@ func (n *anode) homeForward(lock int, req lockReq) {
 }
 
 func (n *anode) receiveLockReq(lock int, req lockReq) {
+	req.op.Mark(spans.StageQueue, n.pr.eng.Now())
 	lk := n.lock(lock)
 	if lk.hasToken && !lk.inCS {
 		lk.hasToken = false
@@ -177,9 +185,10 @@ func (n *anode) grantLockAsync(lock int, req lockReq) {
 	bytes := requestWireBytes + n.vts.WireBytes() + intervalsWireBytes(ivs, n.pr.cfg.Processors)
 	grantVTS := n.vts.Clone()
 	requester := n.pr.nodes[req.from]
-	n.serveCPU(n.listCost(ivs), func() {
+	n.emit(-1, trace.KindLock, "grant lock=%d to=%d ivs=%d", lock, req.from, len(ivs))
+	n.serveCPUSpan(n.listCost(ivs), req.op, func() {
 		n.sendAsync(req.from, bytes, func() {
-			requester.receiveGrant(lock, ivs, grantVTS)
+			requester.receiveGrant(lock, ivs, grantVTS, req.op)
 		})
 	})
 }
@@ -190,19 +199,25 @@ func (n *anode) grantLockFromProc(p *sim.Proc, lock int, req lockReq) {
 	bytes := requestWireBytes + n.vts.WireBytes() + intervalsWireBytes(ivs, n.pr.cfg.Processors)
 	grantVTS := n.vts.Clone()
 	requester := n.pr.nodes[req.from]
+	n.emit(-1, trace.KindLock, "grant lock=%d to=%d ivs=%d", lock, req.from, len(ivs))
 	p.SleepReason(n.listCost(ivs), reasonLockGrant)
 	n.sendFromProc(p, reasonLockGrant, req.from, bytes, func() {
-		requester.receiveGrant(lock, ivs, grantVTS)
+		requester.receiveGrant(lock, ivs, grantVTS, req.op)
 	})
+	// From the acquirer's point of view the cycles up to here — waiting
+	// out the holder's critical section and the grant assembly — are all
+	// remote service.
+	req.op.Mark(spans.StageRemote, p.Now())
 }
 
-func (n *anode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS) {
+func (n *anode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS, op *spans.Op) {
 	if n.lock(lock).gate == nil {
 		// No acquire is waiting: a duplicated grant already handed us the
 		// token (see the TreadMarks twin of this guard).
 		n.st.DupMsgsSuppressed++
 		return
 	}
+	op.Mark(spans.StageReply, n.pr.eng.Now())
 	cost := n.pr.cfg.InterruptTime + n.listCost(ivs)
 	_, end := n.cpu.Reserve(n.pr.eng, cost)
 	n.pr.eng.At(end, func() {
@@ -215,6 +230,8 @@ func (n *anode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS) {
 		n.vts.Max(grantVTS)
 		lk.hasToken = true
 		lk.inCS = true
+		op.Mark(spans.StageController, n.pr.eng.Now())
+		n.emit(-1, trace.KindLock, "acquired lock=%d ivs=%d", lock, len(ivs))
 		lk.gate.Open(n.pr.eng)
 		lk.gate = nil
 	})
@@ -233,11 +250,14 @@ func (pr *Protocol) Unlock(p *sim.Proc, id int, lock int) {
 	// flush timestamps sent across active links cover this interval.
 	n.wc.flushAll()
 	lk.inCS = false
+	n.emit(-1, trace.KindLock, "release lock=%d", lock)
 	if lk.next != nil {
 		req := *lk.next
 		lk.next = nil
 		lk.hasToken = false
+		rop := pr.sp.Begin(id, spans.OpRelease, lock, p.Now())
 		n.grantLockFromProc(p, lock, req)
+		pr.sp.End(rop, p.Now())
 	}
 }
 
@@ -264,6 +284,9 @@ func (pr *Protocol) Barrier(p *sim.Proc, id int, bar int) {
 	n.absorbSteal(p)
 	n.fp.Flush(p)
 	n.st.Barriers++
+	op := pr.sp.Begin(id, spans.OpBarrier, bar, p.Now())
+	n.barrierOp = op
+	n.emit(-1, trace.KindBarrier, "arrive bar=%d", bar)
 	n.closeInterval()
 	// Ship everything the manager could lack (causally closed batch, as
 	// in the TreadMarks implementation).
@@ -278,10 +301,14 @@ func (pr *Protocol) Barrier(p *sim.Proc, id int, bar int) {
 	} else {
 		bytes := requestWireBytes + myVTS.WireBytes() + intervalsWireBytes(own, pr.cfg.Processors)
 		n.sendFromProc(p, reasonBarrier, barrierManager, bytes, func() {
+			op.Mark(spans.StageWire, pr.eng.Now())
 			mgr.barrierArrive(bar, id, myVTS, own)
 		})
 	}
 	gate.Wait(p, reasonBarrier)
+	n.barrierOp = nil
+	n.emit(-1, trace.KindBarrier, "depart bar=%d", bar)
+	pr.sp.End(op, p.Now())
 	if pr.prefetch {
 		n.issuePrefetches(p)
 	}
@@ -324,11 +351,13 @@ func (n *anode) barrierReleaseAll(b *barrier) {
 }
 
 func (n *anode) barrierRelease(ivs []*lrc.Interval, globalVTS lrc.VTS, local bool) {
+	n.barrierOp.Mark(spans.StageRemote, n.pr.eng.Now())
 	finish := func() {
 		n.integrate(ivs)
 		n.vts.Max(globalVTS)
 		n.lastBarrierVTS = globalVTS.Clone()
 		if n.barrierGate != nil {
+			n.barrierOp.Mark(spans.StageController, n.pr.eng.Now())
 			g := n.barrierGate
 			n.barrierGate = nil
 			g.Open(n.pr.eng)

@@ -14,6 +14,7 @@ import (
 	"dsm96/internal/network"
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
+	"dsm96/internal/spans"
 	"dsm96/internal/stats"
 	"dsm96/internal/timeline"
 	"dsm96/internal/tmk"
@@ -57,6 +58,15 @@ type Spec struct {
 	// network exactly as reliable — and the event schedule exactly as
 	// reproducible — as a build without fault injection.
 	Faults *faults.Plan
+	// Spans, when set, tags every blocking protocol operation (read and
+	// write fault service, lock acquire and grant, barrier, prefetch)
+	// with a causal span: the operation's stage decomposition, the stall
+	// cycles charged to it, and the controller/network activity windows
+	// that overlap accounting measures hidden latency from. Build it with
+	// spans.NewTracker(cfg.Processors); the finished report lands in
+	// Result.Spans. Nil — the default — leaves the instrumentation
+	// structurally absent, exactly as for Timeline.
+	Spans *spans.Tracker
 }
 
 // String returns the paper's label for the protocol.
@@ -119,6 +129,10 @@ type Result struct {
 	// Pages holds the per-page sharing profile (faults, invalidations,
 	// diff traffic, reader/writer sets).
 	Pages []stats.PageProfile
+	// Spans is the causal-span report (nil unless Spec.Spans was set):
+	// per-kind latency percentiles and stage decomposition, overlap
+	// accounting, and the barrier critical-path chains.
+	Spans *spans.Report
 }
 
 // Validated reports whether the parallel answer matches the sequential
@@ -182,6 +196,15 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 			tl.SetTimeline(spec.Timeline)
 		}
 	}
+	if spec.Spans != nil {
+		// After SetTimeline (the controller trace hook chains onto the
+		// recorder's) and before InstallProc (the charging accounting hook
+		// must be the one installed).
+		net.SetSpans(spec.Spans)
+		if sp, ok := sys.(interface{ SetSpans(*spans.Tracker) }); ok {
+			sp.SetSpans(spec.Spans)
+		}
+	}
 	app.Setup(sys.Heap())
 	for id := 0; id < cfg.Processors; id++ {
 		id := id
@@ -213,6 +236,9 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 		EngineStats:      eng.Stats(),
 		Protocol:         spec.String(),
 		App:              app.Name(),
+	}
+	if spec.Spans != nil {
+		res.Spans = spec.Spans.Report()
 	}
 	if !res.Validated() {
 		return res, fmt.Errorf("core: %s under %s computed %v, sequential oracle %v",

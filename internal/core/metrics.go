@@ -12,10 +12,13 @@ import (
 // running time, the per-processor and machine-wide category breakdown,
 // every event counter, the reliability block, and the schedule
 // fingerprint — as stable snake_case JSON. dsmsim -metrics and the sweep
-// command's per-cell output both serialize this.
+// command's per-cell output both serialize this. When the run carried a
+// spans.Tracker the causal-span report rides along as the optional
+// `spans` block.
 func (r *Result) Metrics() *timeline.Metrics {
 	m := &timeline.Metrics{
 		Schema:         timeline.MetricsSchema,
+		Spans:          r.Spans,
 		App:            r.App,
 		Protocol:       r.Protocol,
 		Processors:     len(r.Breakdown.PerProc),

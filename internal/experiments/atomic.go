@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic streams write into a temporary file in path's
+// directory and renames it over path only after the write (and close)
+// fully succeeded. A reader — or a later run resuming from a partially
+// written sweep directory — therefore never observes a truncated
+// artifact: either the old content survives or the complete new content
+// appears. On any error the temporary file is removed and path is left
+// untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "{\"ok\":true}\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "{\"ok\":true}\n" {
+		t.Fatalf("content %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp file left behind: %v", ents)
+	}
+}
+
+// TestWriteFileAtomicKilledMidWrite simulates a worker dying partway
+// through an artifact write (the write callback errors after emitting
+// some bytes): the destination must keep its previous content and no
+// temporary file may survive.
+func TestWriteFileAtomicKilledMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cell-0001.json")
+	if err := os.WriteFile(path, []byte("old complete artifact\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("worker killed")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, strings.Repeat("partial ", 512)); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "old complete artifact\n" {
+		t.Fatalf("destination clobbered: %q", got)
+	}
+	ents, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp file left behind after failed write: %v", ents)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"dsm96/internal/core"
 	"dsm96/internal/dsm"
 	"dsm96/internal/params"
+	"dsm96/internal/spans"
 	"dsm96/internal/stats"
 	"dsm96/internal/tmk"
 )
@@ -66,6 +67,9 @@ type Run struct {
 	Procs    int
 	Result   *core.Result
 	Err      error
+	// Spans is the run's causal-span tracker (nil unless SetSpans(true)
+	// armed per-run span collection); cmd/sweep streams it as JSONL.
+	Spans *spans.Tracker
 }
 
 // runSpec describes one run to perform.
@@ -94,9 +98,13 @@ var (
 	// are submitted serially) and a copy of the Run. Calls are
 	// serialized but may arrive out of sequence order.
 	poolObserver func(seq int, r Run)
-	poolSeq      int
-	poolDone     int
-	poolTotal    int
+	// poolSpans, when true, attaches a fresh spans.Tracker to every run
+	// so the observer can export per-operation spans. Off by default:
+	// span collection allocates per blocking operation.
+	poolSpans bool
+	poolSeq   int
+	poolDone  int
+	poolTotal int
 )
 
 // SetWorkers bounds how many simulations run concurrently (cmd/sweep
@@ -125,6 +133,16 @@ func SetRunObserver(fn func(seq int, r Run)) {
 	poolMu.Unlock()
 }
 
+// SetSpans arms (or disarms) per-run causal-span collection: every
+// subsequent run carries its own spans.Tracker, exposed to the run
+// observer as Run.Spans and folded into Result.Metrics(). Collection
+// never perturbs the simulated schedule.
+func SetSpans(on bool) {
+	poolMu.Lock()
+	poolSpans = on
+	poolMu.Unlock()
+}
+
 // execute performs a batch of runs concurrently (each run owns its
 // engine, so parallelism is safe and results stay deterministic).
 func execute(specs []runSpec) {
@@ -134,6 +152,7 @@ func execute(specs []runSpec) {
 	poolSeq += len(specs)
 	poolTotal += len(specs)
 	progress, observer := poolProgress, poolObserver
+	withSpans := poolSpans
 	poolMu.Unlock()
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -156,6 +175,10 @@ func execute(specs []runSpec) {
 				if err != nil {
 					rs.out.Err = err
 				} else {
+					if withSpans {
+						rs.spec.Spans = spans.NewTracker(rs.cfg.Processors)
+						rs.out.Spans = rs.spec.Spans
+					}
 					res, rerr := core.Run(rs.cfg, rs.spec, app)
 					rs.out.App = rs.app
 					rs.out.Protocol = rs.spec.String()

@@ -43,6 +43,7 @@ import (
 	"dsm96/internal/faults"
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
+	"dsm96/internal/spans"
 	"dsm96/internal/stats"
 	"dsm96/internal/timeline"
 )
@@ -81,6 +82,10 @@ type Network struct {
 	// rec, when non-nil, receives per-link occupancy spans (see
 	// SetTimeline). Nil — the default — is a no-op receiver.
 	rec *timeline.Recorder
+
+	// sp, when non-nil, receives per-sender wire windows (see SetSpans).
+	// Nil — the default — is a no-op receiver.
+	sp *spans.Tracker
 
 	// Counters.
 	Messages  uint64
@@ -203,6 +208,12 @@ func (nw *Network) SetTimeline(rec *timeline.Recorder) {
 	rec.InitLinks(names)
 }
 
+// SetSpans attaches a causal-span tracker: every non-loopback message
+// contributes a [send, tail-delivery) wire window on the sending node,
+// which overlap accounting counts as network activity attributable to
+// that node. Pass nil to detach.
+func (nw *Network) SetSpans(tr *spans.Tracker) { nw.sp = tr }
+
 // Send injects a message of `bytes` payload (plus header) from src to
 // dst. overhead is the sender-side network-interface setup cost in
 // cycles, charged before injection (callers pass cfg.MessagingOverhead
@@ -227,6 +238,7 @@ func (nw *Network) Send(src, dst, bytes int, overhead sim.Time, done func()) {
 func (nw *Network) sendTimed(src, dst, bytes int, overhead sim.Time, done func()) sim.Time {
 	nw.Messages++
 	nw.Bytes += uint64(bytes)
+	sent := nw.eng.Now()
 	// The network interface processes one send at a time: the message's
 	// per-message overhead occupies the sender's egress engine.
 	var head sim.Time
@@ -274,8 +286,10 @@ func (nw *Network) sendTimed(src, dst, bytes int, overhead sim.Time, done func()
 		o := nw.faults.Decide(src, dst)
 		if o.Drop {
 			// Discarded at the destination NIC: the body crossed (and
-			// occupied) every link on the path, but done never runs.
+			// occupied) every link on the path, but done never runs. The
+			// wire window still counts — the network was busy either way.
 			nw.Rel.MessagesDropped++
+			nw.sp.NetSend(src, sent, delivery)
 			return delivery
 		}
 		if o.ExtraDelay > 0 {
@@ -287,6 +301,7 @@ func (nw *Network) sendTimed(src, dst, bytes int, overhead sim.Time, done func()
 			nw.eng.At(delivery+o.DupDelay, done)
 		}
 	}
+	nw.sp.NetSend(src, sent, delivery)
 	nw.eng.At(delivery, done)
 	return delivery
 }

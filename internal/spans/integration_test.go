@@ -1,0 +1,224 @@
+package spans_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/params"
+	"dsm96/internal/spans"
+	"dsm96/internal/stats"
+	"dsm96/internal/tmk"
+)
+
+// run performs one tiny-scale simulation, optionally with a span tracker
+// attached, and returns the result plus the tracker (nil when detached).
+func run(t *testing.T, appName string, spec core.Spec, procs int, withSpans bool) (*core.Result, *spans.Tracker) {
+	t.Helper()
+	app, err := apps.Tiny(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := params.Default()
+	cfg.Processors = procs
+	var tr *spans.Tracker
+	if withSpans {
+		tr = spans.NewTracker(procs)
+		spec.Spans = tr
+	}
+	res, err := core.Run(cfg, spec, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, tr
+}
+
+// configs is the determinism matrix: both protocol families over two
+// applications with different synchronization mixes (radix is
+// barrier-heavy, tsp is lock-heavy).
+var configs = []struct {
+	app  string
+	spec core.Spec
+}{
+	{"radix", core.TM(tmk.IPD)},
+	{"radix", core.AURC(true)},
+	{"tsp", core.TM(tmk.IPD)},
+	{"tsp", core.AURC(true)},
+}
+
+// TestSpanDeterminism: repeated runs and runs under different GOMAXPROCS
+// settings must produce byte-identical span artifacts — same report
+// digest, same JSONL bytes. The simulator's schedule is deterministic;
+// spans must not launder host-scheduler nondeterminism into the report.
+func TestSpanDeterminism(t *testing.T) {
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.app+"/"+tc.spec.String(), func(t *testing.T) {
+			_, ref := run(t, tc.app, tc.spec, 8, true)
+			refDigest := ref.Report().Digest
+			var refJSONL bytes.Buffer
+			if err := ref.WriteJSONL(&refJSONL); err != nil {
+				t.Fatal(err)
+			}
+			old := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(old)
+			for _, p := range []int{1, 8} {
+				runtime.GOMAXPROCS(p)
+				_, tr := run(t, tc.app, tc.spec, 8, true)
+				if d := tr.Report().Digest; d != refDigest {
+					t.Errorf("GOMAXPROCS=%d: digest %s, want %s", p, d, refDigest)
+				}
+				var got bytes.Buffer
+				if err := tr.WriteJSONL(&got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), refJSONL.Bytes()) {
+					t.Errorf("GOMAXPROCS=%d: JSONL differs", p)
+				}
+			}
+		})
+	}
+}
+
+// TestSpanReconciliation cross-checks the span ledger against the
+// protocol's own accounting:
+//
+//   - Data and Synch stalls happen only while an operation is current,
+//     so the per-node sums of span charges must equal stats.Breakdown
+//     exactly.
+//   - Busy, IPC, and Other cycles can also accrue outside any operation
+//     (compute, steal absorption, TLB fills), so spans see at most the
+//     breakdown's totals.
+//   - Per-kind span counts must equal the protocol's operation counters:
+//     every fault, acquire, barrier, and prefetch got exactly one span.
+func TestSpanReconciliation(t *testing.T) {
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.app+"/"+tc.spec.String(), func(t *testing.T) {
+			res, tr := run(t, tc.app, tc.spec, 8, true)
+
+			var charged [8][stats.NumCategories]int64
+			kindCount := map[spans.Kind]uint64{}
+			for _, op := range tr.Ops() {
+				for c, v := range op.Charged {
+					charged[op.Node][c] += v
+				}
+				kindCount[op.Kind]++
+			}
+			for n, ps := range res.Breakdown.PerProc {
+				for _, c := range []stats.Category{stats.Data, stats.Synch} {
+					if charged[n][c] != ps.Cycles[c] {
+						t.Errorf("node %d %s: spans charged %d, breakdown %d",
+							n, c, charged[n][c], ps.Cycles[c])
+					}
+				}
+				for _, c := range []stats.Category{stats.Busy, stats.IPC, stats.Other} {
+					if charged[n][c] > ps.Cycles[c] {
+						t.Errorf("node %d %s: spans charged %d > breakdown %d",
+							n, c, charged[n][c], ps.Cycles[c])
+					}
+				}
+			}
+
+			sum := res.Breakdown.Sum()
+			for _, cc := range []struct {
+				kind spans.Kind
+				want uint64
+				name string
+			}{
+				{spans.OpReadFault, sum.PageFaults, "page faults"},
+				{spans.OpWriteFault, sum.WriteFaults, "write faults"},
+				{spans.OpLock, sum.LockAcquires, "lock acquires"},
+				{spans.OpBarrier, sum.Barriers, "barrier arrivals"},
+				{spans.OpPrefetch, sum.Prefetches, "prefetches"},
+			} {
+				if kindCount[cc.kind] != cc.want {
+					t.Errorf("%d %s spans, counters say %d", kindCount[cc.kind], cc.name, cc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestSpansLeaveScheduleUnchanged: attaching the tracker must not move a
+// single event. The tracker only observes — it never sleeps, reserves,
+// or schedules — so the engine's event fingerprint is bit-identical with
+// spans on and off.
+func TestSpansLeaveScheduleUnchanged(t *testing.T) {
+	for _, spec := range []core.Spec{core.TM(tmk.IPD), core.AURC(true)} {
+		spec := spec
+		t.Run(spec.String(), func(t *testing.T) {
+			bare, _ := run(t, "radix", spec, 8, false)
+			traced, _ := run(t, "radix", spec, 8, true)
+			if bare.EventFingerprint != traced.EventFingerprint {
+				t.Errorf("fingerprint %016x with spans, %016x without",
+					traced.EventFingerprint, bare.EventFingerprint)
+			}
+			if bare.EventsRun != traced.EventsRun {
+				t.Errorf("%d events with spans, %d without", traced.EventsRun, bare.EventsRun)
+			}
+		})
+	}
+}
+
+// TestOverlapOrdering is the paper's Figures 4-6 claim in miniature. The
+// per-source hidden cycles isolate each technique's contribution: Base
+// has no controller and no prefetches, so its protocol-hidden cycles are
+// structurally zero; I adds controller overlap; I+P+D adds prefetch
+// flight on top. On the apps whose access patterns reward prefetching
+// (water's molecule sweeps, ocean's grid columns) the combination hides
+// strictly more than the controller alone.
+func TestOverlapOrdering(t *testing.T) {
+	protocolHidden := func(app string, mode tmk.Mode) int64 {
+		res, _ := run(t, app, core.TM(mode), 8, true)
+		ov := res.Spans.Overlap
+		return ov.ControllerHidden + ov.PrefetchHidden
+	}
+	for _, app := range []string{"water", "ocean"} {
+		base := protocolHidden(app, tmk.Base)
+		i := protocolHidden(app, tmk.I)
+		ipd := protocolHidden(app, tmk.IPD)
+		if base != 0 {
+			t.Errorf("%s: Base hid %d protocol cycles, want exactly 0", app, base)
+		}
+		if !(ipd > i && i > base) {
+			t.Errorf("%s: hidden I+P+D=%d, I=%d, Base=%d; want I+P+D > I > Base",
+				app, ipd, i, base)
+		}
+	}
+}
+
+// TestBarrierCriticalPath sanity-checks the episode report on a
+// barrier-heavy run: every episode is a full arrival set with a
+// consistent window, and the critical node's slack is the spread between
+// first and last arrival.
+func TestBarrierCriticalPath(t *testing.T) {
+	const procs = 8
+	res, _ := run(t, "radix", core.TM(tmk.IPD), procs, true)
+	eps := res.Spans.Barriers
+	if len(eps) == 0 {
+		t.Fatal("no barrier episodes in a barrier-heavy app")
+	}
+	for _, e := range eps {
+		if e.Arrivals != procs {
+			t.Errorf("bar %d episode %d: %d arrivals, want %d", e.Bar, e.Episode, e.Arrivals, procs)
+		}
+		if !(e.FirstArrival <= e.LastArrival && e.LastArrival <= e.Depart) {
+			t.Errorf("bar %d episode %d: window %d..%d depart %d out of order",
+				e.Bar, e.Episode, e.FirstArrival, e.LastArrival, e.Depart)
+		}
+		if e.CriticalSlack != e.LastArrival-e.FirstArrival {
+			t.Errorf("bar %d episode %d: slack %d, want %d",
+				e.Bar, e.Episode, e.CriticalSlack, e.LastArrival-e.FirstArrival)
+		}
+		if e.CriticalNode < 0 || e.CriticalNode >= procs {
+			t.Errorf("bar %d episode %d: critical node %d out of range", e.Bar, e.Episode, e.CriticalNode)
+		}
+		if e.ChainCycles < e.LongestChainOp {
+			t.Errorf("bar %d episode %d: chain total %d < longest op %d",
+				e.Bar, e.Episode, e.ChainCycles, e.LongestChainOp)
+		}
+	}
+}

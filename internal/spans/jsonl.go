@@ -1,0 +1,33 @@
+package spans
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL writes one JSON object per completed span, in completion
+// order, with a fixed key order — the output is byte-deterministic for
+// a given run. Each line carries the span identity, its window, the
+// stage decomposition, and the stall cycles charged per stats category
+// while the operation was current.
+func (t *Tracker) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, op := range t.ops {
+		_, err := fmt.Fprintf(bw,
+			`{"id":%d,"node":%d,"kind":%q,"obj":%d,"start":%d,"end":%d,`+
+				`"stages":{"wire":%d,"queue":%d,"remote":%d,"reply":%d,"controller":%d,"unblock":%d},`+
+				`"charged":{"busy":%d,"data":%d,"synch":%d,"ipc":%d,"other":%d}}`+"\n",
+			op.ID, op.Node, op.Kind.String(), op.Obj, op.Start, op.End,
+			op.Stages[StageWire], op.Stages[StageQueue], op.Stages[StageRemote],
+			op.Stages[StageReply], op.Stages[StageController], op.Stages[StageUnblock],
+			op.Charged[0], op.Charged[1], op.Charged[2], op.Charged[3], op.Charged[4])
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,415 @@
+package spans
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"dsm96/internal/sim"
+)
+
+// StageCycles is the per-stage latency decomposition in JSON form. The
+// field order is fixed; encoding/json emits struct fields in order, so
+// serialized reports are byte-deterministic.
+type StageCycles struct {
+	Wire       int64 `json:"wire"`
+	Queue      int64 `json:"queue"`
+	Remote     int64 `json:"remote"`
+	Reply      int64 `json:"reply"`
+	Controller int64 `json:"controller"`
+	Unblock    int64 `json:"unblock"`
+}
+
+func stageCycles(s [NumStages]sim.Time) StageCycles {
+	return StageCycles{
+		Wire:       s[StageWire],
+		Queue:      s[StageQueue],
+		Remote:     s[StageRemote],
+		Reply:      s[StageReply],
+		Controller: s[StageController],
+		Unblock:    s[StageUnblock],
+	}
+}
+
+// KindSummary aggregates every span of one operation kind: counts,
+// nearest-rank percentiles over the span durations, and stage totals.
+type KindSummary struct {
+	Kind        string      `json:"kind"`
+	Count       int         `json:"count"`
+	TotalCycles int64       `json:"total_cycles"`
+	P50Cycles   int64       `json:"p50_cycles"`
+	P90Cycles   int64       `json:"p90_cycles"`
+	P99Cycles   int64       `json:"p99_cycles"`
+	MaxCycles   int64       `json:"max_cycles"`
+	StageCycles StageCycles `json:"stage_cycles"`
+}
+
+// NodeOverlap is one processor's overlap accounting.
+type NodeOverlap struct {
+	Node int `json:"node"`
+	// ActivityCycles is the union of the node's controller occupancy,
+	// outbound wire occupancy, and prefetch flight windows.
+	ActivityCycles int64 `json:"activity_cycles"`
+	// BlockedCycles is the union of the node's non-Busy stall windows.
+	BlockedCycles int64 `json:"blocked_cycles"`
+	// HiddenCycles is activity concurrent with the node computing —
+	// activity minus its intersection with blocked. This is the
+	// "latency hidden" quantity of the paper's Figures 4-6: protocol
+	// work that cost the processor nothing.
+	HiddenCycles int64 `json:"hidden_cycles"`
+	// The per-source decomposition attributes hidden cycles to the
+	// technique that hid them: controller occupancy (the I variants'
+	// protocol engine), outbound wire occupancy (DMA transfers any
+	// variant overlaps), and prefetch flight windows (the P variants).
+	// Sources can overlap in time, so these can sum to more than
+	// HiddenCycles; Base has zero controller and prefetch by
+	// construction, which is what makes Base vs I vs I+P+D measurable.
+	ControllerHidden int64 `json:"controller_hidden_cycles"`
+	WireHidden       int64 `json:"wire_hidden_cycles"`
+	PrefetchHidden   int64 `json:"prefetch_hidden_cycles"`
+}
+
+// OverlapReport totals overlap accounting across the machine.
+type OverlapReport struct {
+	ActivityCycles   int64         `json:"activity_cycles"`
+	BlockedCycles    int64         `json:"blocked_cycles"`
+	HiddenCycles     int64         `json:"hidden_cycles"`
+	ControllerHidden int64         `json:"controller_hidden_cycles"`
+	WireHidden       int64         `json:"wire_hidden_cycles"`
+	PrefetchHidden   int64         `json:"prefetch_hidden_cycles"`
+	PerNode          []NodeOverlap `json:"per_node"`
+}
+
+// BarrierEpisode is the critical-path report for one barrier episode:
+// which processor arrived last (making everyone wait) and what that
+// processor was doing since its previous departure.
+type BarrierEpisode struct {
+	Bar      int `json:"bar"`
+	Episode  int `json:"episode"`
+	Arrivals int `json:"arrivals"`
+	// FirstArrival and LastArrival are the earliest and latest span
+	// starts in the episode; Depart is the latest span end (everyone
+	// has been released by then).
+	FirstArrival int64 `json:"first_arrival"`
+	LastArrival  int64 `json:"last_arrival"`
+	Depart       int64 `json:"depart"`
+	// CriticalNode arrived last; CriticalSlack is how long the first
+	// arriver had already been waiting at that point.
+	CriticalNode  int   `json:"critical_node"`
+	CriticalSlack int64 `json:"critical_slack"`
+	// ChainOps/ChainCycles summarize the critical node's operation
+	// chain between its previous barrier departure and this arrival:
+	// how much of its lateness the protocol itself explains.
+	ChainOps         int    `json:"chain_ops"`
+	ChainCycles      int64  `json:"chain_cycles"`
+	LongestChainKind string `json:"longest_chain_kind,omitempty"`
+	LongestChainOp   int64  `json:"longest_chain_cycles,omitempty"`
+}
+
+// Report is the digest of one run's spans, embedded in the run-metrics
+// JSON under "spans". Every field is deterministic for a given run.
+type Report struct {
+	Ops      int              `json:"ops"`
+	PerKind  []KindSummary    `json:"per_kind"`
+	Overlap  OverlapReport    `json:"overlap"`
+	Barriers []BarrierEpisode `json:"barrier_critical_path"`
+	// Digest is an FNV-1a hash over every span's identity and
+	// decomposition, in completion order — the bit-exact fingerprint
+	// the determinism tests compare.
+	Digest string `json:"digest"`
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted (which
+// must be ascending); zero for an empty slice.
+func percentile(sorted []sim.Time, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (len(sorted)*p + 99) / 100 // ceil(n*p/100), nearest-rank
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// union sorts and merges a copy of ivs, returning disjoint ascending
+// non-empty intervals.
+func union(ivs []interval) []interval {
+	merged := make([]interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if iv.end > iv.start {
+			merged = append(merged, iv)
+		}
+	}
+	if len(merged) == 0 {
+		return nil
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].start != merged[j].start {
+			return merged[i].start < merged[j].start
+		}
+		return merged[i].end < merged[j].end
+	})
+	out := merged[:1]
+	for _, iv := range merged[1:] {
+		if last := &out[len(out)-1]; iv.start <= last.end {
+			if iv.end > last.end {
+				last.end = iv.end
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+func totalLen(ivs []interval) int64 {
+	var n int64
+	for _, iv := range ivs {
+		n += iv.end - iv.start
+	}
+	return n
+}
+
+// intersectLen returns the total overlap between two disjoint ascending
+// interval lists.
+func intersectLen(a, b []interval) int64 {
+	var n int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo, hi := max64(a[i].start, b[j].start), min64(a[i].end, b[j].end)
+		if hi > lo {
+			n += hi - lo
+		}
+		if a[i].end < b[j].end {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+func max64(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Report computes the run's span digest: per-kind summaries, overlap
+// accounting, and the barrier critical path. It reads only completed
+// spans and the interval feeds, so it is safe to call once the engine
+// has drained. Returns nil on a nil tracker.
+func (t *Tracker) Report() *Report {
+	if t == nil {
+		return nil
+	}
+	r := &Report{Ops: len(t.ops)}
+
+	// Per-kind summaries, fixed shape: one row per kind, always, so two
+	// reports always flatten to the same key set for metricsdiff.
+	var durs [NumKinds][]sim.Time
+	var stages [NumKinds][NumStages]sim.Time
+	for _, op := range t.ops {
+		durs[op.Kind] = append(durs[op.Kind], op.End-op.Start)
+		for s := Stage(0); s < NumStages; s++ {
+			stages[op.Kind][s] += op.Stages[s]
+		}
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		d := durs[k]
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		var total, max sim.Time
+		for _, v := range d {
+			total += v
+		}
+		if len(d) > 0 {
+			max = d[len(d)-1]
+		}
+		r.PerKind = append(r.PerKind, KindSummary{
+			Kind:        k.String(),
+			Count:       len(d),
+			TotalCycles: total,
+			P50Cycles:   percentile(d, 50),
+			P90Cycles:   percentile(d, 90),
+			P99Cycles:   percentile(d, 99),
+			MaxCycles:   max,
+			StageCycles: stageCycles(stages[k]),
+		})
+	}
+
+	// Overlap: per node, activity = controller ∪ wire ∪ prefetch
+	// flights; hidden = activity not covered by the node's blocked
+	// windows, i.e. protocol work concurrent with computation.
+	flight := make([][]interval, t.nodes)
+	for _, op := range t.ops {
+		if op.Kind == OpPrefetch && op.End > op.Start {
+			flight[op.Node] = append(flight[op.Node], interval{op.Start, op.End})
+		}
+	}
+	for n := 0; n < t.nodes; n++ {
+		var act []interval
+		act = append(act, t.ctrl[n]...)
+		act = append(act, t.net[n]...)
+		act = append(act, flight[n]...)
+		activity := union(act)
+		blocked := union(t.blocked[n])
+		hiddenIn := func(src []interval) int64 {
+			u := union(src)
+			return totalLen(u) - intersectLen(u, blocked)
+		}
+		no := NodeOverlap{
+			Node:             n,
+			ActivityCycles:   totalLen(activity),
+			BlockedCycles:    totalLen(blocked),
+			ControllerHidden: hiddenIn(t.ctrl[n]),
+			WireHidden:       hiddenIn(t.net[n]),
+			PrefetchHidden:   hiddenIn(flight[n]),
+		}
+		no.HiddenCycles = no.ActivityCycles - intersectLen(activity, blocked)
+		r.Overlap.PerNode = append(r.Overlap.PerNode, no)
+		r.Overlap.ActivityCycles += no.ActivityCycles
+		r.Overlap.BlockedCycles += no.BlockedCycles
+		r.Overlap.HiddenCycles += no.HiddenCycles
+		r.Overlap.ControllerHidden += no.ControllerHidden
+		r.Overlap.WireHidden += no.WireHidden
+		r.Overlap.PrefetchHidden += no.PrefetchHidden
+	}
+
+	r.Barriers = t.barrierEpisodes()
+	r.Digest = t.digest()
+	return r
+}
+
+// barrierEpisodes groups the barrier spans by barrier object, sorts by
+// arrival, and chunks them into episodes of one arrival per processor.
+// Each episode's critical node is the last arriver; its chain is the
+// set of its spans between its previous departure and this arrival.
+func (t *Tracker) barrierEpisodes() []BarrierEpisode {
+	byBar := map[int][]*Op{}
+	var bars []int
+	// prevDepart[node] tracks each node's latest barrier departure seen
+	// so far; spans complete in departure order, so walking t.ops in
+	// order visits each node's episodes chronologically.
+	for _, op := range t.ops {
+		if op.Kind == OpBarrier {
+			if _, ok := byBar[op.Obj]; !ok {
+				bars = append(bars, op.Obj)
+			}
+			byBar[op.Obj] = append(byBar[op.Obj], op)
+		}
+	}
+	sort.Ints(bars)
+	var out []BarrierEpisode
+	for _, bar := range bars {
+		ops := append([]*Op(nil), byBar[bar]...)
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].Start != ops[j].Start {
+				return ops[i].Start < ops[j].Start
+			}
+			return ops[i].Node < ops[j].Node
+		})
+		for ep := 0; ep*t.nodes < len(ops); ep++ {
+			chunk := ops[ep*t.nodes : min(len(ops), (ep+1)*t.nodes)]
+			be := BarrierEpisode{
+				Bar:          bar,
+				Episode:      ep,
+				Arrivals:     len(chunk),
+				FirstArrival: chunk[0].Start,
+				LastArrival:  chunk[0].Start,
+			}
+			var last *Op
+			for _, op := range chunk {
+				if op.End > be.Depart {
+					be.Depart = op.End
+				}
+				if last == nil || op.Start > last.Start ||
+					(op.Start == last.Start && op.Node > last.Node) {
+					if op.Start > be.LastArrival {
+						be.LastArrival = op.Start
+					}
+					last = op
+				}
+			}
+			be.CriticalNode = last.Node
+			be.CriticalSlack = be.LastArrival - be.FirstArrival
+			be.ChainOps, be.ChainCycles, be.LongestChainKind, be.LongestChainOp =
+				t.chain(last)
+			out = append(out, be)
+		}
+	}
+	return out
+}
+
+// chain summarizes what the critical node's protocol operations were
+// doing in the window before its late arrival: every span of that node
+// ending at or before the arrival (arrive.Start) and starting after the
+// node's previous barrier departure.
+func (t *Tracker) chain(arrive *Op) (ops int, cycles int64, longestKind string, longest int64) {
+	var prevDepart sim.Time
+	for _, op := range t.ops {
+		if op.Node != arrive.Node || op == arrive {
+			continue
+		}
+		if op.Kind == OpBarrier && op.End <= arrive.Start && op.End > prevDepart {
+			prevDepart = op.End
+		}
+	}
+	for _, op := range t.ops {
+		if op.Node != arrive.Node || op == arrive || op.Kind == OpBarrier {
+			continue
+		}
+		if op.Start >= prevDepart && op.End <= arrive.Start {
+			ops++
+			d := op.End - op.Start
+			cycles += d
+			if d > longest {
+				longest, longestKind = d, op.Kind.String()
+			}
+		}
+	}
+	return ops, cycles, longestKind, longest
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// digest hashes every completed span — identity, window, decomposition,
+// charges — with FNV-1a in completion order.
+func (t *Tracker) digest() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, op := range t.ops {
+		w(int64(op.ID))
+		w(int64(op.Node))
+		w(int64(op.Kind))
+		w(int64(op.Obj))
+		w(op.Start)
+		w(op.End)
+		for s := Stage(0); s < NumStages; s++ {
+			w(op.Stages[s])
+		}
+		for _, c := range op.Charged {
+			w(c)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

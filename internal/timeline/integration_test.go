@@ -12,6 +12,7 @@ import (
 	"dsm96/internal/apps"
 	"dsm96/internal/core"
 	"dsm96/internal/params"
+	"dsm96/internal/spans"
 	"dsm96/internal/stats"
 	"dsm96/internal/timeline"
 	"dsm96/internal/tmk"
@@ -29,8 +30,10 @@ const (
 	goldenTimelinePath = "testdata/radix_ipd_p4.timeline.sum"
 )
 
-// runInstrumented performs one ScaleTiny radix run with the timeline
-// attached and returns the recorder, rendered artifacts, and result.
+// runInstrumented performs one ScaleTiny radix run with the timeline and
+// span tracker attached and returns the recorder, rendered artifacts,
+// and result. The spans tracker rides along so the golden metrics pin
+// the causal-span report too.
 func runInstrumented(t *testing.T, spec core.Spec, procs int) (*timeline.Recorder, []byte, []byte, *core.Result) {
 	t.Helper()
 	app, err := apps.Tiny("radix")
@@ -41,6 +44,7 @@ func runInstrumented(t *testing.T, spec core.Spec, procs int) (*timeline.Recorde
 	cfg.Processors = procs
 	rec := timeline.NewRecorder(cfg.Processors)
 	spec.Timeline = rec
+	spec.Spans = spans.NewTracker(cfg.Processors)
 	spec.Tracer = trace.New(1 << 16)
 	res, err := core.Run(cfg, spec, app)
 	if err != nil {

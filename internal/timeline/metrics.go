@@ -3,11 +3,15 @@ package timeline
 import (
 	"encoding/json"
 	"io"
+
+	"dsm96/internal/spans"
 )
 
 // MetricsSchema names the metrics JSON layout; bump on incompatible
-// change so downstream consumers can dispatch.
-const MetricsSchema = "dsm96/run-metrics/v1"
+// change so downstream consumers can dispatch. v2 adds the optional
+// `spans` block (causal-span report); every v1 field is unchanged, so a
+// v1 reader that ignores unknown keys still parses v2 artifacts.
+const MetricsSchema = "dsm96/run-metrics/v2"
 
 // ProcCycles is one processor's cycle accounting row (one bar segment
 // stack of the paper's figures), in the five categories of stats.
@@ -86,6 +90,11 @@ type Metrics struct {
 
 	Counters    Counters           `json:"counters"`
 	Reliability ReliabilityMetrics `json:"reliability"`
+
+	// Spans is the causal-span report (per-kind latency percentiles,
+	// stage decomposition, overlap accounting, barrier critical paths).
+	// Present only when the run was traced with a spans.Tracker.
+	Spans *spans.Report `json:"spans,omitempty"`
 }
 
 // WriteJSON serializes the metrics as indented JSON with a trailing

@@ -3,6 +3,8 @@ package tmk
 import (
 	"dsm96/internal/lrc"
 	"dsm96/internal/sim"
+	"dsm96/internal/spans"
+	"dsm96/internal/trace"
 )
 
 // barrier is the centralized barrier manager's state (it lives on the
@@ -33,6 +35,9 @@ func (pr *Protocol) Barrier(p *sim.Proc, id int, bar int) {
 	n.absorbSteal(p)
 	n.fp.Flush(p)
 	n.st.Barriers++
+	op := pr.sp.Begin(id, spans.OpBarrier, bar, p.Now())
+	n.barrierOp = op
+	n.emit(-1, trace.KindBarrier, "arrive bar=%d", bar)
 	n.closeInterval()
 
 	// Ship every interval (any owner) the manager could lack: everything
@@ -53,10 +58,14 @@ func (pr *Protocol) Barrier(p *sim.Proc, id int, bar int) {
 	} else {
 		bytes := requestWireBytes + myVTS.WireBytes() + intervalsWireBytes(own, pr.cfg.Processors)
 		n.sendFromProc(p, reasonBarrier, barrierManager, bytes, func() {
+			op.Mark(spans.StageWire, pr.eng.Now())
 			mgr.barrierArrive(bar, id, myVTS, own)
 		})
 	}
 	gate.Wait(p, reasonBarrier)
+	n.barrierOp = nil
+	n.emit(-1, trace.KindBarrier, "depart bar=%d", bar)
+	pr.sp.End(op, p.Now())
 	if pr.mode.Prefetch() {
 		n.issuePrefetches(p)
 	}
@@ -108,12 +117,17 @@ func (n *pnode) barrierReleaseAll(bar int, b *barrier) {
 // interval/notice lists, invalidates, adopts the global vector timestamp,
 // and leaves the barrier.
 func (n *pnode) barrierRelease(ivs []*lrc.Interval, globalVTS lrc.VTS, local bool) {
+	// Everything up to the release landing — shipping the arrival,
+	// waiting for the stragglers, the manager's merge — was remote
+	// service as far as this node's span is concerned.
+	n.barrierOp.Mark(spans.StageRemote, n.pr.eng.Now())
 	finish := func() {
 		n.integrate(ivs)
 		n.vts.Max(globalVTS)
 		n.lastBarrierVTS = globalVTS.Clone()
 		n.checkVTSRecords("barrierRelease")
 		if n.barrierGate != nil {
+			n.barrierOp.Mark(spans.StageController, n.pr.eng.Now())
 			g := n.barrierGate
 			n.barrierGate = nil
 			g.Open(n.pr.eng)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dsm96/internal/sim"
+	"dsm96/internal/spans"
 	"dsm96/internal/timeline"
 	"dsm96/internal/trace"
 )
@@ -38,17 +39,40 @@ func (pr *Protocol) SetTimeline(rec *timeline.Recorder) {
 	}
 }
 
+// SetSpans attaches a causal-span tracker. Must be called before
+// InstallProc (core.Run's wiring order) so the charging accounting hook
+// is the one installed, and after SetTimeline so the controller trace
+// chains onto the recorder's rather than being overwritten by it.
+func (pr *Protocol) SetSpans(tr *spans.Tracker) {
+	pr.sp = tr
+	if tr == nil || !pr.mode.Ctrl() {
+		return
+	}
+	for _, n := range pr.nodes {
+		id := n.id
+		prev := n.ctl.Core.Trace
+		n.ctl.Core.Trace = func(job string, start, end sim.Time) {
+			if prev != nil {
+				prev(job, start, end)
+			}
+			tr.Controller(id, start, end)
+		}
+	}
+}
+
 // emit records a structured protocol event and mirrors it to stdout when
-// TracePage matches.
+// TracePage matches. Synchronization events (lock/barrier) carry pg = -1:
+// they are recorded for every tracer but never match a page filter.
 func (n *pnode) emit(pg int, kind trace.Kind, format string, args ...any) {
-	if n.pr.tracer == nil && pg != TracePage {
+	stdout := pg >= 0 && pg == TracePage
+	if n.pr.tracer == nil && !stdout {
 		return
 	}
 	detail := fmt.Sprintf(format, args...)
 	n.pr.tracer.Emit(trace.Event{
 		Time: n.pr.eng.Now(), Node: n.id, Page: pg, Kind: kind, Detail: detail,
 	})
-	if pg == TracePage {
+	if stdout {
 		fmt.Printf("[%10d] n%d pg%d %s %s\n", n.pr.eng.Now(), n.id, pg, kind, detail)
 	}
 }

@@ -25,8 +25,8 @@ func TestDuplicateGrantAppliedOnce(t *testing.T) {
 	pr.eng.At(0, func() {
 		// Near-simultaneous duplicates: both pass the entry guard, the
 		// second must bail in its post-interrupt callback.
-		n.receiveGrant(7, ivs, grantVTS, nil)
-		n.receiveGrant(7, ivs, grantVTS, nil)
+		n.receiveGrant(7, ivs, grantVTS, nil, nil)
+		n.receiveGrant(7, ivs, grantVTS, nil, nil)
 	})
 	if err := pr.eng.Run(); err != nil {
 		t.Fatal(err)
@@ -41,7 +41,7 @@ func TestDuplicateGrantAppliedOnce(t *testing.T) {
 		t.Fatalf("DupMsgsSuppressed = %d, want 1", n.st.DupMsgsSuppressed)
 	}
 	// A late straggler after the grant was applied is caught at entry.
-	pr.eng.At(pr.eng.Now(), func() { n.receiveGrant(7, ivs, grantVTS, nil) })
+	pr.eng.At(pr.eng.Now(), func() { n.receiveGrant(7, ivs, grantVTS, nil, nil) })
 	if err := pr.eng.Run(); err != nil {
 		t.Fatal(err)
 	}

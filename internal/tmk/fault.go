@@ -9,6 +9,7 @@ import (
 	"dsm96/internal/controller"
 	"dsm96/internal/lrc"
 	"dsm96/internal/sim"
+	"dsm96/internal/spans"
 )
 
 // fault handles an access violation: an invalid page is brought
@@ -26,6 +27,10 @@ func (n *pnode) fault(p *sim.Proc, pg int, pe *page, write bool) {
 		n.pr.profile(pg).Faults++
 		n.emit(pg, trace.KindFault, "read/write miss (pending=%d)", len(pe.pending))
 		pe.uselessStreak = 0 // demand interest: the page is hot again
+		// The span opens after the trap, so its window is exactly the
+		// cycles the fetch blocks the processor — one span per page
+		// fault, so span counts equal the PageFaults counter.
+		op := n.pr.sp.Begin(n.id, spans.OpReadFault, pg, p.Now())
 		if f := pe.fetch; f != nil {
 			// A prefetch (or another thread of protocol activity) is
 			// already fetching this page: do not fetch again, wait for
@@ -37,22 +42,32 @@ func (n *pnode) fault(p *sim.Proc, pg int, pe *page, write bool) {
 				f.prefetch = false // consumed by demand before completion
 			}
 			f.gate.Wait(p, reasonFetch)
+			// The whole wait rode a transaction someone else started
+			// (typically a prefetch): attribute it to remote service.
+			op.Mark(spans.StageRemote, p.Now())
+			n.pr.sp.End(op, p.Now())
 			return
 		}
-		n.demandFetch(p, pg, pe)
+		n.demandFetch(p, pg, pe, op)
+		n.pr.sp.End(op, p.Now())
 		return
 	}
 	if write && pe.state == stRO {
 		n.st.WriteFaults++
 		n.pr.profile(pg).WriteFaults++
-		n.makeWritable(p, pg, pe)
+		op := n.pr.sp.Begin(n.id, spans.OpWriteFault, pg, p.Now())
+		n.makeWritable(p, pg, pe, op)
+		// Twin setup is completion-side work wherever it ran; anything
+		// the controller path has not already claimed lands here too.
+		op.Mark(spans.StageController, p.Now())
+		n.pr.sp.End(op, p.Now())
 	}
 }
 
 // demandFetch collects the diffs named by the page's pending write
 // notices from each previous writer and applies them. The faulting
 // processor stalls for the whole transaction (data fetch latency).
-func (n *pnode) demandFetch(p *sim.Proc, pg int, pe *page) {
+func (n *pnode) demandFetch(p *sim.Proc, pg int, pe *page, op *spans.Op) {
 	owners := pendingByOwner(pe, n.ownerScratch)
 	n.ownerScratch = owners
 	if len(owners) == 0 {
@@ -60,20 +75,20 @@ func (n *pnode) demandFetch(p *sim.Proc, pg int, pe *page) {
 		pe.state = stRO
 		return
 	}
-	f := &fetchOp{outstanding: len(owners)}
+	f := &fetchOp{outstanding: len(owners), op: op}
 	pe.fetch = f
 	for _, o := range owners {
 		owner := n.pr.nodes[o]
 		fromSeq := pe.applied[o]
 		n.sendFromProc(p, reasonFetch, o, requestWireBytes, func() {
-			owner.serveDiffReq(n.id, pg, fromSeq, false)
+			owner.serveDiffReq(n.id, pg, fromSeq, false, op)
 		})
 	}
 	f.gate.Wait(p, reasonFetch)
 }
 
 // makeWritable prepares a read-only page for local writes.
-func (n *pnode) makeWritable(p *sim.Proc, pg int, pe *page) {
+func (n *pnode) makeWritable(p *sim.Proc, pg int, pe *page, op *spans.Op) {
 	cfg := n.pr.cfg
 	switch {
 	case n.pr.mode.HWDiff():
@@ -93,6 +108,7 @@ func (n *pnode) makeWritable(p *sim.Proc, pg int, pe *page) {
 		n.ctl.Submit(n.pr.eng, &sim.Job{
 			Name: "twin",
 			Run: func() sim.Time {
+				op.Mark(spans.StageQueue, n.pr.eng.Now())
 				end := n.mem.DMA(cfg.PageSize)
 				base := sim.Time(controller.DispatchCost)
 				if d := end - n.pr.eng.Now(); d > base {
@@ -206,9 +222,12 @@ func (n *pnode) flushLocalDiff(pg int) (*lrc.Diff, int) {
 // reply send run on the controller (hardware DMA in D variants).
 // Prefetch requests carry low priority on the controller so demand
 // requests overtake them.
-func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool) {
+func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool, op *spans.Op) {
 	n.emit(pg, trace.KindOther, "serve from=%d fromSeq=%d dirty=%v cached=%d", from, fromSeq, n.dirty[pg], len(n.diffCache[pg]))
 	cfg := n.pr.cfg
+	// The request is off the wire: everything since the previous
+	// milestone (the issue) was network time.
+	op.Mark(spans.StageWire, n.pr.eng.Now())
 
 	created, createCostWords := n.flushLocalDiff(pg)
 	var reply []*lrc.Diff
@@ -244,12 +263,12 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool) {
 			n.st.DiffCycles += c
 			n.mem.MemTouch(2 * cfg.PageSize)
 		}
-		n.serveCPU(cost, func() { n.sendAsync(from, bytes, deliver) })
+		n.serveCPUSpan(cost, op, func() { n.sendAsync(from, bytes, deliver) })
 		return
 	}
 
 	// I variants: brief processor interrupt for interval processing...
-	n.serveCPU(cfg.ListProcessing*int64(1+len(reply)), func() {})
+	n.serveCPUSpan(cfg.ListProcessing*int64(1+len(reply)), op, func() {})
 	// ...then the controller does the data movement and the send.
 	prio := sim.PriorityHigh
 	if isPrefetch && !n.pr.opts.NoPrefetchPriority {
@@ -261,6 +280,7 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool) {
 		Name:     "diff-serve",
 		Priority: prio,
 		Run: func() sim.Time {
+			op.Mark(spans.StageQueue, n.pr.eng.Now())
 			cost := sim.Time(controller.DispatchCost)
 			if created != nil {
 				if n.pr.mode.HWDiff() {
@@ -276,6 +296,7 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool) {
 			return cost
 		},
 		Done: func() {
+			op.Mark(spans.StageRemote, n.pr.eng.Now())
 			n.pr.net.SendReliable(n.id, from, bytes, 0, deliver)
 		},
 	})
@@ -306,6 +327,7 @@ func (n *pnode) receiveDiffReply(pg, owner int, diffs []*lrc.Diff, upToSeq int32
 		n.st.DupMsgsSuppressed++
 		return
 	}
+	f.op.Mark(spans.StageReply, n.pr.eng.Now())
 	f.diffs = append(f.diffs, diffs...)
 	if len(diffs) > 0 {
 		if upToSeq > pe.applied[owner] {
@@ -365,6 +387,9 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 	}
 	prunePending(pe)
 	finish := func() {
+		// Local application done: the rest of the operation's window,
+		// if any, is the waiter's wakeup.
+		f.op.Mark(spans.StageController, n.pr.eng.Now())
 		// The processor snoops the controller's (or its own) writes to
 		// local memory and invalidates stale cached lines.
 		n.mem.InvalidatePage(int64(pg) * int64(cfg.PageSize))
@@ -374,6 +399,11 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 		}
 		// else: invalidated again while fetching; the waiter re-faults.
 		pe.fetch = nil
+		// A prefetch span closes when the page lands (nobody is
+		// waiting); demand spans close in the waiter's proc context.
+		if f.op != nil && f.op.Kind == spans.OpPrefetch {
+			n.pr.sp.End(f.op, n.pr.eng.Now())
+		}
 		f.gate.Open(n.pr.eng)
 	}
 	if !n.pr.mode.Ctrl() {
@@ -386,7 +416,8 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 		}
 		n.st.DiffCycles += cost
 		n.mem.MemTouch(bytes)
-		_, end := n.cpu.Reserve(n.pr.eng, cfg.InterruptTime+cost)
+		start, end := n.cpu.Reserve(n.pr.eng, cfg.InterruptTime+cost)
+		f.op.Mark(spans.StageQueue, start)
 		n.pr.eng.At(end, finish)
 		return
 	}
@@ -398,6 +429,7 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 		Name:     "diff-apply",
 		Priority: prio,
 		Run: func() sim.Time {
+			f.op.Mark(spans.StageQueue, n.pr.eng.Now())
 			n.mem.DMA(bytes)
 			cost := sim.Time(controller.DispatchCost)
 			if n.pr.mode.HWDiff() {

@@ -4,6 +4,8 @@ import (
 	"dsm96/internal/controller"
 	"dsm96/internal/lrc"
 	"dsm96/internal/sim"
+	"dsm96/internal/spans"
+	"dsm96/internal/trace"
 )
 
 // Lock implements dsm.System: a TreadMarks lock acquire. Locks form a
@@ -19,20 +21,25 @@ func (pr *Protocol) Lock(p *sim.Proc, id int, lock int) {
 	n.fp.Flush(p)
 	n.st.LockAcquires++
 	lk := n.lock(lock)
+	op := pr.sp.Begin(id, spans.OpLock, lock, p.Now())
 	if lk.hasToken && !lk.inCS && lk.next == nil {
-		// Token cached locally: reacquire without messages.
+		// Token cached locally: reacquire without messages. The whole
+		// span is local work (StageUnblock).
 		lk.inCS = true
 		p.SleepReason(localLockCost, reasonLock)
+		n.emit(-1, trace.KindLock, "acquired lock=%d (cached token)", lock)
+		pr.sp.End(op, p.Now())
 		return
 	}
 	gate := &sim.Gate{}
 	lk.gate = gate
 	home := lock % pr.cfg.Processors
-	req := lockReq{from: id, vts: n.vts.Clone()}
+	req := lockReq{from: id, vts: n.vts.Clone(), op: op}
 	n.sendFromProc(p, reasonLock, home, requestWireBytes+n.vts.WireBytes(), func() {
 		pr.nodes[home].homeForward(lock, req)
 	})
 	gate.Wait(p, reasonLock)
+	pr.sp.End(op, p.Now())
 	if pr.mode.Prefetch() {
 		n.issuePrefetches(p)
 	}
@@ -41,6 +48,9 @@ func (pr *Protocol) Lock(p *sim.Proc, id int, lock int) {
 // homeForward redirects a lock request to the tail of the distributed
 // queue (engine context at the home node).
 func (n *pnode) homeForward(lock int, req lockReq) {
+	// Request on the home's wire; forwarding hops extend StageWire via
+	// the next milestone's gap.
+	req.op.Mark(spans.StageWire, n.pr.eng.Now())
 	lk := n.lock(lock)
 	prev := lk.tail
 	lk.tail = req.from
@@ -83,6 +93,7 @@ func (n *pnode) homeForward(lock int, req lockReq) {
 // now; otherwise the request waits for the node's release (or for its own
 // pending grant to arrive).
 func (n *pnode) receiveLockReq(lock int, req lockReq) {
+	req.op.Mark(spans.StageQueue, n.pr.eng.Now())
 	lk := n.lock(lock)
 	if lk.hasToken && !lk.inCS {
 		lk.hasToken = false
@@ -98,14 +109,15 @@ func (n *pnode) receiveLockReq(lock int, req lockReq) {
 // goes through the mode's message path.
 func (n *pnode) grantLockAsync(lock int, req lockReq) {
 	n.closeInterval()
+	n.emit(-1, trace.KindLock, "grant lock=%d to=%d", lock, req.from)
 	ivs := n.missingIntervals(req.vts, req.from)
 	piggy, piggyBytes := n.hybridDiffs(req.vts, ivs)
 	bytes := requestWireBytes + n.vts.WireBytes() + intervalsWireBytes(ivs, n.pr.cfg.Processors) + piggyBytes
 	grantVTS := n.vts.Clone()
 	requester := n.pr.nodes[req.from]
-	n.serveCPU(n.listCost(ivs), func() {
+	n.serveCPUSpan(n.listCost(ivs), req.op, func() {
 		n.sendAsync(req.from, bytes, func() {
-			requester.receiveGrant(lock, ivs, grantVTS, piggy)
+			requester.receiveGrant(lock, ivs, grantVTS, piggy, req.op)
 		})
 	})
 }
@@ -114,6 +126,7 @@ func (n *pnode) grantLockAsync(lock int, req lockReq) {
 // context: the processing is synchronization overhead of the releaser.
 func (n *pnode) grantLockFromProc(p *sim.Proc, lock int, req lockReq) {
 	n.closeInterval()
+	n.emit(-1, trace.KindLock, "grant lock=%d to=%d", lock, req.from)
 	ivs := n.missingIntervals(req.vts, req.from)
 	piggy, piggyBytes := n.hybridDiffs(req.vts, ivs)
 	bytes := requestWireBytes + n.vts.WireBytes() + intervalsWireBytes(ivs, n.pr.cfg.Processors) + piggyBytes
@@ -121,8 +134,12 @@ func (n *pnode) grantLockFromProc(p *sim.Proc, lock int, req lockReq) {
 	requester := n.pr.nodes[req.from]
 	p.SleepReason(n.listCost(ivs), reasonLockGrant)
 	n.sendFromProc(p, reasonLockGrant, req.from, bytes, func() {
-		requester.receiveGrant(lock, ivs, grantVTS, piggy)
+		requester.receiveGrant(lock, ivs, grantVTS, piggy, req.op)
 	})
+	// Everything since the request queued here — waiting out the
+	// critical section plus the grant assembly just charged — was
+	// remote service from the acquirer's point of view.
+	req.op.Mark(spans.StageRemote, p.Now())
 }
 
 // hybridDiffs collects the granter's own diffs for the pages its shipped
@@ -162,7 +179,7 @@ func (n *pnode) hybridDiffs(reqVTS lrc.VTS, ivs []*lrc.Interval) ([]*lrc.Diff, i
 // receiveGrant completes an acquire at the requester (engine context):
 // the processor walks the intervals and write notices, invalidating
 // pages, then enters the critical section.
-func (n *pnode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS, piggy []*lrc.Diff) {
+func (n *pnode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS, piggy []*lrc.Diff, op *spans.Op) {
 	if n.lock(lock).gate == nil {
 		// No acquire is waiting: a duplicated grant already handed us the
 		// token. Re-applying it would corrupt the distributed queue (and
@@ -170,6 +187,7 @@ func (n *pnode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS, pi
 		n.st.DupMsgsSuppressed++
 		return
 	}
+	op.Mark(spans.StageReply, n.pr.eng.Now())
 	cost := n.pr.cfg.InterruptTime + n.listCost(ivs)
 	if len(piggy) > 0 {
 		words := 0
@@ -193,6 +211,8 @@ func (n *pnode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS, pi
 		n.applyPiggyback(piggy)
 		lk.hasToken = true
 		lk.inCS = true
+		op.Mark(spans.StageController, n.pr.eng.Now())
+		n.emit(-1, trace.KindLock, "acquired lock=%d ivs=%d", lock, len(ivs))
 		lk.gate.Open(n.pr.eng)
 		lk.gate = nil
 	})
@@ -209,10 +229,15 @@ func (pr *Protocol) Unlock(p *sim.Proc, id int, lock int) {
 		panic("tmk: Unlock without matching Lock")
 	}
 	lk.inCS = false
+	n.emit(-1, trace.KindLock, "release lock=%d", lock)
 	if lk.next != nil {
 		req := *lk.next
 		lk.next = nil
 		lk.hasToken = false
+		// The grant work blocks the releaser, not the acquirer: it gets
+		// its own span so its Synch charges reconcile.
+		rop := pr.sp.Begin(id, spans.OpRelease, lock, p.Now())
 		n.grantLockFromProc(p, lock, req)
+		pr.sp.End(rop, p.Now())
 	}
 }

@@ -2,6 +2,7 @@ package tmk
 
 import (
 	"dsm96/internal/sim"
+	"dsm96/internal/spans"
 	"dsm96/internal/trace"
 )
 
@@ -42,15 +43,21 @@ func (n *pnode) issuePrefetches(p *sim.Proc) {
 		n.st.Prefetches++
 		n.emit(pg, trace.KindPrefetch, "issue owners=%d", len(owners))
 		pe.prefetchIssued = p.Now()
-		f := &fetchOp{outstanding: len(owners), prefetch: true}
+		// The prefetch gets its own span: issue overheads charge to it
+		// while it is current, then it detaches (the processor moves on)
+		// and the span closes when the apply lands — the span window is
+		// the flight time overlap accounting credits as hidden.
+		op := n.pr.sp.Begin(n.id, spans.OpPrefetch, pg, p.Now())
+		f := &fetchOp{outstanding: len(owners), prefetch: true, op: op}
 		pe.fetch = f
 		for _, o := range owners {
 			owner := n.pr.nodes[o]
 			fromSeq := pe.applied[o]
 			pgc := pg
 			n.sendFromProc(p, reasonPrefetch, o, requestWireBytes, func() {
-				owner.serveDiffReq(n.id, pgc, fromSeq, true)
+				owner.serveDiffReq(n.id, pgc, fromSeq, true, op)
 			})
 		}
+		n.pr.sp.Detach(n.id, op)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"dsm96/internal/network"
 	"dsm96/internal/params"
 	"dsm96/internal/sim"
+	"dsm96/internal/spans"
 	"dsm96/internal/stats"
 	"dsm96/internal/timeline"
 	"dsm96/internal/trace"
@@ -66,6 +67,10 @@ type fetchOp struct {
 	prefetch    bool
 	outstanding int
 	diffs       []*lrc.Diff
+	// op is the causal span riding the fetch (nil when spans are off).
+	// Demand ops are closed by the waiter in processor context; prefetch
+	// ops are closed when the apply finishes.
+	op *spans.Op
 	// replied marks the owners whose reply has been integrated (bitmask,
 	// one word per 64 nodes), so a duplicated diff reply cannot
 	// double-count against outstanding and complete the fetch early.
@@ -144,6 +149,9 @@ type plock struct {
 type lockReq struct {
 	from int
 	vts  lrc.VTS
+	// op is the requester's acquire span; it travels with the request
+	// through forwarding and granting so every hop can mark milestones.
+	op *spans.Op
 }
 
 // pnode is the per-node protocol state.
@@ -191,6 +199,9 @@ type pnode struct {
 	lastBarrierVTS lrc.VTS
 	// barrierGate releases the node from the current barrier.
 	barrierGate *sim.Gate
+	// barrierOp is the node's in-flight barrier span, so the manager's
+	// release path can mark milestones on it.
+	barrierOp *spans.Op
 }
 
 // Protocol is a TreadMarks DSM instance over a simulated machine.
@@ -214,6 +225,8 @@ type Protocol struct {
 	// then installs the plain accounting hook, so a disabled timeline is
 	// structurally absent from the schedule-critical path.
 	rec *timeline.Recorder
+	// sp, when set, collects causal operation spans (see SetSpans).
+	sp *spans.Tracker
 }
 
 // New builds the protocol for the machine described by cfg.
@@ -269,13 +282,17 @@ func (pr *Protocol) InstallProc(id int, p *sim.Proc) {
 	n := pr.nodes[id]
 	n.proc = p
 	st := n.st
-	if rec := pr.rec; rec != nil {
-		// Timeline on: mirror every charge as a span on the node's track.
-		// The span is exactly [now-waited, now), so per-category span sums
-		// reconcile with the Breakdown by construction.
+	if rec, sp := pr.rec, pr.sp; rec != nil || sp != nil {
+		// Observability on: mirror every charge as a span on the node's
+		// timeline track and/or onto the node's current operation span.
+		// The stall window is exactly [now-waited, now), so per-category
+		// sums reconcile with the Breakdown by construction. Both
+		// receivers are nil-safe, so one closure serves any combination.
 		p.OnUnblock = func(reason string, waited sim.Time) {
-			st.Add(CategoryFor(reason), waited)
+			c := CategoryFor(reason)
+			st.Add(c, waited)
 			rec.Stall(id, reason, p.Now()-waited, p.Now())
+			sp.Charge(id, c, waited, p.Now())
 		}
 		return
 	}
@@ -530,5 +547,18 @@ func (n *pnode) serveCPU(cost sim.Time, fn func()) {
 	n.st.Interrupts++
 	total := n.pr.cfg.InterruptTime + cost
 	_, end := n.cpu.Reserve(n.pr.eng, total)
+	n.pr.eng.At(end, fn)
+}
+
+// serveCPUSpan is serveCPU plus span milestones: the service window's
+// start closes the operation's queueing stage, its end the remote
+// stage. The milestones are eagerly stamped with the reservation's
+// (future) times; spans.End sorts before partitioning, so this is safe.
+func (n *pnode) serveCPUSpan(cost sim.Time, op *spans.Op, fn func()) {
+	n.st.Interrupts++
+	total := n.pr.cfg.InterruptTime + cost
+	start, end := n.cpu.Reserve(n.pr.eng, total)
+	op.Mark(spans.StageQueue, start)
+	op.Mark(spans.StageRemote, end)
 	n.pr.eng.At(end, fn)
 }

@@ -61,6 +61,11 @@ const (
 	// KindPrefetch: a prefetch for the page was issued (TreadMarks P
 	// variants and AURC+P).
 	KindPrefetch
+	// KindLock: lock activity — grant issued, token acquired, release.
+	// Synchronization events carry Page = -1 (they are not about a page).
+	KindLock
+	// KindBarrier: barrier arrival or departure (Page = -1).
+	KindBarrier
 	// KindOther: anything else a protocol wants to record.
 	KindOther
 )
@@ -84,6 +89,10 @@ func (k Kind) String() string {
 		return "update"
 	case KindPrefetch:
 		return "prefetch"
+	case KindLock:
+		return "lock"
+	case KindBarrier:
+		return "barrier"
 	case KindOther:
 		return "other"
 	}

@@ -47,10 +47,10 @@ for d in $(grep -ohE 'go run \./[A-Za-z0-9/_-]+' $docs | awk '{print $3}' | sort
 	fi
 done
 
-# 4. Every flag a documented dsmsim/sweep invocation uses must still be
-# registered in that command's main.go (catches stale flag names when a
-# CLI flag is renamed but the docs keep the old spelling).
-for tool in dsmsim sweep; do
+# 4. Every flag a documented dsmsim/sweep/metricsdiff invocation uses
+# must still be registered in that command's main.go (catches stale flag
+# names when a CLI flag is renamed but the docs keep the old spelling).
+for tool in dsmsim sweep metricsdiff; do
 	flags=$(grep -ohE "$tool [^\`|]*" $docs |
 		grep -oE ' -[a-z][a-z-]*' | sed 's/^ -//' | sort -u)
 	for f in $flags; do
