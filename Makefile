@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench golden fuzz docs timeline metricsdiff
+.PHONY: check fmt vet build test race bench golden fuzz docs timeline metricsdiff chaos
 
-check: fmt vet build test race timeline metricsdiff
+check: fmt vet build test race timeline metricsdiff chaos
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -49,24 +49,42 @@ timeline:
 	$(GO) run ./cmd/dsmsim -p 8 -app radix -mode ipd -scale tiny \
 		-timeline "$$dir/t.json" -metrics "$$dir/m.json" -spans "$$dir/s.jsonl" >/dev/null; \
 	jq -e '.traceEvents | length > 0' "$$dir/t.json" >/dev/null; \
-	jq -e '.schema == "dsm96/run-metrics/v2" and (.per_proc_cycles | length == 8) and (.spans.digest | length == 16)' "$$dir/m.json" >/dev/null; \
+	jq -e '.schema == "dsm96/run-metrics/v3" and (.per_proc_cycles | length == 8) and (.spans.digest | length == 16)' "$$dir/m.json" >/dev/null; \
 	jq -es 'all(.[]; (.stages | add) == .end - .start)' "$$dir/s.jsonl" >/dev/null; \
 	echo "timeline: ok"
 
 # Metrics regression gate: rerun the golden configuration (tiny radix,
 # I+P+D, 4 processors) and diff its metrics JSON — every counter, cycle
-# total, percentile, and the span digest — against the committed golden;
-# then prove the differ actually fails by injecting a counter drift.
+# total, percentile, and the span digest — against the committed golden,
+# asserting the v3 schema tag on both sides; then prove the differ
+# actually fails by injecting a counter drift, and that the schema
+# assertion fails on a wrong tag.
 metricsdiff:
 	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
 	$(GO) run ./cmd/dsmsim -p 4 -app radix -mode ipd -scale tiny \
 		-metrics "$$dir/m.json" >/dev/null; \
-	$(GO) run ./cmd/metricsdiff internal/timeline/testdata/radix_ipd_p4.metrics.json "$$dir/m.json"; \
+	$(GO) run ./cmd/metricsdiff -schema dsm96/run-metrics/v3 \
+		internal/timeline/testdata/radix_ipd_p4.metrics.json "$$dir/m.json"; \
 	jq '.counters.messages += 1' "$$dir/m.json" > "$$dir/drift.json"; \
 	if $(GO) run ./cmd/metricsdiff internal/timeline/testdata/radix_ipd_p4.metrics.json \
 		"$$dir/drift.json" >/dev/null 2>&1; then \
 		echo "metricsdiff: FAILED to detect injected drift"; exit 1; fi; \
-	echo "metricsdiff: drift detection ok"
+	if $(GO) run ./cmd/metricsdiff -schema dsm96/run-metrics/v2 \
+		internal/timeline/testdata/radix_ipd_p4.metrics.json "$$dir/m.json" >/dev/null 2>&1; then \
+		echo "metricsdiff: FAILED to reject wrong schema tag"; exit 1; fi; \
+	echo "metricsdiff: drift and schema detection ok"
+
+# Chaos gate: link faults plus randomized controller crash/hang over the
+# {tsp, water, radix} x {Base, I, I+P+D, AURC} matrix at tiny scale with
+# a fixed, bounded seed set. Every cell is validated against the
+# sequential oracle and run twice for fingerprint equality, and the
+# whole sweep is rerun under GOMAXPROCS=1 — chaos must cost cycles, not
+# correctness or determinism. Also anchors degradation correctness: an
+# all-controllers-crashed I+P+D run must compute Base's exact answer.
+chaos:
+	$(GO) test ./internal/experiments -count 1 \
+		-run 'TestChaosSweep|TestDegradedMatchesBase|TestCtrlFaultsVacuousOffController'
+	@echo "chaos: ok"
 
 # Docs gate: vet + formatting, every example builds, and the prose in
 # README/ARCHITECTURE/EXPERIMENTS references only make targets and

@@ -7,6 +7,7 @@
 //	dsmsim -app ocean -proto I+D -procs 16 [-scale default]
 //	dsmsim -app tsp -proto AURC+P
 //	dsmsim -app em3d -proto I+P+D -drop 0.02 -fault-seed 7
+//	dsmsim -app water -proto I+P+D -ctrl-crash 0@0,3@50000 -ctrl-hang 2@10000+30000
 //	dsmsim -p 16 -app radix -mode ipd -timeline t.json -metrics m.json
 //
 // Protocols: Base, I, I+D, P, I+P, I+P+D, AURC, AURC+P (matched
@@ -17,11 +18,20 @@
 // (deterministically, keyed by -fault-seed); the protocols recover via
 // the reliable transport, and the reliability counter block is printed.
 //
+// The -ctrl-crash/-ctrl-hang flags fail protocol controllers:
+// NODE@CYCLE items (NODE may be "all") crash a node's controller
+// permanently, NODE@CYCLE+WINDOW items wedge it for a window. The
+// owning node detects the dead doorbell by submit timeout and fails
+// over to inline software protocol handling — the run stays correct
+// and validated, it just slows down; the degradation counters are
+// printed. -watchdog bounds how long the engine tolerates zero process
+// progress before failing the run with a structured stall report.
+//
 // -timeline writes a Perfetto-loadable Chrome trace-event timeline of
 // the run (per-processor phase tracks, controller occupancy, mesh-link
 // occupancy, protocol instant events; open at ui.perfetto.dev, where
 // 1 µs = 1 simulated cycle); -metrics writes the machine-readable run
-// metrics JSON (schema dsm96/run-metrics/v2, including the causal-span
+// metrics JSON (schema dsm96/run-metrics/v3, including the causal-span
 // report); -spans writes one JSON line per blocking protocol operation
 // (read/write fault, lock, barrier, prefetch) with its stage-by-stage
 // latency decomposition. All artifacts are byte-identical across repeat
@@ -40,6 +50,7 @@ import (
 	"dsm96/internal/dsm"
 	"dsm96/internal/faults"
 	"dsm96/internal/params"
+	"dsm96/internal/sim"
 	"dsm96/internal/spans"
 	"dsm96/internal/stats"
 	"dsm96/internal/timeline"
@@ -70,6 +81,26 @@ func writeArtifact(path string, write func(io.Writer) error) {
 	}
 }
 
+// printStall renders the structured liveness report core.Run attaches
+// when a run deadlocks or the watchdog trips.
+func printStall(s *core.StallInfo) {
+	kind := "stall (watchdog)"
+	if s.Deadlock {
+		kind = "deadlock"
+	}
+	fmt.Fprintf(os.Stderr, "dsmsim: %s at cycle %d (last progress at %d)\n",
+		kind, s.Report.At, s.Report.LastProgress)
+	for _, b := range s.Report.Blocked {
+		fmt.Fprintf(os.Stderr, "  %-6s blocked on %-12s since cycle %d\n", b.Name, b.Reason, b.Since)
+	}
+	for _, op := range s.OpenOps {
+		fmt.Fprintf(os.Stderr, "  op %d: %s(obj %d) on node %d, open since cycle %d\n",
+			op.ID, op.Kind, op.Obj, op.Node, op.Start)
+	}
+	fmt.Fprintf(os.Stderr, "  transport: %d unacked message(s), %d retransmission(s) so far\n",
+		s.UnackedMessages, s.Retries)
+}
+
 func main() {
 	appName := flag.String("app", "ocean", "application: tsp, water, radix, barnes, ocean, em3d")
 	proto := flag.String("proto", "Base", "protocol: Base, I, I+D, P, I+P, I+P+D, AURC, AURC+P")
@@ -87,6 +118,9 @@ func main() {
 	dup := flag.Float64("dup", 0, "message duplication probability per link (0..1)")
 	delay := flag.Float64("delay", 0, "message reorder-delay probability per link (0..1)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
+	ctrlCrash := flag.String("ctrl-crash", "", "crash controllers: NODE@CYCLE,... (NODE may be \"all\")")
+	ctrlHang := flag.String("ctrl-hang", "", "hang controllers: NODE@CYCLE+WINDOW,... (NODE may be \"all\")")
+	watchdog := flag.Int64("watchdog", 0, "liveness watchdog window in cycles (0 = default, negative = off)")
 	timelineOut := flag.String("timeline", "", "write a Perfetto-loadable timeline (Chrome trace-event JSON) to this file")
 	metricsOut := flag.String("metrics", "", "write machine-readable run metrics JSON to this file")
 	spansOut := flag.String("spans", "", "write one causal span per blocking protocol operation as JSONL to this file")
@@ -170,19 +204,32 @@ func main() {
 	}
 	var tracker *spans.Tracker
 	if *spansOut != "" || *metricsOut != "" {
-		// Metrics carry the span report (schema v2), so both artifacts
+		// Metrics carry the span report (schema v3), so both artifacts
 		// share one tracker. Attaching it never perturbs the schedule.
 		tracker = spans.NewTracker(cfg.Processors)
 		spec.Spans = tracker
 	}
-	if *drop > 0 || *dup > 0 || *delay > 0 {
-		spec.Faults = &faults.Plan{
+	if *drop > 0 || *dup > 0 || *delay > 0 || *ctrlCrash != "" || *ctrlHang != "" {
+		plan := &faults.Plan{
 			Seed:    *faultSeed,
 			Default: faults.Link{Drop: *drop, Dup: *dup, Delay: *delay},
 		}
+		if err := faults.ParseCtrlCrash(plan, *ctrlCrash, cfg.Processors); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmsim:", err)
+			os.Exit(2)
+		}
+		if err := faults.ParseCtrlHang(plan, *ctrlHang, cfg.Processors); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmsim:", err)
+			os.Exit(2)
+		}
+		spec.Faults = plan
 	}
+	spec.Watchdog = sim.Time(*watchdog)
 	res, err := core.Run(cfg, spec, app)
 	if err != nil {
+		if res != nil && res.Stall != nil {
+			printStall(res.Stall)
+		}
 		fmt.Fprintln(os.Stderr, "dsmsim:", err)
 		os.Exit(1)
 	}
@@ -202,6 +249,10 @@ func main() {
 	if res.Reliability.Degraded() {
 		fmt.Println("  reliability (fault injection active):")
 		fmt.Print(res.Reliability.Table())
+	}
+	if sum := res.Breakdown.Sum(); sum.ControllerFailovers > 0 {
+		fmt.Printf("  controller:     %d failover(s) to software handling, %d degraded node-cycles, %d software-fallback diffs\n",
+			sum.ControllerFailovers, sum.DegradedNodeCycles, sum.SoftwareFallbackDiffs)
 	}
 	if *tracePg >= 0 {
 		fmt.Printf("  protocol trace for page %d (%d events recorded, last %d shown):\n",

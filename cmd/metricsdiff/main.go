@@ -8,6 +8,7 @@
 //	metricsdiff golden.json new.json
 //	metricsdiff -tol 'counters.bytes=0.05' -tol 'spans.*=0.10' golden.json new.json
 //	metricsdiff -ignore 'per_proc_cycles.*' golden.json new.json
+//	metricsdiff -schema dsm96/run-metrics/v3 golden.json new.json
 //
 // Both files are flattened into dotted key paths (array indices become
 // path segments: per_proc_cycles.3.busy_cycles). Every key must appear
@@ -18,6 +19,10 @@
 // PATH (repeatable). -ignore PATH skips paths entirely (repeatable). In
 // both, a trailing '*' matches any suffix: 'spans.*' covers the whole
 // spans block.
+//
+// -schema TAG additionally asserts that both files carry exactly that
+// schema tag — the gate that makes a schema bump (v2 -> v3) a
+// deliberate, golden-regenerating act rather than silent drift.
 //
 // Exit status: 0 when the artifacts match, 1 on drift (each drifted
 // path is reported), 2 on usage or read errors.
@@ -144,6 +149,7 @@ func main() {
 			return nil
 		})
 	allowExtra := flag.Bool("allow-extra", false, "tolerate keys present only in the new file")
+	schema := flag.String("schema", "", "require both files to carry exactly this schema tag")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: metricsdiff [-tol PATH=FRAC]... [-ignore PATH]... [-allow-extra] golden.json new.json")
@@ -195,6 +201,13 @@ func main() {
 	report := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "metricsdiff: "+format+"\n", args...)
 		drift++
+	}
+	if *schema != "" {
+		for i, flat := range []map[string]any{golden, next} {
+			if got, _ := flat["schema"].(string); got != *schema {
+				report("%s: schema %q, want %q", flag.Arg(i), got, *schema)
+			}
+		}
 	}
 	for _, p := range paths {
 		if ignored(p) {

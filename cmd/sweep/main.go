@@ -12,8 +12,17 @@
 //	sweep -memlat               # Figure 15
 //	sweep -membw                # Figure 16
 //	sweep -reliability [-fault-seed N]
+//	sweep -chaos                # link faults + controller crash/hang
 //	sweep -all [-scale tiny]
 //	sweep -all -j 4 -metrics out/   # 4 workers, one metrics JSON per cell
+//
+// The -chaos sweep combines link faults with randomized per-node
+// controller crash/hang schedules over {tsp, water, radix} × {Base, I,
+// I+P+D, AURC}: every cell is validated against the sequential oracle
+// and run twice to prove fingerprint reproducibility, and the table
+// reports the chaos cost alongside the graceful-degradation accounting
+// (failovers, degraded node-cycles, software-fallback diffs). This is
+// the sweep `make chaos` gates on (through its test-suite form).
 //
 // Independent sweep cells run on a worker pool (-j N; 0 = one worker per
 // CPU); each cell is a self-contained deterministic simulation, so the
@@ -45,8 +54,9 @@ func main() {
 	memlat := flag.Bool("memlat", false, "sweep memory latency (Figure 15)")
 	membw := flag.Bool("membw", false, "sweep memory bandwidth (Figure 16)")
 	reliability := flag.Bool("reliability", false, "sweep message loss rate (deterministic fault injection)")
+	chaos := flag.Bool("chaos", false, "chaos sweep: link faults + controller crash/hang, validated and repeat-run")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed for -reliability")
-	all := flag.Bool("all", false, "run all five sweeps")
+	all := flag.Bool("all", false, "run all six sweeps")
 	scale := flag.String("scale", "default", "problem scale: tiny, default, paper")
 	jobs := flag.Int("j", 0, "simulation worker pool size (0 = one worker per CPU)")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
@@ -151,7 +161,13 @@ func main() {
 		die(err)
 		fmt.Println(experiments.FormatReliability(*faultSeed, pts))
 	}
-	if !*all && !*messaging && !*netbw && !*memlat && !*membw && !*reliability {
+	if *all || *chaos {
+		seeds := experiments.DefaultChaosSeeds()
+		pts, err := experiments.ChaosSweep(sc, seeds)
+		die(err)
+		fmt.Println(experiments.FormatChaos(seeds, pts))
+	}
+	if !*all && !*messaging && !*netbw && !*memlat && !*membw && !*reliability && !*chaos {
 		flag.Usage()
 	}
 }

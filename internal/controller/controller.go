@@ -7,6 +7,7 @@
 package controller
 
 import (
+	"dsm96/internal/faults"
 	"dsm96/internal/lrc"
 	"dsm96/internal/memsys"
 	"dsm96/internal/network"
@@ -23,6 +24,13 @@ const CommandIssueCost = 10
 // a command from its queue.
 const DispatchCost = 20
 
+// SubmitTimeout is the driver-level watchdog on a command submission:
+// if the controller has not accepted a doorbell write after this many
+// cycles (200 µs at the paper's 10 ns cycle), the node declares the
+// controller dead and fails over to software protocol handling. A hang
+// shorter than this only delays the submitted commands.
+const SubmitTimeout = 20000
+
 // Controller is one node's protocol controller.
 type Controller struct {
 	ID   int
@@ -33,6 +41,23 @@ type Controller struct {
 	// overtake them (Section 3.1, footnote 2).
 	Core sim.Server
 
+	// Sched, when non-nil, is this controller's failure schedule. A nil
+	// schedule leaves every Submit structurally identical to a build
+	// without failure injection (the fingerprint gates rely on it).
+	//
+	// Failures manifest at the PCI doorbell: a crashed or hung
+	// controller stops ACCEPTING commands, while commands already in its
+	// queue or in service complete normally — the RISC core's wedge is
+	// modelled at the submission boundary, not as a mid-DMA abort, so
+	// no protocol action is ever half-done. The bus-snoop logic is
+	// passive custom hardware on the memory bus and keeps maintaining
+	// write vectors even after the core crashes.
+	Sched *faults.CtrlFault
+	// OnFailover, when non-nil, fires exactly once, at the moment the
+	// first submit timeout expires — the node-level degradation hook.
+	OnFailover func()
+
+	failed  bool
 	vectors map[int]*lrc.WriteVector
 }
 
@@ -66,23 +91,82 @@ func (c *Controller) SnoopWrite(addr int64) {
 	c.Vector(pg).Mark(word)
 }
 
-// Submit places a job in the controller's command queue.
-func (c *Controller) Submit(e *sim.Engine, j *sim.Job) { c.Core.Submit(e, j) }
+// Failed reports whether this controller has been declared dead (a
+// submit timeout expired).
+func (c *Controller) Failed() bool { return c.failed }
+
+// fail marks the controller dead and fires the failover hook once.
+func (c *Controller) fail() {
+	if c.failed {
+		return
+	}
+	c.failed = true
+	if c.OnFailover != nil {
+		c.OnFailover()
+	}
+}
+
+// Submit places a job in the controller's command queue — unless its
+// failure schedule says the doorbell is dead.
+//
+// fallback, when non-nil, is the software-path replacement for the
+// job: it runs (in engine context) if the controller cannot take the
+// command. For a crash, or a hang outlasting SubmitTimeout, the
+// command is swallowed, the driver watchdog expires SubmitTimeout
+// cycles later, the node fails over (OnFailover, once), and the
+// fallback runs. Once failed, fallbacks run immediately. A hang that
+// will clear within the timeout only delays the command: it enters the
+// queue when the hang window ends.
+func (c *Controller) Submit(e *sim.Engine, j *sim.Job, fallback func()) {
+	if c.Sched == nil {
+		c.Core.Submit(e, j)
+		return
+	}
+	now := e.Now()
+	switch {
+	case c.failed:
+		if fallback != nil {
+			fallback()
+		}
+	case c.Sched.CrashedBy(now):
+		e.After(SubmitTimeout, func() {
+			c.fail()
+			if fallback != nil {
+				fallback()
+			}
+		})
+	case c.Sched.HungAt(now):
+		if resume := c.Sched.HangEnd(); resume-now <= SubmitTimeout && !c.Sched.CrashedBy(resume) {
+			e.At(resume, func() { c.Core.Submit(e, j) })
+			return
+		}
+		e.After(SubmitTimeout, func() {
+			c.fail()
+			if fallback != nil {
+				fallback()
+			}
+		})
+	default:
+		c.Core.Submit(e, j)
+	}
+}
 
 // SubmitSend queues the common "send a message" command: the controller
 // core pays its dispatch cost plus the per-message overhead (the
 // computation processor pays nothing — that is the point of the I
 // variants), then hands the message to the reliable transport, which
 // retries and deduplicates it if a fault model is installed on the
-// network.
-func (c *Controller) SubmitSend(e *sim.Engine, nw *network.Network, dst, bytes int, deliver func()) {
+// network. fallback is the software send path used when the controller
+// is dead (see Submit); the message itself must still go out — only
+// who pays for it changes.
+func (c *Controller) SubmitSend(e *sim.Engine, nw *network.Network, dst, bytes int, deliver func(), fallback func()) {
 	c.Submit(e, &sim.Job{
 		Name:    "send",
 		Service: DispatchCost + c.Cfg.MessagingOverhead,
 		Done: func() {
 			nw.SendReliable(c.ID, dst, bytes, 0, deliver)
 		},
-	})
+	}, fallback)
 }
 
 // HWDiffCreateCost is the DMA engine's time to scan page pg's bit vector

@@ -80,13 +80,13 @@ func TestQueuePriorities(t *testing.T) {
 	var order []string
 	eng.At(0, func() {
 		c.Submit(eng, &sim.Job{Name: "pf1", Priority: sim.PriorityLow, Service: 100,
-			Done: func() { order = append(order, "pf1") }})
+			Done: func() { order = append(order, "pf1") }}, nil)
 		c.Submit(eng, &sim.Job{Name: "pf2", Priority: sim.PriorityLow, Service: 100,
-			Done: func() { order = append(order, "pf2") }})
+			Done: func() { order = append(order, "pf2") }}, nil)
 	})
 	eng.At(50, func() {
 		c.Submit(eng, &sim.Job{Name: "demand", Priority: sim.PriorityHigh, Service: 100,
-			Done: func() { order = append(order, "demand") }})
+			Done: func() { order = append(order, "demand") }}, nil)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)

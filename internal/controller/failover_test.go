@@ -1,0 +1,167 @@
+package controller
+
+import (
+	"testing"
+
+	"dsm96/internal/faults"
+	"dsm96/internal/sim"
+)
+
+// job builds a Submit-able job that appends name to log on completion.
+func job(name string, log *[]string) *sim.Job {
+	return &sim.Job{Name: name, Service: 100,
+		Done: func() { *log = append(*log, name) }}
+}
+
+// TestNilSchedulePassThrough: without a schedule, Submit is exactly the
+// plain server submit — the structural-absence guarantee.
+func TestNilSchedulePassThrough(t *testing.T) {
+	c, eng, _ := newCtrl()
+	var log []string
+	eng.At(0, func() { c.Submit(eng, job("a", &log), func() { t.Error("fallback ran") }) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 1 || log[0] != "a" || c.Failed() {
+		t.Fatalf("pass-through broken: log=%v failed=%v", log, c.Failed())
+	}
+}
+
+// TestCrashSwallowsAndFailsOver: a submit to a crashed controller is
+// swallowed, the driver watchdog expires SubmitTimeout later, the
+// failover hook fires exactly once, and each swallowed job's fallback
+// runs. Jobs already queued before the crash complete normally (the
+// wedge is at the doorbell, not mid-service).
+func TestCrashSwallowsAndFailsOver(t *testing.T) {
+	c, eng, _ := newCtrl()
+	c.Sched = &faults.CtrlFault{Crash: true, CrashAt: 500}
+	failovers := 0
+	var failAt sim.Time
+	c.OnFailover = func() { failovers++; failAt = eng.Now() }
+	var log []string
+	eng.At(0, func() { c.Submit(eng, job("before", &log), nil) })
+	eng.At(600, func() {
+		c.Submit(eng, job("after1", &log), func() { log = append(log, "fb1@"+tstr(eng.Now())) })
+	})
+	eng.At(700, func() {
+		c.Submit(eng, job("after2", &log), func() { log = append(log, "fb2@"+tstr(eng.Now())) })
+	})
+	// Long after failover: fallback runs immediately, no extra timeout.
+	eng.At(50000, func() {
+		c.Submit(eng, job("late", &log), func() { log = append(log, "late-fb@"+tstr(eng.Now())) })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"before", "fb1@" + tstr(600+SubmitTimeout), "fb2@" + tstr(700+SubmitTimeout), "late-fb@" + tstr(50000)}
+	if !eq(log, want) {
+		t.Errorf("log %v, want %v", log, want)
+	}
+	if failovers != 1 {
+		t.Errorf("OnFailover fired %d times, want 1", failovers)
+	}
+	if failAt != 600+SubmitTimeout {
+		t.Errorf("failover at %d, want %d", failAt, 600+SubmitTimeout)
+	}
+}
+
+// TestShortHangDelays: a hang window shorter than the submit timeout
+// only delays the command — no failover, job enters the queue at the
+// window's end.
+func TestShortHangDelays(t *testing.T) {
+	c, eng, _ := newCtrl()
+	c.Sched = &faults.CtrlFault{Hang: true, HangAt: 100, HangFor: 5000}
+	c.OnFailover = func() { t.Error("short hang triggered failover") }
+	var doneAt sim.Time
+	eng.At(200, func() {
+		c.Submit(eng, &sim.Job{Name: "delayed", Service: 100,
+			Done: func() { doneAt = eng.Now() }}, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Accepted when the hang clears at 5100, then 100 cycles of service.
+	if doneAt != 5200 {
+		t.Errorf("job completed at %d, want 5200", doneAt)
+	}
+	if c.Failed() {
+		t.Error("controller marked failed after a short hang")
+	}
+	// Outside the window the controller behaves normally.
+	var after sim.Time
+	eng.At(6000, func() {
+		c.Submit(eng, &sim.Job{Name: "healthy", Service: 50,
+			Done: func() { after = eng.Now() }}, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if after != 6050 {
+		t.Errorf("post-hang job completed at %d, want 6050", after)
+	}
+}
+
+// TestLongHangFailsOver: a hang outlasting the submit timeout is
+// indistinguishable from a crash to the waiting processor.
+func TestLongHangFailsOver(t *testing.T) {
+	c, eng, _ := newCtrl()
+	c.Sched = &faults.CtrlFault{Hang: true, HangAt: 0, HangFor: SubmitTimeout * 10}
+	failovers := 0
+	c.OnFailover = func() { failovers++ }
+	ran := false
+	eng.At(10, func() {
+		c.Submit(eng, job("never", new([]string)), func() { ran = true })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || failovers != 1 || !c.Failed() {
+		t.Errorf("long hang: fallback=%v failovers=%d failed=%v", ran, failovers, c.Failed())
+	}
+}
+
+// TestHangThenCrashInsideWindow: a hang that would clear, except the
+// controller crashes before the window ends — must fail over, not
+// resubmit to a dead controller.
+func TestHangThenCrashInsideWindow(t *testing.T) {
+	c, eng, _ := newCtrl()
+	c.Sched = &faults.CtrlFault{
+		Hang: true, HangAt: 0, HangFor: 1000,
+		Crash: true, CrashAt: 500,
+	}
+	ran := false
+	eng.At(10, func() { c.Submit(eng, job("x", new([]string)), func() { ran = true }) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || !c.Failed() {
+		t.Errorf("hang-then-crash: fallback=%v failed=%v", ran, c.Failed())
+	}
+}
+
+func tstr(t sim.Time) string {
+	const digits = "0123456789"
+	if t == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for t > 0 {
+		i--
+		b[i] = digits[t%10]
+		t /= 10
+	}
+	return string(b[i:])
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -58,6 +59,13 @@ type Spec struct {
 	// network exactly as reliable — and the event schedule exactly as
 	// reproducible — as a build without fault injection.
 	Faults *faults.Plan
+	// Watchdog is the liveness window in cycles: the run fails with a
+	// structured stall report (Result.Stall) if no process progresses
+	// for this long while some process is blocked. 0 — the default —
+	// arms DefaultWatchdog; negative disables the watchdog entirely.
+	// The watchdog is pure observation: an armed window that never
+	// trips leaves the event schedule and fingerprint bit-identical.
+	Watchdog sim.Time
 	// Spans, when set, tags every blocking protocol operation (read and
 	// write fault service, lock acquire and grant, barrier, prefetch)
 	// with a causal span: the operation's stage decomposition, the stall
@@ -99,6 +107,37 @@ func TMOpt(m tmk.Mode, o tmk.Options) Spec { return Spec{Kind: KindTM, TMMode: m
 // AURC builds an AURC spec.
 func AURC(prefetch bool) Spec { return Spec{Kind: KindAURC, Prefetch: prefetch} }
 
+// DefaultWatchdog is the liveness window armed when Spec.Watchdog is 0:
+// 20M cycles (200 ms of paper time) without any process progressing,
+// while at least one is blocked, is far beyond any legitimate stall in
+// these workloads — even a retransmission storm at the transport's
+// maximum backoff resolves orders of magnitude faster.
+const DefaultWatchdog sim.Time = 20_000_000
+
+// StallInfo is the structured liveness report attached to a Result when
+// the run deadlocked or the watchdog tripped: which processes were
+// blocked on what, the protocol operations still in flight, and the
+// reliable transport's retransmission state — enough to tell a wedged
+// controller from a lost wakeup from a transport livelock without
+// rerunning under a debugger.
+type StallInfo struct {
+	// Deadlock distinguishes a drained event queue with blocked
+	// processes (deadlock) from a watchdog trip (livelock: events still
+	// firing, nobody progressing).
+	Deadlock bool
+	// Report names the blocked processes, their wait reasons, and the
+	// stall window.
+	Report sim.StallReport
+	// OpenOps lists the causal spans still in flight when the run
+	// stalled (nil unless Spec.Spans was set).
+	OpenOps []*spans.Op
+	// UnackedMessages is the reliable transport's in-flight gauge:
+	// messages sent but not yet acknowledged.
+	UnackedMessages int
+	// Retries is the transport's retransmission count so far.
+	Retries uint64
+}
+
 // Result is the outcome of one simulated run.
 type Result struct {
 	// RunningTime is the parallel execution time in cycles.
@@ -133,6 +172,10 @@ type Result struct {
 	// per-kind latency percentiles and stage decomposition, overlap
 	// accounting, and the barrier critical-path chains.
 	Spans *spans.Report
+	// Stall carries the liveness report when the run deadlocked or the
+	// watchdog tripped; Run returns the partial Result alongside the
+	// error so callers can render it. Nil on completed runs.
+	Stall *StallInfo
 }
 
 // Validated reports whether the parallel answer matches the sequential
@@ -171,6 +214,12 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine()
+	switch {
+	case spec.Watchdog > 0:
+		eng.SetWatchdog(spec.Watchdog)
+	case spec.Watchdog == 0:
+		eng.SetWatchdog(DefaultWatchdog)
+	}
 	net := network.New(&cfg, eng, cfg.Processors)
 	net.InstallFaults(faults.NewModel(spec.Faults, cfg.Processors))
 	var sys system
@@ -181,6 +230,13 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 		sys = aurc.New(&cfg, eng, net, spec.Prefetch)
 	default:
 		return nil, fmt.Errorf("core: unknown protocol kind %d", spec.Kind)
+	}
+	if spec.Faults.CtrlEnabled() {
+		// Only TreadMarks controller modes have a controller to fail;
+		// elsewhere (Base, AURC) the schedule is structurally vacuous.
+		if cf, ok := sys.(interface{ InstallCtrlFaults(*faults.Plan) }); ok {
+			cf.InstallCtrlFaults(spec.Faults)
+		}
 	}
 
 	if spec.Tracer != nil {
@@ -216,7 +272,37 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 		sys.InstallProc(id, proc)
 	}
 	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("core: %s/%s: %w", app.Name(), spec, err)
+		err = fmt.Errorf("core: %s/%s: %w", app.Name(), spec, err)
+		var serr *sim.StallError
+		if !errors.As(err, &serr) {
+			return nil, err
+		}
+		// Liveness failure: return the partial result alongside the
+		// error so callers can render the stall report — who was
+		// blocked on what, which protocol operations were in flight,
+		// and whether the transport still had messages outstanding.
+		res := &Result{
+			RunningTime:      eng.Now(),
+			Breakdown:        sys.Breakdown(eng.Now()),
+			AppResult:        math.NaN(),
+			SeqResult:        seq,
+			Messages:         net.Messages,
+			Bytes:            net.Bytes,
+			Reliability:      net.Rel,
+			EventsRun:        eng.EventsRun(),
+			EventFingerprint: eng.Fingerprint(),
+			EngineStats:      eng.Stats(),
+			Protocol:         spec.String(),
+			App:              app.Name(),
+			Stall: &StallInfo{
+				Deadlock:        serr.Deadlock,
+				Report:          serr.Report,
+				OpenOps:         spec.Spans.OpenOps(),
+				UnackedMessages: net.Unacked(),
+				Retries:         net.Rel.Retries,
+			},
+		}
+		return res, err
 	}
 	var pages []stats.PageProfile
 	if pp, ok := sys.(stats.PageProfiler); ok {

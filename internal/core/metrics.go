@@ -57,6 +57,12 @@ func (r *Result) Metrics() *timeline.Metrics {
 		PrefetchUseCycles: sum.PrefetchUseCycles,
 		PrefetchUseCount:  sum.PrefetchUseCount,
 	}
+	m.Controller = timeline.ControllerMetrics{
+		Failovers:             sum.ControllerFailovers,
+		DegradedNodeCycles:    sum.DegradedNodeCycles,
+		SoftwareFallbackDiffs: sum.SoftwareFallbackDiffs,
+		FallbackJobs:          sum.CtrlFallbackJobs,
+	}
 	m.Reliability = timeline.ReliabilityMetrics{
 		MessagesDropped:    r.Reliability.MessagesDropped,
 		MessagesDuplicated: r.Reliability.MessagesDuplicated,

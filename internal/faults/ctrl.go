@@ -1,0 +1,203 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dsm96/internal/sim"
+)
+
+// CtrlFault schedules protocol-controller failures for one node: a
+// permanent crash at a cycle, a temporary hang window, or both. The
+// schedule is data, not randomness — every run under the same plan
+// fails the same controllers at the same simulated cycles, so chaos
+// runs stay repeat-run and GOMAXPROCS invariant exactly like link
+// faults. (RandomCtrl derives schedules from the plan seed when a
+// scenario wants randomized placement.)
+//
+// Failure semantics live in internal/controller: a crashed or
+// timed-out-hung controller stops accepting work at its command
+// doorbell, and the owning node fails over to inline software protocol
+// handling (internal/tmk).
+type CtrlFault struct {
+	// Crash: the controller permanently stops accepting commands at
+	// CrashAt (already-accepted work completes; see controller docs).
+	Crash   bool
+	CrashAt sim.Time
+	// Hang: the controller accepts no commands during
+	// [HangAt, HangAt+HangFor). Short hangs only delay submitters; a
+	// hang longer than the submit timeout is indistinguishable from a
+	// crash to the waiting processor, which fails over.
+	Hang    bool
+	HangAt  sim.Time
+	HangFor sim.Time
+}
+
+// Active reports whether this schedule can fail the controller at all.
+func (c CtrlFault) Active() bool { return c.Crash || c.Hang }
+
+// validate reports the first inconsistency, named after where.
+func (c CtrlFault) validate(where string) error {
+	if c.CrashAt < 0 {
+		return fmt.Errorf("faults: %s: CrashAt %d negative", where, c.CrashAt)
+	}
+	if c.HangAt < 0 || c.HangFor < 0 {
+		return fmt.Errorf("faults: %s: HangAt/HangFor window [%d,+%d] invalid", where, c.HangAt, c.HangFor)
+	}
+	if c.Hang && c.HangFor == 0 {
+		return fmt.Errorf("faults: %s: Hang scheduled with zero HangFor window", where)
+	}
+	return nil
+}
+
+// CrashedBy reports whether the controller has permanently crashed at
+// time t.
+func (c CtrlFault) CrashedBy(t sim.Time) bool { return c.Crash && t >= c.CrashAt }
+
+// HungAt reports whether t falls inside the hang window.
+func (c CtrlFault) HungAt(t sim.Time) bool {
+	return c.Hang && t >= c.HangAt && t < c.HangAt+c.HangFor
+}
+
+// HangEnd is the first cycle after the hang window.
+func (c CtrlFault) HangEnd() sim.Time { return c.HangAt + c.HangFor }
+
+// setCtrl merges one node's schedule into the plan.
+func (p *Plan) setCtrl(node int, merge func(*CtrlFault)) {
+	if p.Ctrl == nil {
+		p.Ctrl = make(map[int]CtrlFault)
+	}
+	c := p.Ctrl[node]
+	merge(&c)
+	p.Ctrl[node] = c
+}
+
+// parseNodeAt splits "NODE@REST" and resolves NODE ("all" = every node
+// in [0, nodes)). It returns the node list and the text after '@'.
+func parseNodeAt(item string, nodes int) ([]int, string, error) {
+	at := strings.IndexByte(item, '@')
+	if at < 0 {
+		return nil, "", fmt.Errorf("faults: ctrl spec %q: want NODE@CYCLE", item)
+	}
+	who, rest := item[:at], item[at+1:]
+	if who == "all" {
+		all := make([]int, nodes)
+		for i := range all {
+			all[i] = i
+		}
+		return all, rest, nil
+	}
+	n, err := strconv.Atoi(who)
+	if err != nil || n < 0 {
+		return nil, "", fmt.Errorf("faults: ctrl spec %q: bad node %q", item, who)
+	}
+	if n >= nodes {
+		return nil, "", fmt.Errorf("faults: ctrl spec %q: node %d outside machine of %d", item, n, nodes)
+	}
+	return []int{n}, rest, nil
+}
+
+// ParseCtrlCrash merges a crash spec into the plan's controller
+// schedule. The spec is a comma-separated list of NODE@CYCLE items;
+// NODE may be "all":
+//
+//	"0@0"             node 0's controller is dead from the start
+//	"1@50000,3@90000" two controllers crash mid-run
+//	"all@0"           every node degrades to software handling
+func ParseCtrlCrash(p *Plan, spec string, nodes int) error {
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		ids, rest, err := parseNodeAt(item, nodes)
+		if err != nil {
+			return err
+		}
+		cyc, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || cyc < 0 {
+			return fmt.Errorf("faults: ctrl crash spec %q: bad cycle %q", item, rest)
+		}
+		for _, n := range ids {
+			p.setCtrl(n, func(c *CtrlFault) {
+				c.Crash = true
+				c.CrashAt = sim.Time(cyc)
+			})
+		}
+	}
+	return nil
+}
+
+// ParseCtrlHang merges a hang spec into the plan's controller
+// schedule. Items are NODE@CYCLE+WINDOW — the controller accepts no
+// commands for WINDOW cycles starting at CYCLE:
+//
+//	"2@10000+30000"  node 2 wedges at cycle 10000 for 30000 cycles
+//	"all@0+5000"     every controller starts wedged for 5000 cycles
+func ParseCtrlHang(p *Plan, spec string, nodes int) error {
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		ids, rest, err := parseNodeAt(item, nodes)
+		if err != nil {
+			return err
+		}
+		plus := strings.IndexByte(rest, '+')
+		if plus < 0 {
+			return fmt.Errorf("faults: ctrl hang spec %q: want NODE@CYCLE+WINDOW", item)
+		}
+		cyc, err1 := strconv.ParseInt(rest[:plus], 10, 64)
+		win, err2 := strconv.ParseInt(rest[plus+1:], 10, 64)
+		if err1 != nil || err2 != nil || cyc < 0 || win <= 0 {
+			return fmt.Errorf("faults: ctrl hang spec %q: bad window %q", item, rest)
+		}
+		for _, n := range ids {
+			p.setCtrl(n, func(c *CtrlFault) {
+				c.Hang = true
+				c.HangAt = sim.Time(cyc)
+				c.HangFor = sim.Time(win)
+			})
+		}
+	}
+	return nil
+}
+
+// RandomCtrl derives a randomized controller failure schedule from the
+// seed: each node independently crashes with probability crashP
+// (uniform crash cycle in [0, horizon]) and hangs with probability
+// hangP (uniform start in [0, horizon], window in [1, horizon/4+1]).
+//
+// Determinism: each node's draws come from Derive(seed, n, n, 0). The
+// (n, n) PRNG lanes are provably untouched by link-fault decisions —
+// loopback messages short-circuit in the network layer before any
+// fault decision is made — so controller schedules never perturb (and
+// are never perturbed by) wire-fault outcomes under the same seed.
+func RandomCtrl(seed uint64, nodes int, crashP, hangP float64, horizon sim.Time) map[int]CtrlFault {
+	if horizon < 0 {
+		panic(fmt.Sprintf("faults: RandomCtrl horizon %d negative", horizon))
+	}
+	out := make(map[int]CtrlFault)
+	for n := 0; n < nodes; n++ {
+		s := Derive(seed, n, n, 0)
+		var c CtrlFault
+		if s.Float() < crashP {
+			c.Crash = true
+			c.CrashAt = sim.Time(s.Next() % uint64(horizon+1))
+		}
+		if s.Float() < hangP {
+			c.Hang = true
+			c.HangAt = sim.Time(s.Next() % uint64(horizon+1))
+			c.HangFor = 1 + sim.Time(s.Next()%uint64(horizon/4+1))
+		}
+		if c.Active() {
+			out[n] = c
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCtrlEnabledAxes: controller schedules and link rates are
+// independent enablement axes, and only link activity builds a wire
+// model.
+func TestCtrlEnabledAxes(t *testing.T) {
+	ctrlOnly := &Plan{Ctrl: map[int]CtrlFault{2: {Crash: true, CrashAt: 100}}}
+	if !ctrlOnly.CtrlEnabled() || !ctrlOnly.Enabled() {
+		t.Error("crash schedule not reported enabled")
+	}
+	if ctrlOnly.LinksEnabled() {
+		t.Error("controller-only plan claims link faults")
+	}
+	if NewModel(ctrlOnly, 4) != nil {
+		t.Error("controller-only plan armed the wire interposer")
+	}
+	linkOnly := &Plan{Default: Link{Drop: 0.1}}
+	if linkOnly.CtrlEnabled() {
+		t.Error("link-only plan claims controller faults")
+	}
+	inactive := &Plan{Ctrl: map[int]CtrlFault{0: {}}}
+	if inactive.CtrlEnabled() {
+		t.Error("zero-value CtrlFault reported active")
+	}
+}
+
+// TestCtrlFaultWindows: the crash/hang time predicates.
+func TestCtrlFaultWindows(t *testing.T) {
+	c := CtrlFault{Crash: true, CrashAt: 100, Hang: true, HangAt: 10, HangFor: 20}
+	if c.CrashedBy(99) || !c.CrashedBy(100) || !c.CrashedBy(1000) {
+		t.Error("CrashedBy boundary wrong")
+	}
+	if c.HungAt(9) || !c.HungAt(10) || !c.HungAt(29) || c.HungAt(30) {
+		t.Error("HungAt window wrong")
+	}
+	if c.HangEnd() != 30 {
+		t.Errorf("HangEnd = %d, want 30", c.HangEnd())
+	}
+}
+
+// TestValidateNamesOffender (satellite): validation errors must name
+// the failing entry and field so multi-link plans are debuggable, and
+// the first error must be deterministic despite map iteration.
+func TestValidateNamesOffender(t *testing.T) {
+	cases := []struct {
+		plan *Plan
+		want []string
+	}{
+		{&Plan{Default: Link{Drop: 1.5}}, []string{"default link", "Drop"}},
+		{&Plan{Default: Link{Delay: 0.5, DelayMin: 300, DelayMax: 100}},
+			[]string{"default link", "DelayMin/DelayMax"}},
+		{&Plan{PerLink: map[Pair]Link{{3, 7}: {Dup: -0.1}}}, []string{"link 3->7", "Dup"}},
+		{&Plan{Ctrl: map[int]CtrlFault{5: {Crash: true, CrashAt: -1}}},
+			[]string{"ctrl node 5", "CrashAt"}},
+		{&Plan{Ctrl: map[int]CtrlFault{2: {Hang: true}}}, []string{"ctrl node 2", "HangFor"}},
+	}
+	for i, c := range cases {
+		err := c.plan.Validate()
+		if err == nil {
+			t.Errorf("case %d: invalid plan accepted", i)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("case %d: error %q does not name %q", i, err, w)
+			}
+		}
+	}
+
+	// Deterministic first error: many bad links, always the lowest pair.
+	many := &Plan{PerLink: map[Pair]Link{}}
+	for s := 0; s < 6; s++ {
+		for d := 0; d < 6; d++ {
+			if s != d {
+				many.PerLink[Pair{s, d}] = Link{Drop: 2}
+			}
+		}
+	}
+	first := many.Validate().Error()
+	for i := 0; i < 20; i++ {
+		if got := many.Validate().Error(); got != first {
+			t.Fatalf("Validate first error nondeterministic: %q vs %q", got, first)
+		}
+	}
+	if !strings.Contains(first, "link 0->1") {
+		t.Errorf("first error %q should name the lowest pair 0->1", first)
+	}
+}
+
+// TestParseCtrlCrash covers the NODE@CYCLE list syntax and "all".
+func TestParseCtrlCrash(t *testing.T) {
+	p := &Plan{}
+	if err := ParseCtrlCrash(p, "0@0,3@50000", 4); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]CtrlFault{
+		0: {Crash: true, CrashAt: 0},
+		3: {Crash: true, CrashAt: 50000},
+	}
+	if !reflect.DeepEqual(p.Ctrl, want) {
+		t.Errorf("parsed %+v, want %+v", p.Ctrl, want)
+	}
+	all := &Plan{}
+	if err := ParseCtrlCrash(all, "all@7", 3); err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Ctrl) != 3 || !all.Ctrl[2].Crash || all.Ctrl[2].CrashAt != 7 {
+		t.Errorf("all@7 parsed to %+v", all.Ctrl)
+	}
+	for _, bad := range []string{"5@0", "x@0", "0", "0@-3", "0@x"} {
+		if err := ParseCtrlCrash(&Plan{}, bad, 4); err == nil {
+			t.Errorf("crash spec %q accepted", bad)
+		}
+	}
+}
+
+// TestParseCtrlHang covers NODE@CYCLE+WINDOW and merge-with-crash.
+func TestParseCtrlHang(t *testing.T) {
+	p := &Plan{}
+	if err := ParseCtrlCrash(p, "1@90000", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ParseCtrlHang(p, "1@1000+20000", 4); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Ctrl[1]
+	want := CtrlFault{Crash: true, CrashAt: 90000, Hang: true, HangAt: 1000, HangFor: 20000}
+	if got != want {
+		t.Errorf("merged schedule %+v, want %+v", got, want)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("merged plan invalid: %v", err)
+	}
+	for _, bad := range []string{"1@1000", "1@1000+0", "1@1000+-5", "1@+5"} {
+		if err := ParseCtrlHang(&Plan{}, bad, 4); err == nil {
+			t.Errorf("hang spec %q accepted", bad)
+		}
+	}
+}
+
+// TestRandomCtrl: same seed, same schedule; different seed differs
+// somewhere; all draws validate and respect the horizon; crashP=1
+// fails every node.
+func TestRandomCtrl(t *testing.T) {
+	a := RandomCtrl(11, 16, 0.5, 0.5, 100000)
+	b := RandomCtrl(11, 16, 0.5, 0.5, 100000)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different schedules")
+	}
+	c := RandomCtrl(12, 16, 0.5, 0.5, 100000)
+	if reflect.DeepEqual(a, c) {
+		t.Error("seeds 11 and 12 produced identical schedules (suspicious)")
+	}
+	plan := &Plan{Ctrl: a}
+	if err := plan.Validate(); err != nil {
+		t.Errorf("random schedule invalid: %v", err)
+	}
+	for n, f := range a {
+		if f.Crash && f.CrashAt > 100000 {
+			t.Errorf("node %d crash at %d beyond horizon", n, f.CrashAt)
+		}
+		if f.Hang && (f.HangAt > 100000 || f.HangFor < 1) {
+			t.Errorf("node %d hang window [%d,+%d] out of range", n, f.HangAt, f.HangFor)
+		}
+	}
+	every := RandomCtrl(3, 8, 1, 0, 50000)
+	if len(every) != 8 {
+		t.Errorf("crashP=1 failed %d/8 nodes", len(every))
+	}
+	if RandomCtrl(3, 8, 0, 0, 50000) != nil {
+		t.Error("zero-probability schedule not nil")
+	}
+}

@@ -41,6 +41,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 
 	"dsm96/internal/sim"
 )
@@ -66,18 +67,21 @@ type Link struct {
 // active reports whether any failure can occur on this link.
 func (l Link) active() bool { return l.Drop > 0 || l.Dup > 0 || l.Delay > 0 }
 
-// validate reports the first inconsistency in the link's rates.
-func (l Link) validate() error {
+// validate reports the first inconsistency in the link's rates. where
+// names the link ("default link", "link 3->7") so that multi-link plans
+// point straight at the offending entry and field.
+func (l Link) validate(where string) error {
 	for _, r := range []struct {
 		name string
 		v    float64
 	}{{"Drop", l.Drop}, {"Dup", l.Dup}, {"Delay", l.Delay}} {
 		if r.v < 0 || r.v > 1 {
-			return fmt.Errorf("faults: %s rate %v outside [0,1]", r.name, r.v)
+			return fmt.Errorf("faults: %s: %s rate %v outside [0,1]", where, r.name, r.v)
 		}
 	}
 	if l.DelayMin < 0 || l.DelayMax < 0 || (l.DelayMax > 0 && l.DelayMax < l.DelayMin) {
-		return fmt.Errorf("faults: delay bounds [%d,%d] invalid", l.DelayMin, l.DelayMax)
+		return fmt.Errorf("faults: %s: DelayMin/DelayMax bounds [%d,%d] invalid",
+			where, l.DelayMin, l.DelayMax)
 	}
 	return nil
 }
@@ -87,8 +91,9 @@ type Pair struct {
 	Src, Dst int
 }
 
-// Plan describes one unreliable-network scenario: a seed, a default
-// fault model applied to every link, and optional per-link overrides.
+// Plan describes one unreliable-machine scenario: a seed, a default
+// fault model applied to every link, optional per-link overrides, and
+// optional per-node controller failure schedules.
 type Plan struct {
 	// Seed keys every injection decision. Two plans that differ only in
 	// Seed fail different messages.
@@ -97,13 +102,17 @@ type Plan struct {
 	Default Link
 	// PerLink overrides the default for specific ordered pairs.
 	PerLink map[Pair]Link
+	// Ctrl schedules protocol-controller failures per node (crash at a
+	// cycle, hang for a window). Link faults and controller faults are
+	// independent axes: either may be active without the other.
+	Ctrl map[int]CtrlFault
 }
 
-// Enabled reports whether the plan can inject any fault at all. A
-// disabled plan must behave exactly like no plan: callers gate the
-// interposer on this so that zero-rate runs stay bit-identical to
-// fault-free runs.
-func (p *Plan) Enabled() bool {
+// LinksEnabled reports whether the plan can inject any wire-level
+// fault. A plan without active links must leave the transport exactly
+// as it is with no plan: NewModel gates on this so that zero-rate (or
+// controller-only) plans stay bit-identical on the wire.
+func (p *Plan) LinksEnabled() bool {
 	if p == nil {
 		return false
 	}
@@ -118,17 +127,64 @@ func (p *Plan) Enabled() bool {
 	return false
 }
 
-// Validate reports the first inconsistency in the plan.
+// CtrlEnabled reports whether any node has an active controller
+// failure scheduled.
+func (p *Plan) CtrlEnabled() bool {
+	if p == nil {
+		return false
+	}
+	for _, c := range p.Ctrl {
+		if c.Active() {
+			return true
+		}
+	}
+	return false
+}
+
+// Enabled reports whether the plan can inject any fault at all — wire
+// or controller.
+func (p *Plan) Enabled() bool { return p.LinksEnabled() || p.CtrlEnabled() }
+
+// Validate reports the first inconsistency in the plan. Errors name
+// the offending entry ("default link", "link 3->7", "ctrl node 5") and
+// field; entries are checked in sorted order so the first error is
+// deterministic regardless of map iteration.
 func (p *Plan) Validate() error {
 	if p == nil {
 		return nil
 	}
-	if err := p.Default.validate(); err != nil {
+	if err := p.Default.validate("default link"); err != nil {
 		return err
 	}
-	for pr, l := range p.PerLink {
-		if err := l.validate(); err != nil {
-			return fmt.Errorf("link %d->%d: %w", pr.Src, pr.Dst, err)
+	pairs := make([]Pair, 0, len(p.PerLink))
+	for pr := range p.PerLink {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Src != pairs[j].Src {
+			return pairs[i].Src < pairs[j].Src
+		}
+		return pairs[i].Dst < pairs[j].Dst
+	})
+	for _, pr := range pairs {
+		if err := p.PerLink[pr].validate(fmt.Sprintf("link %d->%d", pr.Src, pr.Dst)); err != nil {
+			return err
+		}
+		if pr.Src < 0 || pr.Dst < 0 {
+			return fmt.Errorf("faults: link %d->%d: negative node id", pr.Src, pr.Dst)
+		}
+	}
+	nodes := make([]int, 0, len(p.Ctrl))
+	for n := range p.Ctrl {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		if err := p.Ctrl[n].validate(fmt.Sprintf("ctrl node %d", n)); err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf("faults: ctrl node %d: negative node id", n)
 		}
 	}
 	return nil
@@ -172,11 +228,12 @@ type Model struct {
 }
 
 // NewModel binds a plan to a machine of n nodes. Returns nil for a
-// disabled plan so callers can treat "no faults" and "zero faults"
-// identically. Panics on an invalid plan: a malformed scenario is a
-// configuration bug, not a runtime condition.
+// plan with no active links so callers can treat "no wire faults" and
+// "zero wire faults" identically (controller-only plans do not arm the
+// transport interposer). Panics on an invalid plan: a malformed
+// scenario is a configuration bug, not a runtime condition.
 func NewModel(p *Plan, n int) *Model {
-	if !p.Enabled() {
+	if !p.LinksEnabled() {
 		return nil
 	}
 	if err := p.Validate(); err != nil {

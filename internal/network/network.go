@@ -78,6 +78,9 @@ type Network struct {
 	// while a fault model is installed.
 	faults *faults.Model
 	pairs  []pairState
+	// unacked gauges reliable messages awaiting acknowledgement (see
+	// Unacked).
+	unacked int
 
 	// rec, when non-nil, receives per-link occupancy spans (see
 	// SetTimeline). Nil — the default — is a no-op receiver.

@@ -67,8 +67,15 @@ func (nw *Network) SendReliable(src, dst, bytes int, overhead sim.Time, deliver 
 	ps := &nw.pairs[src*nw.n+dst]
 	m := &pendingMsg{src: src, dst: dst, bytes: bytes, seq: ps.nextSeq, deliver: deliver}
 	ps.nextSeq++
+	nw.unacked++
 	nw.transmit(m, overhead)
 }
+
+// Unacked reports how many reliable messages are still awaiting their
+// acknowledgement — the retransmission machinery's in-flight gauge,
+// read by liveness stall reports. Always 0 without a fault model (the
+// reliable path is then a verbatim datagram send).
+func (nw *Network) Unacked() int { return nw.unacked }
 
 // transmit puts one physical copy of m on the wire and arms its retry
 // timer. The first attempt pays the caller's messaging overhead;
@@ -121,7 +128,12 @@ func (nw *Network) receiveReliable(m *pendingMsg) {
 	// Hardware ack, itself fault-prone: if it is lost the sender
 	// retransmits and this copy's twin is deduplicated below.
 	nw.Rel.AcksSent++
-	nw.Send(m.dst, m.src, ackBytes, 0, func() { m.acked = true })
+	nw.Send(m.dst, m.src, ackBytes, 0, func() {
+		if !m.acked {
+			m.acked = true
+			nw.unacked--
+		}
+	})
 
 	ps := &nw.pairs[m.src*nw.n+m.dst]
 	if m.seq < ps.nextDeliver || ps.held[m.seq] != nil {

@@ -53,6 +53,11 @@ type Engine struct {
 	// limit bounds inline event elision: during RunUntil(t) a process
 	// may not advance the clock past t on its own.
 	limit Time
+	// watchdog, when positive, is the liveness window: Run fails with a
+	// *StallError if no process progresses for this many cycles while
+	// some process is blocked (see SetWatchdog).
+	watchdog       Time
+	lastProgressAt Time
 
 	// Stats.
 	eventsRun    uint64
@@ -229,6 +234,7 @@ func (e *Engine) elide(wake Time) {
 	e.fired(wake, e.seq)
 	e.elidedParks++
 	e.now = wake
+	e.progressed()
 }
 
 // Stop makes Run return after the current event completes. Pending events
@@ -236,32 +242,40 @@ func (e *Engine) elide(wake Time) {
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events until the queue is empty or Stop is called.
-// It returns an error if any processes are still blocked when the event
-// queue drains (a simulated deadlock).
+// It returns a *StallError if any processes are still blocked when the
+// event queue drains (a simulated deadlock), or — with SetWatchdog
+// armed — when events keep firing without any process progressing (a
+// livelock).
 func (e *Engine) Run() error {
 	e.stopped = false
 	e.limit = math.MaxInt64
+	watched := e.watchdog > 0
 	for len(e.events) > 0 && !e.stopped {
 		ev := e.pop()
 		e.now = ev.at
 		e.fired(ev.at, ev.seq)
 		ev.fn()
+		if watched {
+			if serr := e.checkStall(); serr != nil {
+				return serr
+			}
+		}
 	}
 	if e.stopped {
 		return nil
 	}
-	var blocked []*Proc
+	var blocked []BlockedProc
 	for _, p := range e.procs {
 		if !p.done {
-			blocked = append(blocked, p)
+			blocked = append(blocked, BlockedProc{
+				ID: p.ID, Name: p.Name, Reason: p.blockReason, Since: p.blockedAt,
+			})
 		}
 	}
 	if len(blocked) > 0 {
-		msg := "sim: deadlock, blocked processes:"
-		for _, p := range blocked {
-			msg += fmt.Sprintf(" %s(%s)", p.Name, p.blockReason)
-		}
-		return fmt.Errorf("%s", msg)
+		return &StallError{Deadlock: true, Report: StallReport{
+			At: e.now, LastProgress: e.lastProgressAt, Blocked: blocked,
+		}}
 	}
 	return nil
 }

@@ -42,6 +42,7 @@ func (e *Engine) NewProc(id int, name string, start Time, body func(*Proc)) *Pro
 	p.resumeFn = p.resume
 	e.procs = append(e.procs, p)
 	e.At(start, func() {
+		e.progressed()
 		go func() {
 			body(p)
 			p.done = true
@@ -84,6 +85,7 @@ func (p *Proc) resume() {
 	if p.done {
 		panic(fmt.Sprintf("sim: resuming finished proc %s", p.Name))
 	}
+	p.eng.progressed()
 	p.eng.handoffs++
 	p.wake <- struct{}{}
 	<-p.eng.handoff // wait for the proc to park again or finish

@@ -7,7 +7,9 @@ import (
 
 	"dsm96/internal/apps"
 	"dsm96/internal/core"
+	"dsm96/internal/faults"
 	"dsm96/internal/params"
+	"dsm96/internal/sim"
 	"dsm96/internal/spans"
 	"dsm96/internal/stats"
 	"dsm96/internal/tmk"
@@ -139,6 +141,66 @@ func TestSpanReconciliation(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSpanReconciliationUnderFaults re-runs the ledger cross-checks on a
+// network that loses, duplicates, and delays messages. Retransmission
+// stretches operations — the retry timeout lands inside the blocking
+// window — so this is the regime where a decomposition that assumed an
+// uncontended send (instead of observing the actual delivery) would
+// stop summing to the block time. Every span's stages must still sum
+// exactly to End-Start, and the Data/Synch charge equality against the
+// breakdown must survive with retransmissions in flight.
+func TestSpanReconciliationUnderFaults(t *testing.T) {
+	app, err := apps.Tiny("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := params.Default()
+	cfg.Processors = 8
+	tr := spans.NewTracker(cfg.Processors)
+	spec := core.TM(tmk.IPD)
+	spec.Spans = tr
+	spec.Faults = &faults.Plan{
+		Seed: 42,
+		Default: faults.Link{
+			Drop: 0.05, Dup: 0.1,
+			Delay: 0.2, DelayMin: 200, DelayMax: 2000,
+		},
+	}
+	res, err := core.Run(cfg, spec, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability.Retries == 0 || res.Reliability.MessagesDropped == 0 {
+		t.Fatalf("fault plan exercised no retransmissions: %+v", res.Reliability)
+	}
+
+	var charged [8][stats.NumCategories]int64
+	for _, op := range tr.Ops() {
+		var sum sim.Time
+		for _, s := range op.Stages {
+			sum += s
+		}
+		if sum != op.End-op.Start {
+			t.Errorf("op %d (%s on node %d): stages sum to %d, window is %d",
+				op.ID, op.Kind, op.Node, sum, op.End-op.Start)
+		}
+		for c, v := range op.Charged {
+			charged[op.Node][c] += v
+		}
+	}
+	for n, ps := range res.Breakdown.PerProc {
+		for _, c := range []stats.Category{stats.Data, stats.Synch} {
+			if charged[n][c] != ps.Cycles[c] {
+				t.Errorf("node %d %s: spans charged %d, breakdown %d",
+					n, c, charged[n][c], ps.Cycles[c])
+			}
+		}
+	}
+	if got := tr.OpenOps(); len(got) != 0 {
+		t.Errorf("%d operations still open after a completed run", len(got))
 	}
 }
 

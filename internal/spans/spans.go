@@ -314,3 +314,20 @@ func (t *Tracker) Ops() []*Op {
 	}
 	return t.ops
 }
+
+// OpenOps returns the operations currently in flight — begun but not
+// yet ended or detached — in node order. This is the liveness
+// watchdog's view of what each stalled processor was in the middle of
+// when a run stopped making progress; on a completed run it is empty.
+func (t *Tracker) OpenOps() []*Op {
+	if t == nil {
+		return nil
+	}
+	var out []*Op
+	for _, op := range t.cur {
+		if op != nil {
+			out = append(out, op)
+		}
+	}
+	return out
+}

@@ -98,6 +98,24 @@ type ProcStats struct {
 	// the page (the paper quotes 5K-600K cycles for its applications).
 	PrefetchUseCycles uint64
 	PrefetchUseCount  uint64
+
+	// Degradation counters (controller fault injection). A node whose
+	// protocol controller crashes or wedges past the submit timeout fails
+	// over to inline software protocol handling and keeps running.
+	//
+	// ControllerFailovers counts the node declaring its controller dead
+	// (at most once per run per node).
+	ControllerFailovers uint64
+	// DegradedNodeCycles is how much of the run this node spent in
+	// software-fallback mode after its controller failed.
+	DegradedNodeCycles uint64
+	// SoftwareFallbackDiffs counts diffs this node created while
+	// degraded — twin comparisons (or salvaged write vectors) done by the
+	// computation processor instead of the controller's DMA engine.
+	SoftwareFallbackDiffs uint64
+	// CtrlFallbackJobs counts controller commands swallowed by a crashed
+	// or hung controller and redone on the computation processor.
+	CtrlFallbackJobs uint64
 }
 
 // Add charges d cycles to category c.
@@ -144,6 +162,10 @@ func (s *ProcStats) Merge(o *ProcStats) {
 	s.DupMsgsSuppressed += o.DupMsgsSuppressed
 	s.PrefetchUseCycles += o.PrefetchUseCycles
 	s.PrefetchUseCount += o.PrefetchUseCount
+	s.ControllerFailovers += o.ControllerFailovers
+	s.DegradedNodeCycles += o.DegradedNodeCycles
+	s.SoftwareFallbackDiffs += o.SoftwareFallbackDiffs
+	s.CtrlFallbackJobs += o.CtrlFallbackJobs
 }
 
 // AvgPrefetchLead returns the mean cycles between a prefetch being issued
@@ -250,6 +272,10 @@ func (b *Breakdown) CounterTable() string {
 		{"useful prefetch", s.UsefulPrefetch},
 		{"useless prefetch", s.UselessPrefetch},
 		{"dup msgs dropped", s.DupMsgsSuppressed},
+		{"ctrl failovers", s.ControllerFailovers},
+		{"degraded cycles", s.DegradedNodeCycles},
+		{"fallback diffs", s.SoftwareFallbackDiffs},
+		{"fallback jobs", s.CtrlFallbackJobs},
 	}
 	var sb strings.Builder
 	for _, r := range rows {

@@ -9,9 +9,11 @@ import (
 
 // MetricsSchema names the metrics JSON layout; bump on incompatible
 // change so downstream consumers can dispatch. v2 adds the optional
-// `spans` block (causal-span report); every v1 field is unchanged, so a
-// v1 reader that ignores unknown keys still parses v2 artifacts.
-const MetricsSchema = "dsm96/run-metrics/v2"
+// `spans` block (causal-span report); v3 adds the `controller` block
+// (fault-injection failover counters). Every earlier field is
+// unchanged, so a reader that ignores unknown keys still parses newer
+// artifacts.
+const MetricsSchema = "dsm96/run-metrics/v3"
 
 // ProcCycles is one processor's cycle accounting row (one bar segment
 // stack of the paper's figures), in the five categories of stats.
@@ -49,6 +51,16 @@ type Counters struct {
 	DupMsgsSuppressed uint64 `json:"dup_msgs_suppressed"`
 	PrefetchUseCycles uint64 `json:"prefetch_use_cycles"`
 	PrefetchUseCount  uint64 `json:"prefetch_use_count"`
+}
+
+// ControllerMetrics summarizes controller fault-injection outcomes (the
+// v3 block): failovers declared, cycles nodes ran degraded, and the
+// protocol work redone in software. All-zero on fault-free runs.
+type ControllerMetrics struct {
+	Failovers             uint64 `json:"failovers"`
+	DegradedNodeCycles    uint64 `json:"degraded_node_cycles"`
+	SoftwareFallbackDiffs uint64 `json:"software_fallback_diffs"`
+	FallbackJobs          uint64 `json:"fallback_jobs"`
 }
 
 // ReliabilityMetrics mirrors stats.Reliability.
@@ -90,6 +102,7 @@ type Metrics struct {
 
 	Counters    Counters           `json:"counters"`
 	Reliability ReliabilityMetrics `json:"reliability"`
+	Controller  ControllerMetrics  `json:"controller"`
 
 	// Spans is the causal-span report (per-kind latency percentiles,
 	// stage decomposition, overlap accounting, barrier critical paths).

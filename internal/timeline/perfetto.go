@@ -86,6 +86,16 @@ func (r *Recorder) WritePerfetto(w io.Writer, events []trace.Event) error {
 					pidProcessors, node, s.Start, s.End-s.Start, s.Phase.String())
 			}
 		}
+		// Controller failovers: a red instant on the processor track at
+		// the cycle the node degraded to software protocol handling.
+		// Fault-free runs have none, keeping their artifacts byte-stable.
+		for node, at := range r.degraded {
+			if at < 0 {
+				continue
+			}
+			emit(`{"ph":"i","pid":%d,"tid":%d,"ts":%d,"s":"t","cat":"failover","name":"controller-failover","cname":"terrible"}`,
+				pidProcessors, node, at)
+		}
 		for node, tr := range r.ctrl {
 			for _, s := range tr {
 				emit(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"cat":"controller","name":%s}`,

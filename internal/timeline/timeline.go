@@ -163,14 +163,22 @@ type Recorder struct {
 	ctrl      [][]JobSpan
 	linkNames []string
 	links     [][]Span
+	// degraded[n] is the cycle node n failed over to software protocol
+	// handling (-1 = controller healthy for the whole run).
+	degraded []sim.Time
 }
 
 // NewRecorder builds a recorder for a machine of `nodes` processors.
 func NewRecorder(nodes int) *Recorder {
-	return &Recorder{
-		procs: make([][]Span, nodes),
-		ctrl:  make([][]JobSpan, nodes),
+	r := &Recorder{
+		procs:    make([][]Span, nodes),
+		ctrl:     make([][]JobSpan, nodes),
+		degraded: make([]sim.Time, nodes),
 	}
+	for i := range r.degraded {
+		r.degraded[i] = -1
+	}
+	return r
 }
 
 // Nodes returns the number of processor tracks.
@@ -229,6 +237,24 @@ func (r *Recorder) Link(idx int, start, end sim.Time) {
 		return
 	}
 	r.links[idx] = append(tr, Span{Start: start, End: end})
+}
+
+// Degraded marks the cycle node's protocol controller was declared dead
+// and the node fell back to software protocol handling. Safe on nil; a
+// second mark for the same node is ignored (failover is one-way).
+func (r *Recorder) Degraded(node int, at sim.Time) {
+	if r == nil || node < 0 || node >= len(r.degraded) || r.degraded[node] >= 0 {
+		return
+	}
+	r.degraded[node] = at
+}
+
+// DegradedAt returns the cycle node failed over, and whether it did.
+func (r *Recorder) DegradedAt(node int) (sim.Time, bool) {
+	if r == nil || node < 0 || node >= len(r.degraded) || r.degraded[node] < 0 {
+		return 0, false
+	}
+	return r.degraded[node], true
 }
 
 // ProcSpans returns node's recorded phase spans in chronological order.

@@ -1,0 +1,79 @@
+package tmk
+
+import (
+	"dsm96/internal/faults"
+	"dsm96/internal/trace"
+)
+
+// Controller failure and per-node graceful degradation.
+//
+// A node whose protocol controller crashes (or wedges past the submit
+// timeout) does not take the run down: the first expired doorbell
+// watchdog fires the controller's OnFailover hook, which flips the node
+// to inline software protocol handling — the Base/P code paths it
+// already contains. Concretely, a degraded node
+//
+//   - sends messages from the computation processor (CPU pays the
+//     messaging overhead instead of issuing controller commands),
+//   - twins pages in software instead of arming write bit vectors or
+//     DMA-copying twins into controller DRAM,
+//   - creates and applies diffs on the computation processor (pages
+//     whose write vector was armed before the failover are salvaged
+//     from the still-functional passive snoop hardware),
+//   - stops issuing prefetches (the low-priority queue that keeps
+//     prefetch traffic out of demand requests' way died with the
+//     controller core).
+//
+// Remote nodes notice nothing but slower service: the wire protocol is
+// unchanged, so a degraded node interoperates with healthy ones and the
+// run's final memory image stays oracle-correct.
+
+// InstallCtrlFaults arms the plan's per-node controller failure
+// schedules. Nodes without a schedule — and every node of a variant
+// without controllers — keep the structurally-absent nil schedule, so
+// their submit path stays bit-identical to a build without fault
+// injection. Must be called before the run starts.
+func (pr *Protocol) InstallCtrlFaults(plan *faults.Plan) {
+	if plan == nil || !pr.mode.Ctrl() {
+		return
+	}
+	for _, n := range pr.nodes {
+		cf, ok := plan.Ctrl[n.id]
+		if !ok || !cf.Active() {
+			continue
+		}
+		sched := cf
+		n.ctl.Sched = &sched
+		n.ctl.OnFailover = n.failover
+	}
+}
+
+// ctrlOK reports whether protocol work may be handed to this node's
+// controller. Equal to mode.Ctrl() while the controller is healthy, so
+// fault-free schedules are untouched.
+func (n *pnode) ctrlOK() bool { return n.pr.mode.Ctrl() && !n.degraded }
+
+// failover flips the node to software protocol handling. Runs in engine
+// context when the first submit timeout expires; idempotent.
+func (n *pnode) failover() {
+	if n.degraded {
+		return
+	}
+	n.degraded = true
+	n.degradedAt = n.pr.eng.Now()
+	n.st.ControllerFailovers++
+	n.emit(-1, trace.KindOther, "controller failover: inline software protocol handling from here on")
+	n.pr.rec.Degraded(n.id, n.degradedAt)
+}
+
+// softWireSend is the software send path for engine-context work whose
+// message counters were already bumped (sendAsync, and the fallbacks of
+// swallowed controller send commands): the computation processor pays
+// the messaging overhead on its interrupt timeline, then the message
+// enters the reliable transport.
+func (n *pnode) softWireSend(dst, bytes int, deliver func()) {
+	_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.MessagingOverhead)
+	n.pr.eng.At(end, func() {
+		n.pr.net.SendReliable(n.id, dst, bytes, 0, deliver)
+	})
+}

@@ -91,14 +91,14 @@ func (n *pnode) demandFetch(p *sim.Proc, pg int, pe *page, op *spans.Op) {
 func (n *pnode) makeWritable(p *sim.Proc, pg int, pe *page, op *spans.Op) {
 	cfg := n.pr.cfg
 	switch {
-	case n.pr.mode.HWDiff():
+	case n.pr.mode.HWDiff() && !n.degraded:
 		// No twin: clear the page's write vector to establish a fresh
 		// baseline and flip the protection. The write-through snoop
 		// records modifications from here on.
 		n.ctl.Vector(pg).Clear()
 		pe.vecLive = true
 		p.SleepReason(writeFaultSetupCost, reasonTwin)
-	case n.pr.mode.Ctrl():
+	case n.ctrlOK():
 		// The controller copies the page into its DRAM as the twin; the
 		// processor must wait (the write cannot proceed before the
 		// snapshot exists), but spends no instructions on the copy.
@@ -117,6 +117,18 @@ func (n *pnode) makeWritable(p *sim.Proc, pg int, pe *page, op *spans.Op) {
 				return base
 			},
 			Done: func() { done.Open(n.pr.eng) },
+		}, func() {
+			// Swallowed by a dead controller: redo the copy in software
+			// (the functional snapshot above is still valid — nothing has
+			// written the page; the waiter is parked on the gate).
+			n.st.CtrlFallbackJobs++
+			cost := controller.TwinCost(cfg)
+			n.st.DiffCycles += cost
+			_, end := n.cpu.Reserve(n.pr.eng, cost)
+			if m := n.mem.MemTouch(2 * cfg.PageSize); m > end {
+				end = m
+			}
+			n.pr.eng.At(end, func() { done.Open(n.pr.eng) })
 		})
 		p.SleepReason(controller.CommandIssueCost, reasonTwin)
 		done.Wait(p, reasonTwin)
@@ -157,7 +169,11 @@ func (n *pnode) createDiffFunctional(pg int) *lrc.Diff {
 	pe := n.page(pg)
 	frame := n.frames.Page(pg)
 	var d *lrc.Diff
-	if n.pr.mode.HWDiff() {
+	if pe.vecLive {
+		// Keyed on the page's own baseline, not the mode: in HW-diff mode
+		// every dirty page is vector-armed, and after a failover this
+		// salvages pages armed before the crash (the passive snoop kept
+		// their vectors accurate) while post-failover pages carry twins.
 		vec := n.ctl.Vector(pg)
 		d = lrc.DiffFromVector(pg, vec, frame)
 		vec.Clear()
@@ -165,6 +181,9 @@ func (n *pnode) createDiffFunctional(pg int) *lrc.Diff {
 	} else {
 		d = lrc.CreateDiff(pg, pe.twin, frame)
 		pe.twin = nil
+	}
+	if n.degraded {
+		n.st.SoftwareFallbackDiffs++
 	}
 	d.Owner = n.id
 	d.Seq = n.vts[n.id] // the latest closed interval covers these writes
@@ -189,11 +208,14 @@ func (n *pnode) createDiffFunctional(pg int) *lrc.Diff {
 // first when (a) no closed interval lists the page yet or (b) a diff
 // tagged with the current interval already exists — re-using a tag would
 // hide the new diff from every requester that already consumed that
-// sequence number, silently losing the writes made since. For the HW
-// path it also returns the bit-vector population the DMA cost depends on.
-func (n *pnode) flushLocalDiff(pg int) (*lrc.Diff, int) {
+// sequence number, silently losing the writes made since. It also
+// returns whether the diff came from a write vector — the DMA-vs-
+// software cost split the controller charging paths branch on — and,
+// for the vector case, the bit-vector population the DMA cost depends
+// on.
+func (n *pnode) flushLocalDiff(pg int) (d *lrc.Diff, words int, usedVector bool) {
 	if !n.dirty[pg] {
-		return nil, 0
+		return nil, 0, false
 	}
 	needClose := n.vts[n.id] == 0 || len(n.ivals[n.id]) == 0 ||
 		!containsPage(n.ivals[n.id][n.vts[n.id]-1].Pages, pg)
@@ -205,11 +227,10 @@ func (n *pnode) flushLocalDiff(pg int) (*lrc.Diff, int) {
 	if needClose {
 		n.closeInterval()
 	}
-	words := 0
-	if n.pr.mode.HWDiff() {
+	if usedVector = n.page(pg).vecLive; usedVector {
 		words = n.ctl.Vector(pg).Count()
 	}
-	return n.createDiffFunctional(pg), words
+	return n.createDiffFunctional(pg), words, usedVector
 }
 
 // serveDiffReq services a diff request arriving at this (owner) node in
@@ -229,7 +250,7 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool, op *s
 	// milestone (the issue) was network time.
 	op.Mark(spans.StageWire, n.pr.eng.Now())
 
-	created, createCostWords := n.flushLocalDiff(pg)
+	created, createCostWords, createdFromVec := n.flushLocalDiff(pg)
 	var reply []*lrc.Diff
 	for _, d := range n.diffCache[pg] {
 		if d.Seq > fromSeq {
@@ -254,8 +275,9 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool, op *s
 		requester.receiveDiffReply(pg, owner, reply, upToSeq)
 	}
 
-	if !n.pr.mode.Ctrl() {
-		// Everything on the computation processor.
+	if !n.ctrlOK() {
+		// Everything on the computation processor (Base/P, or a degraded
+		// node whose controller died).
 		cost := cfg.ListProcessing * int64(1+len(reply))
 		if created != nil {
 			c := controller.SoftDiffCreateCost(cfg)
@@ -283,7 +305,7 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool, op *s
 			op.Mark(spans.StageQueue, n.pr.eng.Now())
 			cost := sim.Time(controller.DispatchCost)
 			if created != nil {
-				if n.pr.mode.HWDiff() {
+				if createdFromVec {
 					cost += cfg.DMADiffTime(createCostWords, cfg.PageWords())
 					n.mem.DMA(4 * createCostWords)
 				} else {
@@ -299,6 +321,20 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool, op *s
 			op.Mark(spans.StageRemote, n.pr.eng.Now())
 			n.pr.net.SendReliable(n.id, from, bytes, 0, deliver)
 		},
+	}, func() {
+		// Swallowed command: the reply must still go out, but the
+		// computation processor now pays for the diff creation and the
+		// send (the interval processing interrupt already ran, and the
+		// message counters were already bumped for this reply).
+		n.st.CtrlFallbackJobs++
+		cost := sim.Time(0)
+		if created != nil {
+			c := controller.SoftDiffCreateCost(cfg)
+			cost += c
+			n.st.DiffCycles += c
+			n.mem.MemTouch(2 * cfg.PageSize)
+		}
+		n.serveCPUSpan(cost, op, func() { n.softWireSend(from, bytes, deliver) })
 	})
 }
 
@@ -349,7 +385,7 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 	// incorporation of remote writes, or the span-based happened-before
 	// ordering of diffs would be unsound (and the twin would start
 	// disagreeing with the frame on remote words).
-	localDiff, localWords := n.flushLocalDiff(pg)
+	localDiff, localWords, localFromVec := n.flushLocalDiff(pg)
 	if localDiff != nil {
 		// Our own just-flushed words reflect everything we have seen.
 		idx := pe.tagIndex(n.vts.Clone())
@@ -406,7 +442,7 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 		}
 		f.gate.Open(n.pr.eng)
 	}
-	if !n.pr.mode.Ctrl() {
+	softApply := func() {
 		// The faulting processor flushes its own diff and applies the
 		// incoming ones itself.
 		cost := controller.SoftDiffApplyCost(cfg, totalWords)
@@ -419,6 +455,9 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 		start, end := n.cpu.Reserve(n.pr.eng, cfg.InterruptTime+cost)
 		f.op.Mark(spans.StageQueue, start)
 		n.pr.eng.At(end, finish)
+	}
+	if !n.ctrlOK() {
+		softApply()
 		return
 	}
 	prio := sim.PriorityHigh
@@ -432,20 +471,24 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 			f.op.Mark(spans.StageQueue, n.pr.eng.Now())
 			n.mem.DMA(bytes)
 			cost := sim.Time(controller.DispatchCost)
-			if n.pr.mode.HWDiff() {
-				if localDiff != nil {
+			if localDiff != nil {
+				if localFromVec {
 					cost += cfg.DMADiffTime(localWords, cfg.PageWords())
 					n.mem.DMA(4 * localWords)
+				} else {
+					cost += controller.SoftDiffCreateCost(cfg)
+					n.mem.DMA(cfg.PageSize)
 				}
-				return cost + cfg.DMADiffTime(totalWords, cfg.PageWords())
 			}
-			if localDiff != nil {
-				cost += controller.SoftDiffCreateCost(cfg)
-				n.mem.DMA(cfg.PageSize)
+			if n.pr.mode.HWDiff() {
+				return cost + cfg.DMADiffTime(totalWords, cfg.PageWords())
 			}
 			return cost + controller.SoftDiffApplyCost(cfg, totalWords)
 		},
 		Done: finish,
+	}, func() {
+		n.st.CtrlFallbackJobs++
+		softApply()
 	})
 }
 

@@ -57,19 +57,30 @@ func (n *pnode) homeForward(lock int, req lockReq) {
 	forward := func() {
 		n.pr.nodes[prev].receiveLockReq(lock, req)
 	}
+	localFwd := func() {
+		n.st.Interrupts++
+		_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.InterruptTime+homeForwardCost)
+		n.pr.eng.At(end, forward)
+	}
+	remoteFwd := func() {
+		n.st.Interrupts++
+		_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.InterruptTime+homeForwardCost)
+		n.pr.eng.At(end, func() {
+			n.sendAsync(prev, requestWireBytes+req.vts.WireBytes(), forward)
+		})
+	}
 	if prev == n.id {
 		// The home itself is the previous owner: handle locally after
 		// the bookkeeping cost.
-		if n.pr.mode.Ctrl() {
-			n.ctl.Submit(n.pr.eng, &sim.Job{Name: "lock-fwd", Service: homeForwardCost, Done: forward})
+		if n.ctrlOK() {
+			n.ctl.Submit(n.pr.eng, &sim.Job{Name: "lock-fwd", Service: homeForwardCost, Done: forward},
+				func() { n.st.CtrlFallbackJobs++; localFwd() })
 		} else {
-			_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.InterruptTime+homeForwardCost)
-			n.st.Interrupts++
-			n.pr.eng.At(end, forward)
+			localFwd()
 		}
 		return
 	}
-	if n.pr.mode.Ctrl() {
+	if n.ctrlOK() {
 		n.ctl.Submit(n.pr.eng, &sim.Job{
 			Name:    "lock-fwd",
 			Service: homeForwardCost + n.pr.cfg.MessagingOverhead,
@@ -78,14 +89,10 @@ func (n *pnode) homeForward(lock int, req lockReq) {
 				n.st.BytesSent += uint64(requestWireBytes + req.vts.WireBytes())
 				n.pr.net.SendReliable(n.id, prev, requestWireBytes+req.vts.WireBytes(), 0, forward)
 			},
-		})
+		}, func() { n.st.CtrlFallbackJobs++; remoteFwd() })
 		return
 	}
-	n.st.Interrupts++
-	_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.InterruptTime+homeForwardCost)
-	n.pr.eng.At(end, func() {
-		n.sendAsync(prev, requestWireBytes+req.vts.WireBytes(), forward)
-	})
+	remoteFwd()
 }
 
 // receiveLockReq lands a forwarded request at the previous queue tail

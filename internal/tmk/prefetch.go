@@ -17,6 +17,16 @@ import (
 func (n *pnode) issuePrefetches(p *sim.Proc) {
 	queue := n.prefetchQueue
 	n.prefetchQueue = nil
+	if n.degraded {
+		// Prefetching dies with the controller: the low-priority queue
+		// that kept prefetch traffic out of demand requests' way is
+		// gone, and a degraded node's processor has enough protocol work
+		// of its own. Drop the candidates (demand faults still work).
+		for _, pg := range queue {
+			n.page(pg).queuedPrefetch = false
+		}
+		return
+	}
 	for _, pg := range queue {
 		pe := n.page(pg)
 		pe.queuedPrefetch = false

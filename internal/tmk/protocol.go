@@ -165,6 +165,11 @@ type pnode struct {
 	proc   *sim.Proc
 	frames *lrc.Frames
 
+	// degraded marks a controller failover: the node has permanently
+	// fallen back to inline software protocol handling (see degrade.go).
+	degraded   bool
+	degradedAt sim.Time
+
 	// cpu is the computation processor's interrupt-service timeline:
 	// incoming protocol work reserves it; the application absorbs any
 	// accumulated backlog as IPC time at its next operation.
@@ -333,6 +338,9 @@ func (pr *Protocol) PageProfiles() []stats.PageProfile {
 func (pr *Protocol) Breakdown(runningTime sim.Time) *stats.Breakdown {
 	b := &stats.Breakdown{RunningTime: runningTime}
 	for _, n := range pr.nodes {
+		if n.degraded && runningTime > n.degradedAt {
+			n.st.DegradedNodeCycles = uint64(runningTime - n.degradedAt)
+		}
 		b.PerProc = append(b.PerProc, n.st)
 	}
 	return b
@@ -416,8 +424,12 @@ func (n *pnode) absorbSteal(p *sim.Proc) {
 }
 
 // writeThrough reports whether shared writes use the write-through path
-// (required for the controller's snoop in HW-diff mode).
-func (n *pnode) writeThrough() bool { return n.pr.mode.HWDiff() }
+// (required for the controller's snoop in HW-diff mode). A degraded
+// node reverts to write-back: new twins are software twins, so nothing
+// needs the snoop — except pages whose vector was armed before the
+// failover, which access special-cases (the snoop is passive hardware
+// and survives the controller core's crash).
+func (n *pnode) writeThrough() bool { return n.pr.mode.HWDiff() && !n.degraded }
 
 // access performs the protocol checks for one shared reference of `size`
 // bytes (4 or 8) at addr. For writes, commit stores the value into the
@@ -449,7 +461,11 @@ func (n *pnode) access(p *sim.Proc, addr int64, write bool, size int, commit fun
 			n.pr.profile(pg).Writers |= 1 << uint(n.id)
 		}
 		commit()
-		if n.writeThrough() {
+		if n.writeThrough() || pe.vecLive {
+			// vecLive after a failover: the page's modifications are
+			// tracked only by its write vector, so writes must keep
+			// feeding the (still-functional, passive) snoop until the
+			// vector is retired into a diff.
 			n.ctl.SnoopWrite(addr)
 			if size == 8 {
 				n.ctl.SnoopWrite(addr + 4)
@@ -515,9 +531,10 @@ func (n *pnode) sortedDirty() []int {
 func (n *pnode) sendFromProc(p *sim.Proc, reason string, dst, bytes int, deliver func()) {
 	n.st.MsgsSent++
 	n.st.BytesSent += uint64(bytes)
-	if n.pr.mode.Ctrl() {
+	if n.ctrlOK() {
 		p.SleepReason(controller.CommandIssueCost, reason)
-		n.ctl.SubmitSend(n.pr.eng, n.pr.net, dst, bytes, deliver)
+		n.ctl.SubmitSend(n.pr.eng, n.pr.net, dst, bytes, deliver,
+			func() { n.softWireSend(dst, bytes, deliver) })
 		return
 	}
 	p.SleepReason(n.pr.cfg.MessagingOverhead, reason)
@@ -530,14 +547,12 @@ func (n *pnode) sendFromProc(p *sim.Proc, reason string, dst, bytes int, deliver
 func (n *pnode) sendAsync(dst, bytes int, deliver func()) {
 	n.st.MsgsSent++
 	n.st.BytesSent += uint64(bytes)
-	if n.pr.mode.Ctrl() {
-		n.ctl.SubmitSend(n.pr.eng, n.pr.net, dst, bytes, deliver)
+	if n.ctrlOK() {
+		n.ctl.SubmitSend(n.pr.eng, n.pr.net, dst, bytes, deliver,
+			func() { n.softWireSend(dst, bytes, deliver) })
 		return
 	}
-	_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.MessagingOverhead)
-	n.pr.eng.At(end, func() {
-		n.pr.net.SendReliable(n.id, dst, bytes, 0, deliver)
-	})
+	n.softWireSend(dst, bytes, deliver)
 }
 
 // serveCPU reserves `cost` cycles (plus interrupt entry) on the

@@ -140,7 +140,7 @@ func TestFlushLocalDiffFreshTag(t *testing.T) {
 	n.frames.Page(5)[0] = 42
 	n.closeInterval()
 
-	d1, _ := n.flushLocalDiff(5)
+	d1, _, _ := n.flushLocalDiff(5)
 	if d1 == nil || d1.Seq != 1 || d1.OldSeq != 1 {
 		t.Fatalf("first diff = %+v", d1)
 	}
@@ -150,12 +150,12 @@ func TestFlushLocalDiffFreshTag(t *testing.T) {
 	pe.state = stRW
 	n.dirty[5] = true
 	n.frames.Page(5)[4] = 7
-	d2, _ := n.flushLocalDiff(5)
+	d2, _, _ := n.flushLocalDiff(5)
 	if d2 == nil || d2.Seq <= d1.Seq {
 		t.Fatalf("second diff tag %d not after first %d", d2.Seq, d1.Seq)
 	}
 	// Clean page: nothing to flush.
-	if d, _ := n.flushLocalDiff(5); d != nil {
+	if d, _, _ := n.flushLocalDiff(5); d != nil {
 		t.Fatal("flush of clean page produced a diff")
 	}
 }

@@ -61,6 +61,17 @@ for tool in dsmsim sweep metricsdiff; do
 	done
 done
 
+# 5. The reverse of check 4 for the fault-injection and liveness
+# surface: these flags are the user-facing contract of the chaos
+# machinery, so the docs must keep mentioning them (check 4 then
+# verifies the spelling against the CLI registration).
+for f in ctrl-crash ctrl-hang watchdog chaos schema; do
+	if ! grep -qE -- "-$f" $docs; then
+		echo "checkdocs: flag -$f is registered in a CLI but never documented" >&2
+		fail=1
+	fi
+done
+
 if [ "$fail" -ne 0 ]; then
 	echo "checkdocs: FAILED" >&2
 	exit 1
