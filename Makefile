@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench golden fuzz docs timeline metricsdiff chaos
+.PHONY: check fmt vet build test race bench bench-snapshot golden fuzz docs timeline metricsdiff chaos
 
 check: fmt vet build test race timeline metricsdiff chaos
 
@@ -21,15 +21,24 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine couples each simulated processor to a goroutine; the race
-# detector over the simulator and the concurrent experiment driver is the
-# cheapest way to catch an accidental second runnable goroutine.
+# The engine couples each simulated processor to a goroutine, and the
+# parallel engine runs shard workers on real OS threads: the race
+# detector over the whole tree (short mode trims the heavyweight app
+# inputs) is the cheapest way to catch an accidental shared write.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/experiments/...
+	$(GO) test -race -short ./...
 
 # Engine throughput benchmark (see EXPERIMENTS.md for the methodology).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkEngineEventsPerSec -benchtime 20x -count 3 .
+
+# Parallel-engine scaling snapshot: events/sec across 64/128/256-node
+# meshes at 1/2/4/8 engine workers, written to BENCH_parallel_engine.json
+# (atomically). Every cell is fingerprint-checked against workers=1; the
+# >=2x speedup assertion applies only on hosts with 8+ CPUs (the script
+# says so when it skips). Compare snapshots with metricsdiff -bench.
+bench-snapshot:
+	sh scripts/bench.sh BENCH_parallel_engine.json
 
 # Regenerate the golden cycle totals after an INTENTIONAL timing change.
 golden:

@@ -1,0 +1,228 @@
+// Command bench measures the parallel event engine's throughput:
+// simulated events per wall-clock second across a grid of mesh sizes
+// and engine worker counts, on one application and protocol. It is the
+// only place in the repo where wall-clock time is load-bearing — the
+// simulator itself never reads it.
+//
+// Usage:
+//
+//	bench                              # 64/128/256 nodes x 1/2/4/8 workers
+//	bench -mesh 64 -workers 1,8 -app water -proto I+P+D
+//	bench -out BENCH_parallel_engine.json   # snapshot for metricsdiff -bench
+//	bench -require-speedup 2.0              # fail unless workers scale
+//
+// Every cell is checked against the workers=1 cell of its mesh size:
+// the event fingerprint, event count, and simulated cycle total must be
+// bit-identical (the parallel engine's contract), so a bench run
+// doubles as a determinism check at scales the test suite does not
+// reach. -out writes a dsm96/bench/v1 JSON snapshot (atomically) with
+// the host recorded alongside the numbers; compare snapshots with
+// metricsdiff -bench, which holds the determinism fields exact and
+// allows relative drift on throughput.
+//
+// -require-speedup R fails the run unless, for every mesh size, the
+// best worker count reaches R times the events/sec of workers=1. Only
+// meaningful on a host with enough cores; scripts/bench.sh applies it
+// conditionally.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/dsm"
+	"dsm96/internal/experiments"
+	"dsm96/internal/params"
+	"dsm96/internal/tmk"
+)
+
+// BenchSchema tags the snapshot format for metricsdiff -bench.
+const BenchSchema = "dsm96/bench/v1"
+
+// Snapshot is the checked-in benchmark artifact: one cell per mesh size
+// x worker count, plus the host it was measured on. Determinism fields
+// (fingerprint, events, sim_cycles) are exact machine-independent
+// contracts; throughput fields are only comparable on similar hosts.
+type Snapshot struct {
+	Schema   string `json:"schema"`
+	App      string `json:"app"`
+	Protocol string `json:"protocol"`
+	Host     Host   `json:"host"`
+	Cells    []Cell `json:"cells"`
+}
+
+// Host records where the throughput numbers were measured.
+type Host struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Cell is one measured configuration.
+type Cell struct {
+	Mesh         int     `json:"mesh"`
+	Workers      int     `json:"workers"`
+	Events       uint64  `json:"events"`
+	SimCycles    int64   `json:"sim_cycles"`
+	Fingerprint  string  `json:"fingerprint"`
+	WallNS       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad list element %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	meshList := flag.String("mesh", "64,128,256", "comma-separated mesh sizes (node counts)")
+	workerList := flag.String("workers", "1,2,4,8", "comma-separated engine worker counts")
+	appName := flag.String("app", "water", "application to simulate (must scale to the largest mesh)")
+	proto := flag.String("proto", "I+P+D", "protocol (TreadMarks variants; AURC would pin workers to 1)")
+	scale := flag.String("scale", "tiny", "problem scale: tiny, default")
+	reps := flag.Int("reps", 1, "repetitions per cell; the fastest wall time wins")
+	out := flag.String("out", "", "write a dsm96/bench/v1 snapshot JSON to this file (atomic)")
+	requireSpeedup := flag.Float64("require-speedup", 0, "fail unless every mesh's best worker count reaches this multiple of workers=1 events/sec (0 = off)")
+	flag.Parse()
+
+	meshes, err := parseInts(*meshList)
+	if err == nil {
+		var werr error
+		if _, werr = parseInts(*workerList); werr != nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+	workerCounts, _ := parseInts(*workerList)
+
+	mode, ok := tmk.ParseMode(*proto)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench: unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+	newApp := func() (dsm.App, error) {
+		if *scale == "default" {
+			return apps.Default(*appName)
+		}
+		return apps.Tiny(*appName)
+	}
+
+	snap := Snapshot{
+		Schema:   BenchSchema,
+		App:      *appName,
+		Protocol: mode.String(),
+		Host: Host{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+
+	fmt.Printf("%-6s %-8s %12s %14s %18s %12s\n",
+		"mesh", "workers", "events", "sim cycles", "fingerprint", "events/sec")
+	failed := false
+	for _, mesh := range meshes {
+		var base Cell
+		for wi, w := range workerCounts {
+			cell := Cell{Mesh: mesh, Workers: w, WallNS: int64(1) << 62}
+			for r := 0; r < *reps; r++ {
+				app, err := newApp()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bench:", err)
+					os.Exit(2)
+				}
+				cfg := params.Mesh(mesh)
+				spec := core.TM(mode)
+				spec.Workers = w
+				start := time.Now()
+				res, err := core.Run(cfg, spec, app)
+				wall := time.Since(start)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bench: mesh=%d workers=%d: %v\n", mesh, w, err)
+					os.Exit(1)
+				}
+				cell.Events = res.EventsRun
+				cell.SimCycles = int64(res.RunningTime)
+				cell.Fingerprint = fmt.Sprintf("%016x", res.EventFingerprint)
+				if ns := wall.Nanoseconds(); ns < cell.WallNS {
+					cell.WallNS = ns
+				}
+			}
+			cell.EventsPerSec = float64(cell.Events) / (float64(cell.WallNS) / 1e9)
+			if wi == 0 {
+				base = cell
+			} else if cell.Fingerprint != base.Fingerprint ||
+				cell.Events != base.Events || cell.SimCycles != base.SimCycles {
+				fmt.Fprintf(os.Stderr,
+					"bench: DETERMINISM VIOLATION at mesh=%d: workers=%d fired (%s, %d events, %d cycles), workers=%d fired (%s, %d events, %d cycles)\n",
+					mesh, base.Workers, base.Fingerprint, base.Events, base.SimCycles,
+					w, cell.Fingerprint, cell.Events, cell.SimCycles)
+				failed = true
+			}
+			snap.Cells = append(snap.Cells, cell)
+			fmt.Printf("%-6d %-8d %12d %14d %18s %12.0f\n",
+				mesh, w, cell.Events, cell.SimCycles, cell.Fingerprint, cell.EventsPerSec)
+		}
+		if *requireSpeedup > 0 {
+			best := base.EventsPerSec
+			for _, c := range snap.Cells {
+				if c.Mesh == mesh && c.EventsPerSec > best {
+					best = c.EventsPerSec
+				}
+			}
+			if best < *requireSpeedup*base.EventsPerSec {
+				fmt.Fprintf(os.Stderr,
+					"bench: mesh=%d best throughput %.0f ev/s is only %.2fx of workers=%d (%.0f ev/s); need %.2fx\n",
+					mesh, best, best/base.EventsPerSec, base.Workers, base.EventsPerSec, *requireSpeedup)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	if *out != "" {
+		err := experiments.WriteFileAtomic(*out, snap.WriteJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot: %s\n", *out)
+	}
+}
+
+// WriteJSON serializes the snapshot as indented JSON with a trailing
+// newline (structs and slices only, so the byte stream is deterministic
+// for fixed measurements).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

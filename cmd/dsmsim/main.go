@@ -36,6 +36,13 @@
 // (read/write fault, lock, barrier, prefetch) with its stage-by-stage
 // latency decomposition. All artifacts are byte-identical across repeat
 // runs.
+//
+// -workers N shards the event engine across N OS threads for big
+// meshes (see ARCHITECTURE.md, "Parallel engine"). The fired event
+// schedule is bit-identical at any worker count, so the breakdown,
+// fingerprint, and every artifact are unchanged; AURC, -trace,
+// -timeline, -metrics, and -spans runs fall back to a sequential
+// engine (their instrumentation is inherently global).
 package main
 
 import (
@@ -121,6 +128,7 @@ func main() {
 	ctrlCrash := flag.String("ctrl-crash", "", "crash controllers: NODE@CYCLE,... (NODE may be \"all\")")
 	ctrlHang := flag.String("ctrl-hang", "", "hang controllers: NODE@CYCLE+WINDOW,... (NODE may be \"all\")")
 	watchdog := flag.Int64("watchdog", 0, "liveness watchdog window in cycles (0 = default, negative = off)")
+	workers := flag.Int("workers", 1, "shard the event engine across this many OS threads (schedule stays bit-identical; AURC/traced/timeline/span runs fall back to 1)")
 	timelineOut := flag.String("timeline", "", "write a Perfetto-loadable timeline (Chrome trace-event JSON) to this file")
 	metricsOut := flag.String("metrics", "", "write machine-readable run metrics JSON to this file")
 	spansOut := flag.String("spans", "", "write one causal span per blocking protocol operation as JSONL to this file")
@@ -225,6 +233,7 @@ func main() {
 		spec.Faults = plan
 	}
 	spec.Watchdog = sim.Time(*watchdog)
+	spec.Workers = *workers
 	res, err := core.Run(cfg, spec, app)
 	if err != nil {
 		if res != nil && res.Stall != nil {

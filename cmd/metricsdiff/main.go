@@ -24,6 +24,17 @@
 // schema tag — the gate that makes a schema bump (v2 -> v3) a
 // deliberate, golden-regenerating act rather than silent drift.
 //
+// -bench switches to benchmark-snapshot comparison (cmd/bench -out,
+// schema dsm96/bench/v1): the determinism fields of every cell
+// (fingerprint, events, sim_cycles) must match exactly, throughput
+// fields (events_per_sec, wall_ns) may drift by -bench-tol relative,
+// and the host block is ignored — so a re-measured snapshot passes as
+// long as the engine still fires the same schedule and stays in the
+// same performance envelope:
+//
+//	metricsdiff -bench BENCH_parallel_engine.json new.json
+//	metricsdiff -bench -bench-tol 0.25 old.json new.json
+//
 // Exit status: 0 when the artifacts match, 1 on drift (each drifted
 // path is reported), 2 on usage or read errors.
 package main
@@ -150,7 +161,12 @@ func main() {
 		})
 	allowExtra := flag.Bool("allow-extra", false, "tolerate keys present only in the new file")
 	schema := flag.String("schema", "", "require both files to carry exactly this schema tag")
+	bench := flag.Bool("bench", false, "compare dsm96/bench/v1 snapshots: determinism fields exact, throughput within -bench-tol, host block ignored")
+	benchTol := flag.Float64("bench-tol", 0.5, "relative tolerance on events_per_sec and wall_ns in -bench mode")
 	flag.Parse()
+	if *bench && *schema == "" {
+		*schema = "dsm96/bench/v1"
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: metricsdiff [-tol PATH=FRAC]... [-ignore PATH]... [-allow-extra] golden.json new.json")
 		os.Exit(2)
@@ -167,6 +183,11 @@ func main() {
 	}
 
 	ignored := func(path string) bool {
+		// Bench snapshots record the measuring host for provenance; two
+		// honest snapshots from different machines must still compare.
+		if *bench && strings.HasPrefix(path, "host.") {
+			return true
+		}
 		for _, p := range ignores {
 			if p.matches(path) {
 				return true
@@ -178,6 +199,11 @@ func main() {
 		// The last matching -tol wins, so broad patterns can be
 		// overridden by later, more specific ones.
 		frac := 0.0
+		if *bench && (strings.HasSuffix(path, ".events_per_sec") || strings.HasSuffix(path, ".wall_ns")) {
+			// Throughput wobbles run to run; fingerprints, event counts,
+			// and simulated cycles stay exact (the engine's contract).
+			frac = *benchTol
+		}
 		for _, p := range tols {
 			if p.matches(path) {
 				frac = p.frac

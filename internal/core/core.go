@@ -75,6 +75,16 @@ type Spec struct {
 	// Result.Spans. Nil — the default — leaves the instrumentation
 	// structurally absent, exactly as for Timeline.
 	Spans *spans.Tracker
+	// Workers shards the event engine across this many OS threads
+	// (sim.Engine.Parallelize), partitioning the mesh into contiguous
+	// node bands with conservative lookahead from the network's minimum
+	// cross-node delivery latency. The fired event schedule — and with it
+	// the fingerprint, golden cycles, and every metric — is bit-identical
+	// at any worker count. 0 or 1 runs sequentially. Clamped to the
+	// processor count; AURC, traced, timeline, and span-tracked runs
+	// fall back to 1 worker (their instrumentation reads or appends
+	// cross-node state inline).
+	Workers int
 }
 
 // String returns the paper's label for the protocol.
@@ -220,6 +230,16 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 	case spec.Watchdog == 0:
 		eng.SetWatchdog(DefaultWatchdog)
 	}
+	if workers := spec.Workers; workers > 1 {
+		// AURC applies remote updates by reaching into other nodes' state
+		// inline, and the trace/timeline/span buffers are global
+		// append-only logs with globally ordered IDs; those run
+		// sequentially — same schedule, same results, just unsharded.
+		// The TreadMarks family without inline instrumentation shards.
+		if spec.Kind != KindAURC && spec.Tracer == nil && spec.Timeline == nil && spec.Spans == nil {
+			eng.Parallelize(workers, cfg.Processors, network.MinDeliveryLookahead(&cfg))
+		}
+	}
 	net := network.New(&cfg, eng, cfg.Processors)
 	net.InstallFaults(faults.NewModel(spec.Faults, cfg.Processors))
 	var sys system
@@ -286,9 +306,9 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 			Breakdown:        sys.Breakdown(eng.Now()),
 			AppResult:        math.NaN(),
 			SeqResult:        seq,
-			Messages:         net.Messages,
-			Bytes:            net.Bytes,
-			Reliability:      net.Rel,
+			Messages:         net.Messages(),
+			Bytes:            net.Bytes(),
+			Reliability:      net.Rel(),
 			EventsRun:        eng.EventsRun(),
 			EventFingerprint: eng.Fingerprint(),
 			EngineStats:      eng.Stats(),
@@ -299,7 +319,7 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 				Report:          serr.Report,
 				OpenOps:         spec.Spans.OpenOps(),
 				UnackedMessages: net.Unacked(),
-				Retries:         net.Rel.Retries,
+				Retries:         net.Rel().Retries,
 			},
 		}
 		return res, err
@@ -314,9 +334,9 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 		Breakdown:        sys.Breakdown(eng.Now()),
 		AppResult:        app.Result(),
 		SeqResult:        seq,
-		Messages:         net.Messages,
-		Bytes:            net.Bytes,
-		Reliability:      net.Rel,
+		Messages:         net.Messages(),
+		Bytes:            net.Bytes(),
+		Reliability:      net.Rel(),
 		EventsRun:        eng.EventsRun(),
 		EventFingerprint: eng.Fingerprint(),
 		EngineStats:      eng.Stats(),

@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/dsm"
+	"dsm96/internal/lrc"
+	"dsm96/internal/params"
+	"dsm96/internal/tmk"
+)
+
+// TestParallelFingerprintMatchesSequential is the determinism wall for
+// the sharded event engine: for every application x protocol x worker
+// count, the fired event schedule — fingerprint, cycle total, event
+// count — and the entire run-metrics JSON artifact must be
+// byte-identical to the sequential engine's. AURC pins itself
+// sequential (its update path reads remote state inline), so its rows
+// prove the fallback is transparent rather than the sharding.
+func TestParallelFingerprintMatchesSequential(t *testing.T) {
+	specs := []core.Spec{core.TM(tmk.Base), core.TM(tmk.IPD), core.AURC(false)}
+	for _, name := range []string{"tsp", "water", "radix"} {
+		for _, proto := range specs {
+			name, proto := name, proto
+			t.Run(fmt.Sprintf("%s/%s", name, proto), func(t *testing.T) {
+				t.Parallel()
+				var wantFP uint64
+				var wantMetrics []byte
+				for _, w := range []int{1, 2, 4, 8} {
+					app, err := apps.Tiny(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					spec := proto
+					spec.Workers = w
+					res, err := core.Run(params.Default(), spec, app)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", w, err)
+					}
+					var buf bytes.Buffer
+					if err := res.Metrics().WriteJSON(&buf); err != nil {
+						t.Fatalf("workers=%d: metrics: %v", w, err)
+					}
+					if w == 1 {
+						wantFP = res.EventFingerprint
+						wantMetrics = buf.Bytes()
+						continue
+					}
+					if res.EventFingerprint != wantFP {
+						t.Errorf("workers=%d fingerprint %016x, sequential %016x",
+							w, res.EventFingerprint, wantFP)
+					}
+					if !bytes.Equal(buf.Bytes(), wantMetrics) {
+						t.Errorf("workers=%d run-metrics JSON differs from sequential (%d vs %d bytes)",
+							w, buf.Len(), len(wantMetrics))
+					}
+				}
+			})
+		}
+	}
+}
+
+// deadlockApp wedges every processor but 0: they block forever on a
+// lock that processor 0 acquires and never releases. The sequential
+// oracle only runs processor 0's body, so the app itself is "correct";
+// the simulated run must be caught by the liveness machinery.
+type deadlockApp struct{ addr dsm.Addr }
+
+func (a *deadlockApp) Name() string { return "deadlock" }
+func (a *deadlockApp) Setup(h *lrc.Heap) {
+	a.addr = h.Alloc(8, 8)
+}
+func (a *deadlockApp) Body(env *dsm.Env) {
+	if env.ID == 0 {
+		env.Lock(0)
+		env.WI(a.addr, 1)
+		env.Compute(1000)
+		return // exits holding lock 0
+	}
+	env.Compute(2000)
+	env.Lock(0) // blocks forever
+	env.Unlock(0)
+}
+func (a *deadlockApp) Result() float64 { return 1 }
+
+// TestParallelStallStructured is the liveness satellite for the sharded
+// engine: when the mesh wedges under a parallel run the caller gets a
+// structured stall report naming the blocked processors — the same
+// contract as the sequential engine — never a hung process.
+func TestParallelStallStructured(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		spec := core.TM(tmk.Base)
+		spec.Workers = w
+		res, err := core.Run(params.Default(), spec, &deadlockApp{})
+		if err == nil {
+			t.Fatalf("workers=%d: wedged run reported success", w)
+		}
+		if res == nil || res.Stall == nil {
+			t.Fatalf("workers=%d: no structured stall report (err: %v)", w, err)
+		}
+		if !res.Stall.Deadlock {
+			t.Errorf("workers=%d: stall not classified as deadlock: %+v", w, res.Stall)
+		}
+		if len(res.Stall.Report.Blocked) == 0 {
+			t.Errorf("workers=%d: stall report names no blocked processors", w)
+		}
+	}
+}

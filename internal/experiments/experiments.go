@@ -102,9 +102,15 @@ var (
 	// so the observer can export per-operation spans. Off by default:
 	// span collection allocates per blocking operation.
 	poolSpans bool
-	poolSeq   int
-	poolDone  int
-	poolTotal int
+	// poolEngineWorkers, when > 1, shards every run's event engine
+	// across that many OS threads (core.Spec.Workers). The schedule is
+	// bit-identical either way, so figures and fingerprints are
+	// unaffected; runs whose instrumentation pins them sequential
+	// (AURC, spans) simply ignore it.
+	poolEngineWorkers int
+	poolSeq           int
+	poolDone          int
+	poolTotal         int
 )
 
 // SetWorkers bounds how many simulations run concurrently (cmd/sweep
@@ -143,6 +149,18 @@ func SetSpans(on bool) {
 	poolMu.Unlock()
 }
 
+// SetEngineWorkers shards every subsequent run's event engine across n
+// OS threads (cmd/sweep -workers). Unlike SetWorkers — which runs whole
+// independent simulations concurrently — this parallelizes inside each
+// simulation; the fired event schedule stays bit-identical, so every
+// figure, fingerprint, and metrics artifact is unchanged. n <= 1
+// restores sequential engines.
+func SetEngineWorkers(n int) {
+	poolMu.Lock()
+	poolEngineWorkers = n
+	poolMu.Unlock()
+}
+
 // execute performs a batch of runs concurrently (each run owns its
 // engine, so parallelism is safe and results stay deterministic).
 func execute(specs []runSpec) {
@@ -153,6 +171,7 @@ func execute(specs []runSpec) {
 	poolTotal += len(specs)
 	progress, observer := poolProgress, poolObserver
 	withSpans := poolSpans
+	engWorkers := poolEngineWorkers
 	poolMu.Unlock()
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -178,6 +197,9 @@ func execute(specs []runSpec) {
 					if withSpans {
 						rs.spec.Spans = spans.NewTracker(rs.cfg.Processors)
 						rs.out.Spans = rs.spec.Spans
+					}
+					if engWorkers > 1 && rs.spec.Workers == 0 {
+						rs.spec.Workers = engWorkers
 					}
 					res, rerr := core.Run(rs.cfg, rs.spec, app)
 					rs.out.App = rs.app

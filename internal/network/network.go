@@ -78,9 +78,6 @@ type Network struct {
 	// while a fault model is installed.
 	faults *faults.Model
 	pairs  []pairState
-	// unacked gauges reliable messages awaiting acknowledgement (see
-	// Unacked).
-	unacked int
 
 	// rec, when non-nil, receives per-link occupancy spans (see
 	// SetTimeline). Nil — the default — is a no-op receiver.
@@ -90,13 +87,22 @@ type Network struct {
 	// Nil — the default — is a no-op receiver.
 	sp *spans.Tracker
 
-	// Counters.
-	Messages  uint64
-	Bytes     uint64
-	LinkWaits sim.Time // total queueing across all messages and links
-	// Rel counts injected faults and the transport's recovery work.
-	// All-zero unless a fault model is installed.
-	Rel stats.Reliability
+	// Counters. Message and reliability counts are kept per node — on a
+	// parallel engine each is written only from its owning shard (or from
+	// the serialized replay phase) — and summed by the accessors.
+	messages []uint64
+	bytes    []uint64
+	// rel counts injected faults and the transport's recovery work,
+	// per node. All-zero unless a fault model is installed.
+	rel []stats.Reliability
+	// unacked gauges reliable messages awaiting acknowledgement, per
+	// sending node (see Unacked).
+	unackedBy []int
+
+	// LinkWaits is total queueing across all messages and links. It is a
+	// plain field (not per-node): only the wire walk touches it, and
+	// walks are serialized even on a parallel engine.
+	LinkWaits sim.Time
 }
 
 // New builds a mesh for n nodes, as close to square as possible
@@ -108,9 +114,41 @@ func New(cfg *params.Config, eng *sim.Engine, n int) *Network {
 		cfg: cfg, eng: eng, n: n, dimX: dimX, dimY: dimY,
 		// dimX*dimY covers the full rectangle: X-Y routes can pass
 		// through grid positions beyond node n-1 on non-square meshes.
-		links:  make([]sim.Resource, dimX*dimY*numDirs),
-		egress: make([]sim.Resource, n),
+		links:     make([]sim.Resource, dimX*dimY*numDirs),
+		egress:    make([]sim.Resource, n),
+		messages:  make([]uint64, n),
+		bytes:     make([]uint64, n),
+		rel:       make([]stats.Reliability, n),
+		unackedBy: make([]int, n),
 	}
+}
+
+// Messages returns the total messages injected, across all nodes.
+func (nw *Network) Messages() uint64 {
+	var total uint64
+	for _, v := range nw.messages {
+		total += v
+	}
+	return total
+}
+
+// Bytes returns the total payload bytes injected, across all nodes.
+func (nw *Network) Bytes() uint64 {
+	var total uint64
+	for _, v := range nw.bytes {
+		total += v
+	}
+	return total
+}
+
+// Rel returns the merged reliability counter block across all nodes.
+// All-zero unless a fault model is installed.
+func (nw *Network) Rel() stats.Reliability {
+	var r stats.Reliability
+	for i := range nw.rel {
+		r.Merge(&nw.rel[i])
+	}
+	return r
 }
 
 // Dims returns the mesh dimensions.
@@ -230,31 +268,54 @@ func (nw *Network) SetSpans(tr *spans.Tracker) { nw.sp = tr }
 // traffic on each link (wormhole back-pressure is approximated by
 // per-link serialization).
 func (nw *Network) Send(src, dst, bytes int, overhead sim.Time, done func()) {
-	nw.sendTimed(src, dst, bytes, overhead, done)
+	nw.send(src, dst, bytes, overhead, done, nil)
 }
 
-// sendTimed is Send, but returns the cycle the tail of the message is
-// scheduled to arrive at dst — including link queueing and any injected
-// delay, and for a dropped message the cycle it would have arrived. The
-// reliable transport uses this to base retry timeouts on the actual
-// congestion the message experienced rather than an uncontended bound.
-func (nw *Network) sendTimed(src, dst, bytes int, overhead sim.Time, done func()) sim.Time {
-	nw.Messages++
-	nw.Bytes += uint64(bytes)
-	sent := nw.eng.Now()
+// send is the full datagram path, split for the parallel engine into an
+// eager source-side prefix — counters, the send-instant clock read, the
+// egress reservation, all state owned by src's shard — and the wire
+// walk over the globally shared link resources, which runs through
+// View(src).Deferred: inline on a sequential engine, during the merge
+// barrier (in global fired order, with the clock at the send instant)
+// on a parallel one. post, when non-nil, receives the cycle the tail is
+// scheduled to arrive — including link queueing and any injected delay,
+// and for a dropped message the cycle it would have arrived — in that
+// same deferred context; the reliable transport bases retry timeouts on
+// it, so they reflect the congestion the message actually experienced.
+func (nw *Network) send(src, dst, bytes int, overhead sim.Time, done func(), post func(delivery sim.Time)) {
+	view := nw.eng.View(src)
+	nw.messages[src]++
+	nw.bytes[src] += uint64(bytes)
+	sent := view.Now()
 	// The network interface processes one send at a time: the message's
 	// per-message overhead occupies the sender's egress engine.
 	var head sim.Time
 	if overhead > 0 {
-		_, head = nw.egress[src].Reserve(nw.eng, overhead)
+		_, head = nw.egress[src].Reserve(view, overhead)
 	} else {
-		head = nw.eng.Now()
+		head = sent
 	}
 	if src == dst {
-		// Local loopback: no links, just the overhead.
-		nw.eng.At(head, done)
-		return head
+		// Local loopback: no links, just the overhead; stays entirely on
+		// the source's shard.
+		view.At(head, done)
+		return
 	}
+	view.Deferred(func() {
+		delivery := nw.walk(src, dst, bytes, sent, head, done)
+		if post != nil {
+			post(delivery)
+		}
+	})
+}
+
+// walk reserves every link on the X-Y route (global state: links are
+// shared by all nodes), consults the fault model, and schedules the
+// delivery on the destination's view. It runs in global context — the
+// caller's own when sequential, the merge barrier when parallel — with
+// the engine clock at the message's send instant, so link contention
+// and fault decisions resolve in the global fired order either way.
+func (nw *Network) walk(src, dst, bytes int, sent, head sim.Time, done func()) sim.Time {
 	transfer := nw.cfg.NetTransferTime(bytes)
 	hop := nw.cfg.SwitchLatency + nw.cfg.WireLatency
 	arrive := head
@@ -291,22 +352,34 @@ func (nw *Network) sendTimed(src, dst, bytes int, overhead sim.Time, done func()
 			// Discarded at the destination NIC: the body crossed (and
 			// occupied) every link on the path, but done never runs. The
 			// wire window still counts — the network was busy either way.
-			nw.Rel.MessagesDropped++
+			nw.rel[src].MessagesDropped++
 			nw.sp.NetSend(src, sent, delivery)
 			return delivery
 		}
 		if o.ExtraDelay > 0 {
-			nw.Rel.MessagesDelayed++
+			nw.rel[src].MessagesDelayed++
 			delivery += o.ExtraDelay
 		}
 		if o.Duplicate {
-			nw.Rel.MessagesDuplicated++
-			nw.eng.At(delivery+o.DupDelay, done)
+			nw.rel[src].MessagesDuplicated++
+			nw.eng.View(dst).At(delivery+o.DupDelay, done)
 		}
 	}
 	nw.sp.NetSend(src, sent, delivery)
-	nw.eng.At(delivery, done)
+	nw.eng.View(dst).At(delivery, done)
 	return delivery
+}
+
+// MinDeliveryLookahead returns a lower bound on the cycles between any
+// cross-node message's send instant and its earliest delivery: two
+// switch+wire hops (every route has at least one link, entered and
+// exited) plus the body transfer of the smallest wire message (the
+// 16-byte hardware ack). It is the conservative-lookahead bound the
+// parallel engine partitions time with (sim.Engine.Parallelize); the
+// engine asserts it loudly if a replayed delivery ever undercuts it.
+func MinDeliveryLookahead(cfg *params.Config) sim.Time {
+	hop := cfg.SwitchLatency + cfg.WireLatency
+	return 2*hop + cfg.NetTransferTime(ackBytes)
 }
 
 // InstallFaults interposes a fault model between Send and delivery and

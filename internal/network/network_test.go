@@ -155,8 +155,8 @@ func TestCounters(t *testing.T) {
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if nw.Messages != 2 || nw.Bytes != 150 {
-		t.Fatalf("messages=%d bytes=%d, want 2/150", nw.Messages, nw.Bytes)
+	if nw.Messages() != 2 || nw.Bytes() != 150 {
+		t.Fatalf("messages=%d bytes=%d, want 2/150", nw.Messages(), nw.Bytes())
 	}
 }
 

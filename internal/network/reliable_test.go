@@ -52,7 +52,7 @@ func TestReliablePassThrough(t *testing.T) {
 		if err := eng.Run(); err != nil {
 			t.Fatal(err)
 		}
-		return times, nw.Messages
+		return times, nw.Messages()
 	}
 	rawT, rawM := run(func(nw *Network, b int, done func()) { nw.Send(0, 5, b, 200, done) })
 	relT, relM := run(func(nw *Network, b int, done func()) { nw.SendReliable(0, 5, b, 200, done) })
@@ -74,11 +74,11 @@ func TestReliableSurvivesDrops(t *testing.T) {
 	nw.InstallFaults(faults.NewModel(&faults.Plan{Seed: 1, Default: faults.Link{Drop: 0.3}}, 16))
 	const n = 40
 	requireExactlyOnceInOrder(t, sendBurst(t, nw, eng, n), n)
-	if nw.Rel.MessagesDropped == 0 {
+	if nw.Rel().MessagesDropped == 0 {
 		t.Fatal("30% loss plan dropped nothing")
 	}
-	if nw.Rel.Retries == 0 || nw.Rel.TimeoutsFired == 0 || nw.Rel.RetryWaitCycles == 0 {
-		t.Fatalf("drops recovered without retries: %+v", nw.Rel)
+	if nw.Rel().Retries == 0 || nw.Rel().TimeoutsFired == 0 || nw.Rel().RetryWaitCycles == 0 {
+		t.Fatalf("drops recovered without retries: %+v", nw.Rel())
 	}
 }
 
@@ -89,10 +89,10 @@ func TestReliableSuppressesDuplicates(t *testing.T) {
 	nw.InstallFaults(faults.NewModel(&faults.Plan{Seed: 2, Default: faults.Link{Dup: 0.5}}, 16))
 	const n = 40
 	requireExactlyOnceInOrder(t, sendBurst(t, nw, eng, n), n)
-	if nw.Rel.MessagesDuplicated == 0 {
+	if nw.Rel().MessagesDuplicated == 0 {
 		t.Fatal("50% duplication plan duplicated nothing")
 	}
-	if nw.Rel.DuplicatesDropped == 0 {
+	if nw.Rel().DuplicatesDropped == 0 {
 		t.Fatal("duplicates arrived but none were suppressed")
 	}
 }
@@ -107,10 +107,10 @@ func TestReliableRestoresOrder(t *testing.T) {
 	}, 16))
 	const n = 40
 	requireExactlyOnceInOrder(t, sendBurst(t, nw, eng, n), n)
-	if nw.Rel.MessagesDelayed == 0 {
+	if nw.Rel().MessagesDelayed == 0 {
 		t.Fatal("50% delay plan delayed nothing")
 	}
-	if nw.Rel.HeldForOrder == 0 {
+	if nw.Rel().HeldForOrder == 0 {
 		t.Fatal("large injected delays never reordered arrivals (hold-back untested)")
 	}
 }
@@ -209,8 +209,8 @@ func TestReliableCombinedStress(t *testing.T) {
 		if nw.Unacked() != 0 {
 			t.Fatalf("seed %d: %d messages still unacked after the run drained", seed, nw.Unacked())
 		}
-		if nw.Rel.MessagesDuplicated == 0 || nw.Rel.MessagesDelayed == 0 {
-			t.Fatalf("seed %d: stress plan injected nothing: %+v", seed, nw.Rel)
+		if nw.Rel().MessagesDuplicated == 0 || nw.Rel().MessagesDelayed == 0 {
+			t.Fatalf("seed %d: stress plan injected nothing: %+v", seed, nw.Rel())
 		}
 	}
 	// The combined-fault schedule must be exactly reproducible too.

@@ -70,6 +70,24 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 	}
 }
 
+// TestMeshScales checks the big-mesh configs the scaling benchmarks run
+// on: only the node count changes, and every size validates.
+func TestMeshScales(t *testing.T) {
+	for _, n := range []int{64, 128, 256} {
+		c := Mesh(n)
+		if c.Processors != n {
+			t.Errorf("Mesh(%d).Processors = %d", n, c.Processors)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("Mesh(%d) invalid: %v", n, err)
+		}
+		c.Processors = Default().Processors
+		if c != Default() {
+			t.Errorf("Mesh(%d) changed a parameter other than Processors", n)
+		}
+	}
+}
+
 func TestDerivedTimings(t *testing.T) {
 	c := Default()
 	if got := c.PageWords(); got != 1024 {

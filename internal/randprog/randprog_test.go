@@ -139,8 +139,10 @@ func TestFuzzCorpus(t *testing.T) {
 
 // FuzzRandprog is a native fuzz target over the program generator's
 // parameters: any generated DRF program must validate against the
-// sequential oracle under both protocol families. Seed inputs live in
-// testdata/fuzz/FuzzRandprog; run with
+// sequential oracle under both protocol families, and the TreadMarks
+// run must fire a bit-identical event schedule on the sharded engine
+// (Workers: 4) — every corpus seed doubles as a parallel-determinism
+// probe. Seed inputs live in testdata/fuzz/FuzzRandprog; run with
 //
 //	go test ./internal/randprog -fuzz FuzzRandprog -fuzztime 30s
 func FuzzRandprog(f *testing.F) {
@@ -150,12 +152,27 @@ func FuzzRandprog(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed uint64, steps, procSel uint8) {
 		nSteps := 4 + int(steps)%12
 		procs := []int{2, 4, 8, 16}[int(procSel)%4]
-		prog := randprog.New(seed, nSteps, 1024, 2)
+		newProg := func() *randprog.Program { return randprog.New(seed, nSteps, 1024, 2) }
 		cfg := params.Default()
 		cfg.Processors = procs
 		for _, spec := range []core.Spec{core.TM(tmk.ID), core.AURC(false)} {
-			if _, err := core.Run(cfg, spec, prog); err != nil {
+			res, err := core.Run(cfg, spec, newProg())
+			if err != nil {
 				t.Fatal(err)
+			}
+			if spec.Kind == core.KindAURC {
+				continue // AURC pins the engine sequential
+			}
+			spec.Workers = 4
+			par, err := core.Run(cfg, spec, newProg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.EventFingerprint != res.EventFingerprint ||
+				par.RunningTime != res.RunningTime || par.EventsRun != res.EventsRun {
+				t.Fatalf("%s workers=4 diverged: fp %016x/%016x cycles %d/%d events %d/%d",
+					spec, par.EventFingerprint, res.EventFingerprint,
+					par.RunningTime, res.RunningTime, par.EventsRun, res.EventsRun)
 			}
 		}
 	})

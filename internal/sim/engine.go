@@ -59,6 +59,11 @@ type Engine struct {
 	watchdog       Time
 	lastProgressAt Time
 
+	// par is set on every engine participating in a parallel run (the
+	// root and each shard); sh only on shards. See parallel.go.
+	par *parRuntime
+	sh  *shardState
+
 	// Stats.
 	eventsRun    uint64
 	fingerprint  uint64
@@ -104,14 +109,26 @@ func (e *Engine) Now() Time { return e.now }
 // EventsRun reports how many events have executed, for diagnostics.
 func (e *Engine) EventsRun() uint64 { return e.eventsRun }
 
-// Stats returns the engine's counter block.
+// Stats returns the engine's counter block. On a parallelized engine
+// the execution counters live on the shards: handoffs and elided parks
+// are summed, the heap high-water mark is the max across shards.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	s := Stats{
 		EventsRun:    e.eventsRun,
 		Handoffs:     e.handoffs,
 		ElidedParks:  e.elidedParks,
 		MaxHeapDepth: e.maxHeapDepth,
 	}
+	if e.par != nil && e.sh == nil {
+		for _, se := range e.par.shards {
+			s.Handoffs += se.handoffs
+			s.ElidedParks += se.elidedParks
+			if se.maxHeapDepth > s.MaxHeapDepth {
+				s.MaxHeapDepth = se.maxHeapDepth
+			}
+		}
+	}
+	return s
 }
 
 // Fingerprint returns an FNV-1a hash of the fired (time, seq) event
@@ -163,33 +180,40 @@ func (e *Engine) pop() event {
 	h = h[:n]
 	e.events = h
 	if n > 0 {
-		// Sift `last` down from the root, moving the smallest child up
-		// until last fits.
-		i := 0
-		for {
-			c := i*heapArity + 1
-			if c >= n {
-				break
-			}
-			end := c + heapArity
-			if end > n {
-				end = n
-			}
-			m := c
-			for j := c + 1; j < end; j++ {
-				if before(h[j].at, h[j].seq, &h[m]) {
-					m = j
-				}
-			}
-			if !before(h[m].at, h[m].seq, &last) {
-				break
-			}
-			h[i] = h[m]
-			i = m
-		}
-		h[i] = last
+		h[0] = last
+		siftDown(h, 0)
 	}
 	return root
+}
+
+// siftDown restores the heap invariant below index i, moving the
+// smallest child up until h[i] fits. Shared by pop and the parallel
+// engine's post-replay heapify.
+func siftDown(h []event, i int) {
+	n := len(h)
+	cur := h[i]
+	for {
+		c := i*heapArity + 1
+		if c >= n {
+			break
+		}
+		end := c + heapArity
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if before(h[j].at, h[j].seq, &h[m]) {
+				m = j
+			}
+		}
+		if !before(h[m].at, h[m].seq, &cur) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = cur
 }
 
 // At schedules fn to run in engine context at absolute time t.
@@ -197,6 +221,10 @@ func (e *Engine) pop() event {
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	if e.par != nil {
+		e.par.at(e, t, fn)
+		return
 	}
 	e.seq++
 	e.push(t, e.seq, fn)
@@ -219,10 +247,13 @@ func (e *Engine) After(d Time, fn func()) {
 //
 // Any queued event at the same time has a smaller sequence number and
 // would fire first, so equality disqualifies. Elision is also off while
-// stopped (the park must survive Stop/Run cycles) and past the RunUntil
-// limit (the process must stay parked at the boundary).
+// stopped (the park must survive Stop/Run cycles), past the RunUntil
+// limit (the process must stay parked at the boundary), and on the
+// shards of a parallel run (a shard cannot see the global queue, so
+// "provably next" is undecidable locally; see parallel.go for why
+// firing every wake as a real event keeps the schedule identical).
 func (e *Engine) canElide(wake Time) bool {
-	return !e.stopped && wake <= e.limit &&
+	return e.par == nil && !e.stopped && wake <= e.limit &&
 		(len(e.events) == 0 || e.events[0].at > wake)
 }
 
@@ -247,6 +278,12 @@ func (e *Engine) Stop() { e.stopped = true }
 // armed — when events keep firing without any process progressing (a
 // livelock).
 func (e *Engine) Run() error {
+	if e.par != nil {
+		if e.sh != nil {
+			panic("sim: Run called on a shard engine")
+		}
+		return e.par.run()
+	}
 	e.stopped = false
 	e.limit = math.MaxInt64
 	watched := e.watchdog > 0
@@ -281,8 +318,11 @@ func (e *Engine) Run() error {
 }
 
 // RunUntil executes events with time <= t, then returns. Processes blocked
-// past t remain blocked.
+// past t remain blocked. Not supported on a parallelized engine.
 func (e *Engine) RunUntil(t Time) {
+	if e.par != nil {
+		panic("sim: RunUntil is not supported on a parallel engine")
+	}
 	e.limit = t
 	for len(e.events) > 0 && e.events[0].at <= t {
 		ev := e.pop()

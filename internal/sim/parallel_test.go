@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// synthNet is a miniature of the DSM network layer's parallel contract:
+// an eager per-source prefix (shard-local counters, source-side clock
+// read), a Deferred "wire walk" that touches globally shared state (a
+// contended link resource) and schedules the delivery on the
+// destination's view, and a minimum latency that lower-bounds every
+// cross-node delivery.
+type synthNet struct {
+	eng     *Engine
+	wire    *Resource
+	minLat  Time
+	sent    []int
+	recv    []int
+	linkSum Time
+}
+
+func (s *synthNet) send(src, dst int, fn func()) {
+	view := s.eng.View(src)
+	s.sent[src]++
+	sentAt := view.Now()
+	view.Deferred(func() {
+		// Global context: replay order on a parallel engine, inline on a
+		// sequential one. Either way the link contention resolves in the
+		// global fired order, so delivery times come out identical.
+		start, _ := s.wire.Reserve(s.eng, 3)
+		s.linkSum += start - sentAt
+		delivery := start + s.minLat
+		s.eng.View(dst).At(delivery, func() {
+			s.recv[dst]++
+			fn()
+		})
+	})
+}
+
+// runSynthetic executes a fixed request/reply workload over `nodes`
+// simulated processors at the given worker count and returns the
+// engine's fingerprint plus event count.
+func runSynthetic(t *testing.T, nodes, workers int) (fp uint64, events uint64) {
+	t.Helper()
+	eng := NewEngine()
+	eng.Parallelize(workers, nodes, 10)
+	net := &synthNet{
+		eng:    eng,
+		wire:   &Resource{Name: "wire"},
+		minLat: 10,
+		sent:   make([]int, nodes),
+		recv:   make([]int, nodes),
+	}
+	for i := 0; i < nodes; i++ {
+		i := i
+		eng.NewProc(i, fmt.Sprintf("p%d", i), Time(i%3), func(p *Proc) {
+			for step := 0; step < 40; step++ {
+				p.Sleep(Time(1 + (i*7+step*13)%23))
+				if step%5 == 0 {
+					p.Yield()
+				}
+				dst := (i + 1 + (step*(i+3))%(nodes-1)) % nodes
+				g := &Gate{}
+				net.send(i, dst, func() {
+					// Runs at dst: bounce a reply back to the sender.
+					net.send(dst, i, func() {
+						g.Open(eng.View(i))
+					})
+				})
+				g.Wait(p, "reply")
+			}
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	total := 0
+	for i := range net.sent {
+		total += net.sent[i]
+		if net.recv[i] == 0 {
+			t.Fatalf("workers=%d: node %d received nothing", workers, i)
+		}
+	}
+	if want := nodes * 40 * 2; total != want {
+		t.Fatalf("workers=%d: sent %d messages, want %d", workers, total, want)
+	}
+	return eng.Fingerprint(), eng.EventsRun()
+}
+
+// TestParallelSchedulesMatchSequential is the engine-level determinism
+// wall: the same workload at 1, 2, 4, and 8 workers must fire the
+// bit-identical (time, seq) schedule — same fingerprint, same event
+// count — as the plain sequential engine (which additionally elides
+// parks, proving elision transparency at the same time).
+func TestParallelSchedulesMatchSequential(t *testing.T) {
+	for _, nodes := range []int{8, 16} {
+		wantFP, wantEvents := runSynthetic(t, nodes, 1)
+		for _, workers := range []int{2, 4, 8} {
+			fp, events := runSynthetic(t, nodes, workers)
+			if fp != wantFP || events != wantEvents {
+				t.Errorf("nodes=%d workers=%d: fingerprint %016x (%d events), sequential %016x (%d events)",
+					nodes, workers, fp, events, wantFP, wantEvents)
+			}
+		}
+	}
+}
+
+// TestParallelRunRepeats re-runs Run after a drain: staging more work
+// onto a parallelized engine and running again must work (the workers
+// are re-spawned per Run call).
+func TestParallelRunRepeats(t *testing.T) {
+	eng := NewEngine()
+	eng.Parallelize(2, 4, 10)
+	fired := make([]bool, 8) // distinct slot per event: shards share nothing
+	for round := 0; round < 2; round++ {
+		slot := round * 4
+		for i := 0; i < 4; i++ {
+			k := slot + i
+			eng.View(i).At(eng.View(i).Now()+Time(i+1), func() {
+				fired[k] = true
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	for k, ok := range fired {
+		if !ok {
+			t.Fatalf("event %d never fired", k)
+		}
+	}
+}
+
+// TestParallelDeadlockReport mirrors the sequential engine's contract:
+// a drained queue with parked processes is a structured deadlock.
+func TestParallelDeadlockReport(t *testing.T) {
+	eng := NewEngine()
+	eng.Parallelize(2, 4, 10)
+	for i := 0; i < 4; i++ {
+		g := &Gate{} // gates are node-local, like the DSM layers use them
+		eng.NewProc(i, fmt.Sprintf("p%d", i), 0, func(p *Proc) {
+			p.Sleep(5)
+			g.Wait(p, "never")
+		})
+	}
+	err := eng.Run()
+	var serr *StallError
+	if !errors.As(err, &serr) || !serr.Deadlock {
+		t.Fatalf("want deadlock StallError, got %v", err)
+	}
+	if len(serr.Report.Blocked) != 4 {
+		t.Fatalf("blocked list %v, want all 4 procs", serr.Report.Blocked)
+	}
+	for _, b := range serr.Report.Blocked {
+		if b.Reason != "never" {
+			t.Errorf("blocked proc %s reason %q, want %q", b.Name, b.Reason, "never")
+		}
+	}
+}
+
+// TestParallelWatchdogStall wedges one shard's process while pure event
+// churn keeps another shard's queue alive: the liveness watchdog must
+// surface a structured StallError naming the blocked process instead of
+// spinning forever.
+func TestParallelWatchdogStall(t *testing.T) {
+	eng := NewEngine()
+	eng.SetWatchdog(1_000)
+	eng.Parallelize(2, 4, 10)
+	g := &Gate{}
+	eng.NewProc(0, "wedged", 0, func(p *Proc) {
+		g.Wait(p, "lost-reply")
+	})
+	eng.NewProc(3, "churn", 0, func(p *Proc) {
+		ve := eng.View(3)
+		var tick func()
+		tick = func() { ve.After(100, tick) }
+		ve.After(100, tick) // endless retransmission-style churn, no progress
+	})
+	err := eng.Run()
+	var serr *StallError
+	if !errors.As(err, &serr) || serr.Deadlock {
+		t.Fatalf("want watchdog StallError, got %v", err)
+	}
+	found := false
+	for _, b := range serr.Report.Blocked {
+		if b.Name == "wedged" && b.Reason == "lost-reply" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stall report %+v does not name the wedged proc", serr.Report)
+	}
+}
+
+// TestParallelLookaheadViolationPanics: scheduling cross-shard work
+// inside the window from replay context must fail loudly rather than
+// silently diverge from the sequential schedule.
+func TestParallelLookaheadViolationPanics(t *testing.T) {
+	eng := NewEngine()
+	eng.Parallelize(2, 4, 50) // lookahead overestimates the 1-cycle "wire"
+	eng.NewProc(0, "p0", 0, func(p *Proc) {
+		view := eng.View(0)
+		view.Deferred(func() {
+			eng.View(3).At(eng.Now()+1, func() {})
+		})
+		p.Sleep(10)
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected lookahead-violation panic")
+		}
+	}()
+	_ = eng.Run()
+}
+
+// TestViewSequential: on a sequential engine View and Deferred are
+// identity operations, so shared code needs no mode checks.
+func TestViewSequential(t *testing.T) {
+	eng := NewEngine()
+	if eng.View(7) != eng {
+		t.Fatal("View on a sequential engine must return the engine")
+	}
+	ran := false
+	eng.Deferred(func() { ran = true })
+	if !ran {
+		t.Fatal("Deferred on a sequential engine must run inline")
+	}
+	if eng.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", eng.Workers())
+	}
+}

@@ -58,7 +58,8 @@ func (pr *Protocol) Barrier(p *sim.Proc, id int, bar int) {
 	} else {
 		bytes := requestWireBytes + myVTS.WireBytes() + intervalsWireBytes(own, pr.cfg.Processors)
 		n.sendFromProc(p, reasonBarrier, barrierManager, bytes, func() {
-			op.Mark(spans.StageWire, pr.eng.Now())
+			// Delivery context: the manager's clock, not the sender's.
+			op.Mark(spans.StageWire, mgr.eng.Now())
 			mgr.barrierArrive(bar, id, myVTS, own)
 		})
 	}
@@ -120,23 +121,23 @@ func (n *pnode) barrierRelease(ivs []*lrc.Interval, globalVTS lrc.VTS, local boo
 	// Everything up to the release landing — shipping the arrival,
 	// waiting for the stragglers, the manager's merge — was remote
 	// service as far as this node's span is concerned.
-	n.barrierOp.Mark(spans.StageRemote, n.pr.eng.Now())
+	n.barrierOp.Mark(spans.StageRemote, n.eng.Now())
 	finish := func() {
 		n.integrate(ivs)
 		n.vts.Max(globalVTS)
 		n.lastBarrierVTS = globalVTS.Clone()
 		n.checkVTSRecords("barrierRelease")
 		if n.barrierGate != nil {
-			n.barrierOp.Mark(spans.StageController, n.pr.eng.Now())
+			n.barrierOp.Mark(spans.StageController, n.eng.Now())
 			g := n.barrierGate
 			n.barrierGate = nil
-			g.Open(n.pr.eng)
+			g.Open(n.eng)
 		}
 	}
 	cost := n.listCost(ivs)
 	if !local {
 		cost += n.pr.cfg.InterruptTime
 	}
-	_, end := n.cpu.Reserve(n.pr.eng, cost)
-	n.pr.eng.At(end, finish)
+	_, end := n.cpu.Reserve(n.eng, cost)
+	n.eng.At(end, finish)
 }

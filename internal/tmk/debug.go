@@ -70,10 +70,10 @@ func (n *pnode) emit(pg int, kind trace.Kind, format string, args ...any) {
 	}
 	detail := fmt.Sprintf(format, args...)
 	n.pr.tracer.Emit(trace.Event{
-		Time: n.pr.eng.Now(), Node: n.id, Page: pg, Kind: kind, Detail: detail,
+		Time: n.eng.Now(), Node: n.id, Page: pg, Kind: kind, Detail: detail,
 	})
 	if stdout {
-		fmt.Printf("[%10d] n%d pg%d %s %s\n", n.pr.eng.Now(), n.id, pg, kind, detail)
+		fmt.Printf("[%10d] n%d pg%d %s %s\n", n.eng.Now(), n.id, pg, kind, detail)
 	}
 }
 

@@ -60,7 +60,7 @@ func (n *pnode) failover() {
 		return
 	}
 	n.degraded = true
-	n.degradedAt = n.pr.eng.Now()
+	n.degradedAt = n.eng.Now()
 	n.st.ControllerFailovers++
 	n.emit(-1, trace.KindOther, "controller failover: inline software protocol handling from here on")
 	n.pr.rec.Degraded(n.id, n.degradedAt)
@@ -72,8 +72,8 @@ func (n *pnode) failover() {
 // the messaging overhead on its interrupt timeline, then the message
 // enters the reliable transport.
 func (n *pnode) softWireSend(dst, bytes int, deliver func()) {
-	_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.MessagingOverhead)
-	n.pr.eng.At(end, func() {
+	_, end := n.cpu.Reserve(n.eng, n.pr.cfg.MessagingOverhead)
+	n.eng.At(end, func() {
 		n.pr.net.SendReliable(n.id, dst, bytes, 0, deliver)
 	})
 }

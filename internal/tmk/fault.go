@@ -24,7 +24,7 @@ func (n *pnode) fault(p *sim.Proc, pg int, pe *page, write bool) {
 	p.SleepReason(n.pr.cfg.InterruptTime, reasonInterrupt)
 	if pe.state == stInvalid {
 		n.st.PageFaults++
-		n.pr.profile(pg).Faults++
+		n.profile(pg).Faults++
 		n.emit(pg, trace.KindFault, "read/write miss (pending=%d)", len(pe.pending))
 		pe.uselessStreak = 0 // demand interest: the page is hot again
 		// The span opens after the trap, so its window is exactly the
@@ -54,7 +54,7 @@ func (n *pnode) fault(p *sim.Proc, pg int, pe *page, write bool) {
 	}
 	if write && pe.state == stRO {
 		n.st.WriteFaults++
-		n.pr.profile(pg).WriteFaults++
+		n.profile(pg).WriteFaults++
 		op := n.pr.sp.Begin(n.id, spans.OpWriteFault, pg, p.Now())
 		n.makeWritable(p, pg, pe, op)
 		// Twin setup is completion-side work wherever it ran; anything
@@ -105,18 +105,18 @@ func (n *pnode) makeWritable(p *sim.Proc, pg int, pe *page, op *spans.Op) {
 		n.st.TwinsCreated++
 		pe.twin = append([]byte(nil), n.frames.Page(pg)...)
 		done := &sim.Gate{}
-		n.ctl.Submit(n.pr.eng, &sim.Job{
+		n.ctl.Submit(n.eng, &sim.Job{
 			Name: "twin",
 			Run: func() sim.Time {
-				op.Mark(spans.StageQueue, n.pr.eng.Now())
+				op.Mark(spans.StageQueue, n.eng.Now())
 				end := n.mem.DMA(cfg.PageSize)
 				base := sim.Time(controller.DispatchCost)
-				if d := end - n.pr.eng.Now(); d > base {
+				if d := end - n.eng.Now(); d > base {
 					return d
 				}
 				return base
 			},
-			Done: func() { done.Open(n.pr.eng) },
+			Done: func() { done.Open(n.eng) },
 		}, func() {
 			// Swallowed by a dead controller: redo the copy in software
 			// (the functional snapshot above is still valid — nothing has
@@ -124,11 +124,11 @@ func (n *pnode) makeWritable(p *sim.Proc, pg int, pe *page, op *spans.Op) {
 			n.st.CtrlFallbackJobs++
 			cost := controller.TwinCost(cfg)
 			n.st.DiffCycles += cost
-			_, end := n.cpu.Reserve(n.pr.eng, cost)
+			_, end := n.cpu.Reserve(n.eng, cost)
 			if m := n.mem.MemTouch(2 * cfg.PageSize); m > end {
 				end = m
 			}
-			n.pr.eng.At(end, func() { done.Open(n.pr.eng) })
+			n.eng.At(end, func() { done.Open(n.eng) })
 		})
 		p.SleepReason(controller.CommandIssueCost, reasonTwin)
 		done.Wait(p, reasonTwin)
@@ -248,7 +248,7 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool, op *s
 	cfg := n.pr.cfg
 	// The request is off the wire: everything since the previous
 	// milestone (the issue) was network time.
-	op.Mark(spans.StageWire, n.pr.eng.Now())
+	op.Mark(spans.StageWire, n.eng.Now())
 
 	created, createCostWords, createdFromVec := n.flushLocalDiff(pg)
 	var reply []*lrc.Diff
@@ -298,11 +298,11 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool, op *s
 	}
 	n.st.MsgsSent++
 	n.st.BytesSent += uint64(bytes)
-	n.ctl.Submit(n.pr.eng, &sim.Job{
+	n.ctl.Submit(n.eng, &sim.Job{
 		Name:     "diff-serve",
 		Priority: prio,
 		Run: func() sim.Time {
-			op.Mark(spans.StageQueue, n.pr.eng.Now())
+			op.Mark(spans.StageQueue, n.eng.Now())
 			cost := sim.Time(controller.DispatchCost)
 			if created != nil {
 				if createdFromVec {
@@ -318,7 +318,7 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool, op *s
 			return cost
 		},
 		Done: func() {
-			op.Mark(spans.StageRemote, n.pr.eng.Now())
+			op.Mark(spans.StageRemote, n.eng.Now())
 			n.pr.net.SendReliable(n.id, from, bytes, 0, deliver)
 		},
 	}, func() {
@@ -363,7 +363,7 @@ func (n *pnode) receiveDiffReply(pg, owner int, diffs []*lrc.Diff, upToSeq int32
 		n.st.DupMsgsSuppressed++
 		return
 	}
-	f.op.Mark(spans.StageReply, n.pr.eng.Now())
+	f.op.Mark(spans.StageReply, n.eng.Now())
 	f.diffs = append(f.diffs, diffs...)
 	if len(diffs) > 0 {
 		if upToSeq > pe.applied[owner] {
@@ -417,7 +417,7 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 		totalWords += d.Len()
 		bytes += d.WireBytes(cfg.PageWords())
 		n.st.DiffsApplied++
-		prof := n.pr.profile(pg)
+		prof := n.profile(pg)
 		prof.DiffsApplied++
 		prof.WordsApplied += uint64(d.Len())
 	}
@@ -425,7 +425,7 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 	finish := func() {
 		// Local application done: the rest of the operation's window,
 		// if any, is the waiter's wakeup.
-		f.op.Mark(spans.StageController, n.pr.eng.Now())
+		f.op.Mark(spans.StageController, n.eng.Now())
 		// The processor snoops the controller's (or its own) writes to
 		// local memory and invalidates stale cached lines.
 		n.mem.InvalidatePage(int64(pg) * int64(cfg.PageSize))
@@ -438,9 +438,9 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 		// A prefetch span closes when the page lands (nobody is
 		// waiting); demand spans close in the waiter's proc context.
 		if f.op != nil && f.op.Kind == spans.OpPrefetch {
-			n.pr.sp.End(f.op, n.pr.eng.Now())
+			n.pr.sp.End(f.op, n.eng.Now())
 		}
-		f.gate.Open(n.pr.eng)
+		f.gate.Open(n.eng)
 	}
 	softApply := func() {
 		// The faulting processor flushes its own diff and applies the
@@ -452,9 +452,9 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 		}
 		n.st.DiffCycles += cost
 		n.mem.MemTouch(bytes)
-		start, end := n.cpu.Reserve(n.pr.eng, cfg.InterruptTime+cost)
+		start, end := n.cpu.Reserve(n.eng, cfg.InterruptTime+cost)
 		f.op.Mark(spans.StageQueue, start)
-		n.pr.eng.At(end, finish)
+		n.eng.At(end, finish)
 	}
 	if !n.ctrlOK() {
 		softApply()
@@ -464,11 +464,11 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 	if f.prefetch && !n.pr.opts.NoPrefetchPriority {
 		prio = sim.PriorityLow
 	}
-	n.ctl.Submit(n.pr.eng, &sim.Job{
+	n.ctl.Submit(n.eng, &sim.Job{
 		Name:     "diff-apply",
 		Priority: prio,
 		Run: func() sim.Time {
-			f.op.Mark(spans.StageQueue, n.pr.eng.Now())
+			f.op.Mark(spans.StageQueue, n.eng.Now())
 			n.mem.DMA(bytes)
 			cost := sim.Time(controller.DispatchCost)
 			if localDiff != nil {

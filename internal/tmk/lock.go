@@ -50,7 +50,7 @@ func (pr *Protocol) Lock(p *sim.Proc, id int, lock int) {
 func (n *pnode) homeForward(lock int, req lockReq) {
 	// Request on the home's wire; forwarding hops extend StageWire via
 	// the next milestone's gap.
-	req.op.Mark(spans.StageWire, n.pr.eng.Now())
+	req.op.Mark(spans.StageWire, n.eng.Now())
 	lk := n.lock(lock)
 	prev := lk.tail
 	lk.tail = req.from
@@ -59,13 +59,13 @@ func (n *pnode) homeForward(lock int, req lockReq) {
 	}
 	localFwd := func() {
 		n.st.Interrupts++
-		_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.InterruptTime+homeForwardCost)
-		n.pr.eng.At(end, forward)
+		_, end := n.cpu.Reserve(n.eng, n.pr.cfg.InterruptTime+homeForwardCost)
+		n.eng.At(end, forward)
 	}
 	remoteFwd := func() {
 		n.st.Interrupts++
-		_, end := n.cpu.Reserve(n.pr.eng, n.pr.cfg.InterruptTime+homeForwardCost)
-		n.pr.eng.At(end, func() {
+		_, end := n.cpu.Reserve(n.eng, n.pr.cfg.InterruptTime+homeForwardCost)
+		n.eng.At(end, func() {
 			n.sendAsync(prev, requestWireBytes+req.vts.WireBytes(), forward)
 		})
 	}
@@ -73,7 +73,7 @@ func (n *pnode) homeForward(lock int, req lockReq) {
 		// The home itself is the previous owner: handle locally after
 		// the bookkeeping cost.
 		if n.ctrlOK() {
-			n.ctl.Submit(n.pr.eng, &sim.Job{Name: "lock-fwd", Service: homeForwardCost, Done: forward},
+			n.ctl.Submit(n.eng, &sim.Job{Name: "lock-fwd", Service: homeForwardCost, Done: forward},
 				func() { n.st.CtrlFallbackJobs++; localFwd() })
 		} else {
 			localFwd()
@@ -81,7 +81,7 @@ func (n *pnode) homeForward(lock int, req lockReq) {
 		return
 	}
 	if n.ctrlOK() {
-		n.ctl.Submit(n.pr.eng, &sim.Job{
+		n.ctl.Submit(n.eng, &sim.Job{
 			Name:    "lock-fwd",
 			Service: homeForwardCost + n.pr.cfg.MessagingOverhead,
 			Done: func() {
@@ -100,7 +100,7 @@ func (n *pnode) homeForward(lock int, req lockReq) {
 // now; otherwise the request waits for the node's release (or for its own
 // pending grant to arrive).
 func (n *pnode) receiveLockReq(lock int, req lockReq) {
-	req.op.Mark(spans.StageQueue, n.pr.eng.Now())
+	req.op.Mark(spans.StageQueue, n.eng.Now())
 	lk := n.lock(lock)
 	if lk.hasToken && !lk.inCS {
 		lk.hasToken = false
@@ -194,7 +194,7 @@ func (n *pnode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS, pi
 		n.st.DupMsgsSuppressed++
 		return
 	}
-	op.Mark(spans.StageReply, n.pr.eng.Now())
+	op.Mark(spans.StageReply, n.eng.Now())
 	cost := n.pr.cfg.InterruptTime + n.listCost(ivs)
 	if len(piggy) > 0 {
 		words := 0
@@ -203,8 +203,8 @@ func (n *pnode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS, pi
 		}
 		cost += controller.SoftDiffApplyCost(n.pr.cfg, words)
 	}
-	_, end := n.cpu.Reserve(n.pr.eng, cost)
-	n.pr.eng.At(end, func() {
+	_, end := n.cpu.Reserve(n.eng, cost)
+	n.eng.At(end, func() {
 		lk := n.lock(lock)
 		if lk.gate == nil {
 			// A twin of this grant was applied while we sat in the
@@ -218,9 +218,9 @@ func (n *pnode) receiveGrant(lock int, ivs []*lrc.Interval, grantVTS lrc.VTS, pi
 		n.applyPiggyback(piggy)
 		lk.hasToken = true
 		lk.inCS = true
-		op.Mark(spans.StageController, n.pr.eng.Now())
+		op.Mark(spans.StageController, n.eng.Now())
 		n.emit(-1, trace.KindLock, "acquired lock=%d ivs=%d", lock, len(ivs))
-		lk.gate.Open(n.pr.eng)
+		lk.gate.Open(n.eng)
 		lk.gate = nil
 	})
 }

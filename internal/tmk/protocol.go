@@ -156,14 +156,23 @@ type lockReq struct {
 
 // pnode is the per-node protocol state.
 type pnode struct {
-	id     int
-	pr     *Protocol
+	id int
+	pr *Protocol
+	// eng is the engine view owning this node: the shard engine on a
+	// parallelized run, the (single) engine otherwise. Every event this
+	// node schedules, every clock it reads, and every gate it opens in
+	// its own execution context goes through this view.
+	eng    *sim.Engine
 	mem    *memsys.Node
 	fp     *memsys.FastPath
 	ctl    *controller.Controller
 	st     *stats.ProcStats
 	proc   *sim.Proc
 	frames *lrc.Frames
+	// profiles is this node's share of the per-page activity profile,
+	// merged across nodes by PageProfiles (shard-local on a parallel
+	// engine, so concurrent windows never write a shared record).
+	profiles map[int]*stats.PageProfile
 
 	// degraded marks a controller failover: the node has permanently
 	// fallen back to inline software protocol handling (see degrade.go).
@@ -237,20 +246,24 @@ type Protocol struct {
 // New builds the protocol for the machine described by cfg.
 func New(cfg *params.Config, eng *sim.Engine, net *network.Network, mode Mode) *Protocol {
 	pr := &Protocol{
-		cfg:      cfg,
-		eng:      eng,
-		net:      net,
-		heap:     lrc.NewHeap(cfg.PageSize),
-		mode:     mode,
-		bars:     make(map[int]*barrier),
-		profiles: make(map[int]*stats.PageProfile),
+		cfg:  cfg,
+		eng:  eng,
+		net:  net,
+		heap: lrc.NewHeap(cfg.PageSize),
+		mode: mode,
+		bars: make(map[int]*barrier),
 	}
 	for i := 0; i < cfg.Processors; i++ {
-		mem := memsys.NewNode(i, cfg, eng)
+		// The node's whole memory system and protocol state live on its
+		// engine view — the owning shard when the engine is parallelized.
+		view := eng.View(i)
+		mem := memsys.NewNode(i, cfg, view)
 		n := &pnode{
 			id:             i,
 			pr:             pr,
+			eng:            view,
 			mem:            mem,
+			profiles:       make(map[int]*stats.PageProfile),
 			fp:             memsys.NewFastPath(mem),
 			st:             &stats.ProcStats{},
 			frames:         lrc.NewFrames(cfg.PageSize),
@@ -309,27 +322,44 @@ func (pr *Protocol) InstallProc(id int, p *sim.Proc) {
 // NodeStats returns processor id's accounting.
 func (pr *Protocol) NodeStats(id int) *stats.ProcStats { return pr.nodes[id].st }
 
-// profile returns the aggregate record for a page.
-func (pr *Protocol) profile(pg int) *stats.PageProfile {
-	p, ok := pr.profiles[pg]
+// profile returns this node's record for a page.
+func (n *pnode) profile(pg int) *stats.PageProfile {
+	p, ok := n.profiles[pg]
 	if !ok {
 		p = &stats.PageProfile{Page: pg}
-		pr.profiles[pg] = p
+		n.profiles[pg] = p
 	}
 	return p
 }
 
-// PageProfiles implements stats.PageProfiler: per-page activity sorted
-// by page number.
+// PageProfiles implements stats.PageProfiler: per-page activity merged
+// across all nodes' shares, sorted by page number.
 func (pr *Protocol) PageProfiles() []stats.PageProfile {
-	pages := make([]int, 0, len(pr.profiles))
-	for pg := range pr.profiles {
+	merged := make(map[int]*stats.PageProfile)
+	for _, n := range pr.nodes {
+		for pg, p := range n.profiles {
+			m, ok := merged[pg]
+			if !ok {
+				m = &stats.PageProfile{Page: pg}
+				merged[pg] = m
+			}
+			m.Faults += p.Faults
+			m.WriteFaults += p.WriteFaults
+			m.Invalidations += p.Invalidations
+			m.DiffsApplied += p.DiffsApplied
+			m.WordsApplied += p.WordsApplied
+			m.Writers |= p.Writers
+			m.Readers |= p.Readers
+		}
+	}
+	pages := make([]int, 0, len(merged))
+	for pg := range merged {
 		pages = append(pages, pg)
 	}
 	sort.Ints(pages)
 	out := make([]stats.PageProfile, 0, len(pages))
 	for _, pg := range pages {
-		out = append(out, *pr.profiles[pg])
+		out = append(out, *merged[pg])
 	}
 	return out
 }
@@ -458,7 +488,7 @@ func (n *pnode) access(p *sim.Proc, addr int64, write bool, size int, commit fun
 	}
 	if write {
 		if n.id < 64 {
-			n.pr.profile(pg).Writers |= 1 << uint(n.id)
+			n.profile(pg).Writers |= 1 << uint(n.id)
 		}
 		commit()
 		if n.writeThrough() || pe.vecLive {
@@ -476,7 +506,7 @@ func (n *pnode) access(p *sim.Proc, addr int64, write bool, size int, commit fun
 		}
 	} else {
 		if n.id < 64 {
-			n.pr.profile(pg).Readers |= 1 << uint(n.id)
+			n.profile(pg).Readers |= 1 << uint(n.id)
 		}
 		n.fp.Read(p, addr, n.st)
 	}
@@ -533,7 +563,7 @@ func (n *pnode) sendFromProc(p *sim.Proc, reason string, dst, bytes int, deliver
 	n.st.BytesSent += uint64(bytes)
 	if n.ctrlOK() {
 		p.SleepReason(controller.CommandIssueCost, reason)
-		n.ctl.SubmitSend(n.pr.eng, n.pr.net, dst, bytes, deliver,
+		n.ctl.SubmitSend(n.eng, n.pr.net, dst, bytes, deliver,
 			func() { n.softWireSend(dst, bytes, deliver) })
 		return
 	}
@@ -548,7 +578,7 @@ func (n *pnode) sendAsync(dst, bytes int, deliver func()) {
 	n.st.MsgsSent++
 	n.st.BytesSent += uint64(bytes)
 	if n.ctrlOK() {
-		n.ctl.SubmitSend(n.pr.eng, n.pr.net, dst, bytes, deliver,
+		n.ctl.SubmitSend(n.eng, n.pr.net, dst, bytes, deliver,
 			func() { n.softWireSend(dst, bytes, deliver) })
 		return
 	}
@@ -561,8 +591,8 @@ func (n *pnode) sendAsync(dst, bytes int, deliver func()) {
 func (n *pnode) serveCPU(cost sim.Time, fn func()) {
 	n.st.Interrupts++
 	total := n.pr.cfg.InterruptTime + cost
-	_, end := n.cpu.Reserve(n.pr.eng, total)
-	n.pr.eng.At(end, fn)
+	_, end := n.cpu.Reserve(n.eng, total)
+	n.eng.At(end, fn)
 }
 
 // serveCPUSpan is serveCPU plus span milestones: the service window's
@@ -572,8 +602,8 @@ func (n *pnode) serveCPU(cost sim.Time, fn func()) {
 func (n *pnode) serveCPUSpan(cost sim.Time, op *spans.Op, fn func()) {
 	n.st.Interrupts++
 	total := n.pr.cfg.InterruptTime + cost
-	start, end := n.cpu.Reserve(n.pr.eng, total)
+	start, end := n.cpu.Reserve(n.eng, total)
 	op.Mark(spans.StageQueue, start)
 	op.Mark(spans.StageRemote, end)
-	n.pr.eng.At(end, fn)
+	n.eng.At(end, fn)
 }

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Scaling benchmark for the parallel event engine (make bench-snapshot).
+#
+# Runs cmd/bench over the 64/128/256-node meshes at 1/2/4/8 engine
+# workers and writes the dsm96/bench/v1 snapshot to the path given as
+# $1 (default BENCH_parallel_engine.json in the repo root). The bench
+# itself verifies the determinism contract — every cell's fingerprint,
+# event count, and cycle total must match its mesh's workers=1 cell.
+#
+# The >= 2x speedup assertion (best worker count vs workers=1 on the
+# 64-node mesh and up) only holds on hardware that can actually run
+# the shards concurrently, so it is applied when the host has 8+ CPUs
+# and skipped — loudly — otherwise. A 1-CPU container still runs the
+# full grid and still checks determinism; it just cannot prove scaling.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_parallel_engine.json}"
+
+ncpu="$(go run ./scripts/ncpu 2>/dev/null || echo 1)"
+speedup=0
+if [ "$ncpu" -ge 8 ]; then
+	speedup=2.0
+else
+	echo "bench.sh: host has $ncpu CPU(s); skipping the >=2x speedup assertion (needs 8+)" >&2
+fi
+
+go run ./cmd/bench \
+	-mesh 64,128,256 -workers 1,2,4,8 \
+	-app water -proto I+P+D -scale tiny -reps 3 \
+	-require-speedup "$speedup" \
+	-out "$out"
+echo "bench.sh: snapshot written to $out"

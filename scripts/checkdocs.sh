@@ -61,11 +61,12 @@ for tool in dsmsim sweep metricsdiff; do
 	done
 done
 
-# 5. The reverse of check 4 for the fault-injection and liveness
-# surface: these flags are the user-facing contract of the chaos
-# machinery, so the docs must keep mentioning them (check 4 then
-# verifies the spelling against the CLI registration).
-for f in ctrl-crash ctrl-hang watchdog chaos schema; do
+# 5. The reverse of check 4 for the fault-injection, liveness, and
+# parallel-engine surface: these flags are the user-facing contract of
+# the chaos machinery and the sharded engine, so the docs must keep
+# mentioning them (check 4 then verifies the spelling against the CLI
+# registration).
+for f in ctrl-crash ctrl-hang watchdog chaos schema workers bench; do
 	if ! grep -qE -- "-$f" $docs; then
 		echo "checkdocs: flag -$f is registered in a CLI but never documented" >&2
 		fail=1

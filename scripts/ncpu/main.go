@@ -1,0 +1,13 @@
+// Command ncpu prints the number of usable CPUs (runtime.NumCPU), so
+// shell scripts can gate parallel-scaling assertions on real hardware
+// without depending on nproc/getconf portability.
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() {
+	fmt.Println(runtime.NumCPU())
+}
