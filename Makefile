@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-snapshot golden fuzz docs timeline metricsdiff chaos
+.PHONY: check fmt vet build test race bench bench-snapshot golden fuzz docs timeline metricsdiff chaos profiles
 
-check: fmt vet build test race timeline metricsdiff chaos
+check: fmt vet build test race timeline metricsdiff chaos profiles
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -94,6 +94,24 @@ chaos:
 	$(GO) test ./internal/experiments -count 1 \
 		-run 'TestChaosSweep|TestDegradedMatchesBase|TestCtrlFaultsVacuousOffController'
 	@echo "chaos: ok"
+
+# Profiles gate: every checked-in params-profile parses, validates, and
+# is byte-for-byte the canonical serialization of its builtin (so the
+# template files can never drift from the constants the backend goldens
+# pin), and -profile pci1996 stays bit-identical to the profile-less
+# default machine (compared via run-metrics JSON).
+profiles:
+	$(GO) run ./cmd/profilecheck
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/dsmsim -p 4 -app radix -mode ipd -scale tiny \
+		-metrics "$$dir/default.json" >/dev/null; \
+	$(GO) run ./cmd/dsmsim -p 4 -app radix -mode ipd -scale tiny \
+		-profile pci1996 -metrics "$$dir/pci1996.json" >/dev/null; \
+	cmp "$$dir/default.json" "$$dir/pci1996.json" || \
+		{ echo "profiles: -profile pci1996 diverged from the default machine"; exit 1; }; \
+	$(GO) run ./cmd/dsmsim -p 4 -app radix -mode ipd -scale tiny \
+		-profile profiles/rdma.json >/dev/null; \
+	echo "profiles: ok"
 
 # Docs gate: vet + formatting, every example builds, and the prose in
 # README/ARCHITECTURE/EXPERIMENTS references only make targets and

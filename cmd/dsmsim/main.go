@@ -6,6 +6,8 @@
 //
 //	dsmsim -app ocean -proto I+D -procs 16 [-scale default]
 //	dsmsim -app tsp -proto AURC+P
+//	dsmsim -app em3d -proto I+P+D -profile rdma
+//	dsmsim -app radix -proto AURC -profile profiles/cxl.json
 //	dsmsim -app em3d -proto I+P+D -drop 0.02 -fault-seed 7
 //	dsmsim -app water -proto I+P+D -ctrl-crash 0@0,3@50000 -ctrl-hang 2@10000+30000
 //	dsmsim -p 16 -app radix -mode ipd -timeline t.json -metrics m.json
@@ -13,6 +15,13 @@
 // Protocols: Base, I, I+D, P, I+P, I+P+D, AURC, AURC+P (matched
 // case-insensitively, "+" optional: "ipd" means I+P+D). -mode is an
 // alias for -proto, -p for -procs.
+//
+// -profile selects the machine model: a builtin interconnect backend
+// (pci1996, rdma, cxl) or a dsm96/params-profile/v1 JSON file (see
+// profiles/README.md). The default — no profile — is Table 1 of the
+// paper, and `-profile pci1996` is bit-identical to it. An explicit
+// -procs overrides the profile's processor count; -netbw, -memlat and
+// -msgov are applied on top of the profile in that order.
 //
 // The -drop/-dup/-delay flags make the simulated network unreliable
 // (deterministically, keyed by -fault-seed); the protocols recover via
@@ -115,6 +124,7 @@ func main() {
 	procs := flag.Int("procs", 16, "number of processors")
 	flag.IntVar(procs, "p", 16, "alias for -procs")
 	scale := flag.String("scale", "default", "problem scale: tiny, default, paper")
+	profileArg := flag.String("profile", "", "machine model: builtin backend (pci1996, rdma, cxl) or a params-profile JSON file (default: Table 1)")
 	netBW := flag.Float64("netbw", 0, "override network bandwidth (MB/s)")
 	memLat := flag.Float64("memlat", 0, "override memory latency (ns)")
 	msgOv := flag.Float64("msgov", 0, "override messaging overhead (us)")
@@ -182,7 +192,27 @@ func main() {
 	}
 
 	cfg := params.Default()
-	cfg.Processors = *procs
+	if *profileArg != "" {
+		prof, perr := params.ResolveProfile(*profileArg)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "dsmsim:", perr)
+			os.Exit(2)
+		}
+		cfg = prof.Config()
+		// The profile carries its own processor count; an explicit -procs
+		// (or -p) on the command line still wins.
+		procsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "procs" || f.Name == "p" {
+				procsSet = true
+			}
+		})
+		if procsSet {
+			cfg.Processors = *procs
+		}
+	} else {
+		cfg.Processors = *procs
+	}
 	if *netBW > 0 {
 		cfg.SetNetworkBandwidthMBps(*netBW)
 	}
@@ -243,9 +273,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s under %s on %d processors\n", res.App, res.Protocol, *procs)
-	fmt.Printf("  running time:   %d cycles (%.2f ms at 100 MHz)\n",
-		res.RunningTime, float64(res.RunningTime)/1e5)
+	fmt.Printf("%s under %s on %d processors\n", res.App, res.Protocol, cfg.Processors)
+	fmt.Printf("  running time:   %d cycles (%.2f ms at %g MHz)\n",
+		res.RunningTime, cfg.Millis(res.RunningTime), cfg.ClockMHz())
 	fmt.Printf("  result:         %v (sequential oracle %v, validated)\n", res.AppResult, res.SeqResult)
 	fmt.Printf("  network:        %d messages, %d bytes\n", res.Messages, res.Bytes)
 	fmt.Println("  breakdown:")

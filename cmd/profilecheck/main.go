@@ -1,0 +1,88 @@
+// Command profilecheck validates params-profile files (`make profiles`).
+//
+// Usage:
+//
+//	profilecheck [-write] [FILE...]
+//
+// With no arguments it checks the repository's checked-in builtin
+// profiles: profiles/<name>.json must exist, parse, validate, and be
+// byte-for-byte the canonical serialization of the matching builtin —
+// so the files users copy as templates can never drift from the
+// constants the goldens pin. -write (re)generates them instead.
+//
+// With file arguments it loads and validates each one (strict decode:
+// unknown fields are errors) and reports PROFILE OK with the profile's
+// identity, or the first problem, naming the offending field.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dsm96/internal/params"
+)
+
+func main() {
+	write := flag.Bool("write", false, "write canonical profiles/<name>.json for every builtin")
+	dir := flag.String("dir", "profiles", "directory holding the checked-in builtin profiles")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		ok := true
+		for _, path := range flag.Args() {
+			p, err := params.LoadProfileFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profilecheck:", err)
+				ok = false
+				continue
+			}
+			fmt.Printf("%s: OK (profile %q, backend %s, %d processors, 1 cycle = %g ns)\n",
+				path, p.Name, p.Backend, p.Params.Processors, p.Params.CycleNanos)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *write {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "profilecheck:", err)
+			os.Exit(1)
+		}
+	}
+	ok := true
+	for _, p := range params.Builtins() {
+		path := filepath.Join(*dir, p.Name+".json")
+		want, err := p.SaveBytes()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profilecheck:", err)
+			os.Exit(1)
+		}
+		if *write {
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "profilecheck:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: wrote %d bytes\n", path, len(want))
+			continue
+		}
+		got, err := os.ReadFile(path)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "profilecheck: %v (regenerate with: go run ./cmd/profilecheck -write)\n", err)
+			ok = false
+		case !bytes.Equal(got, want):
+			fmt.Fprintf(os.Stderr, "profilecheck: %s is not the canonical serialization of the %q builtin (regenerate with: go run ./cmd/profilecheck -write)\n", path, p.Name)
+			ok = false
+		default:
+			fmt.Printf("%s: OK (canonical, backend %s)\n", path, p.Backend)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -13,8 +13,16 @@
 //	sweep -membw                # Figure 16
 //	sweep -reliability [-fault-seed N]
 //	sweep -chaos                # link faults + controller crash/hang
+//	sweep -backends             # protocol ladder on every interconnect backend
 //	sweep -all [-scale tiny]
 //	sweep -all -j 4 -metrics out/   # 4 workers, one metrics JSON per cell
+//
+// -profile NAME|FILE rebases every sweep on that machine model (builtin
+// backend pci1996/rdma/cxl or a params-profile JSON file, see
+// profiles/README.md); the default is Table 1. -backends instead runs
+// the Base -> I -> I+P+D -> AURC ladder for {tsp, radix, em3d} on every
+// builtin backend side by side — the "does the controller still pay off
+// in 2026" table of EXPERIMENTS.md.
 //
 // The -chaos sweep combines link faults with randomized per-node
 // controller crash/hang schedules over {tsp, water, radix} × {Base, I,
@@ -51,6 +59,7 @@ import (
 	"strings"
 
 	"dsm96/internal/experiments"
+	"dsm96/internal/params"
 )
 
 func main() {
@@ -60,6 +69,8 @@ func main() {
 	membw := flag.Bool("membw", false, "sweep memory bandwidth (Figure 16)")
 	reliability := flag.Bool("reliability", false, "sweep message loss rate (deterministic fault injection)")
 	chaos := flag.Bool("chaos", false, "chaos sweep: link faults + controller crash/hang, validated and repeat-run")
+	backends := flag.Bool("backends", false, "run the protocol ladder on every builtin interconnect backend")
+	profileArg := flag.String("profile", "", "rebase all sweeps on this machine model: builtin backend (pci1996, rdma, cxl) or a params-profile JSON file")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed for -reliability")
 	all := flag.Bool("all", false, "run all six sweeps")
 	scale := flag.String("scale", "default", "problem scale: tiny, default, paper")
@@ -72,6 +83,15 @@ func main() {
 
 	experiments.SetWorkers(*jobs)
 	experiments.SetEngineWorkers(*engWorkers)
+	if *profileArg != "" {
+		prof, err := params.ResolveProfile(*profileArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(2)
+		}
+		cfg := prof.Config()
+		experiments.SetBaseConfig(&cfg)
+	}
 	if !*quiet {
 		experiments.SetProgress(func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells", done, total)
@@ -174,7 +194,12 @@ func main() {
 		die(err)
 		fmt.Println(experiments.FormatChaos(seeds, pts))
 	}
-	if !*all && !*messaging && !*netbw && !*memlat && !*membw && !*reliability && !*chaos {
+	if *all || *backends {
+		cells, err := experiments.CrossBackendLadder(sc, nil)
+		die(err)
+		fmt.Println(experiments.FormatBackendLadder(cells))
+	}
+	if !*all && !*messaging && !*netbw && !*memlat && !*membw && !*reliability && !*chaos && !*backends {
 		flag.Usage()
 	}
 }

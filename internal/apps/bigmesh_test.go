@@ -1,0 +1,80 @@
+package apps_test
+
+import (
+	"testing"
+
+	"dsm96/internal/apps"
+	"dsm96/internal/core"
+	"dsm96/internal/params"
+	"dsm96/internal/tmk"
+)
+
+// TestRadixBigMesh regresses the >64-processor sizing bug: radix's
+// per-processor histogram and rank arrays used to be fixed at 64 slots,
+// so any mesh larger than that indexed out of range in the rank phase.
+// With dsm.Sized the harness now tells the app the machine size before
+// Setup, so big meshes validate like any other run — and the schedule
+// stays deterministic (fingerprint-stable across repeats).
+func TestRadixBigMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big meshes are expensive; run without -short")
+	}
+	for _, procs := range []int{96, 128} {
+		for _, spec := range []core.Spec{core.TM(tmk.Base), core.TM(tmk.IPD)} {
+			procs, spec := procs, spec
+			t.Run(spec.String()+"/"+itoa(procs), func(t *testing.T) {
+				t.Parallel()
+				run := func() *core.Result {
+					app, err := apps.Tiny("radix")
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := params.Mesh(procs)
+					r, err := core.Run(cfg, spec, app)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return r
+				}
+				a, b := run(), run()
+				if a.EventFingerprint != b.EventFingerprint || a.RunningTime != b.RunningTime {
+					t.Fatalf("repeat diverged: %016x/%d vs %016x/%d",
+						a.EventFingerprint, a.RunningTime, b.EventFingerprint, b.RunningTime)
+				}
+			})
+		}
+	}
+}
+
+// TestSetProcsIsPure guards the dsm.Sized contract: SetProcs must be a
+// pure function of n (with the historical 64-slot floor), never a
+// ratchet. A run on an instance that previously saw a big mesh must be
+// bit-identical to a run on a fresh instance — otherwise fingerprints
+// would depend on what ran earlier.
+func TestSetProcsIsPure(t *testing.T) {
+	cfg := params.Default()
+	cfg.Processors = 8
+
+	fresh, err := apps.Tiny("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(cfg, core.TM(tmk.Base), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reused, err := apps.Tiny("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused.(interface{ SetProcs(int) }).SetProcs(128) // simulate an earlier big run
+	got, err := core.Run(cfg, core.TM(tmk.Base), reused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EventFingerprint != want.EventFingerprint {
+		t.Fatalf("SetProcs ratcheted: fingerprint %016x after a 128-proc call, want %016x",
+			got.EventFingerprint, want.EventFingerprint)
+	}
+}

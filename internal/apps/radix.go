@@ -39,6 +39,18 @@ func NewRadix(keys, radix int) *Radix {
 	return &Radix{Keys: keys, Radix: radix, ComputePerKey: 120, maxProcs: 64}
 }
 
+// SetProcs implements dsm.Sized: the per-processor histogram and rank
+// arrays are sized by the machine, so big meshes (128+, where the old
+// fixed 64-slot sizing indexed out of range) work. The historical
+// 64-slot floor is kept so every run at <= 64 processors preserves its
+// exact page layout — and with it the checked-in golden fingerprints.
+func (r *Radix) SetProcs(n int) {
+	r.maxProcs = 64
+	if n > r.maxProcs {
+		r.maxProcs = n
+	}
+}
+
 // DefaultRadix is the scaled default (paper: 1M keys, radix 1024).
 func DefaultRadix() *Radix { return NewRadix(32768, 256) }
 

@@ -15,14 +15,11 @@ import (
 	"dsm96/internal/sim"
 )
 
-// CommandIssueCost is the cycles the computation processor spends placing
-// a command in the controller's queue (a couple of uncached writes across
-// the PCI bridge).
-const CommandIssueCost = 10
-
-// DispatchCost is the controller core's fixed cost to pick up and decode
-// a command from its queue.
-const DispatchCost = 20
+// Command-issue (doorbell) and dispatch costs live in params.Config
+// (CommandIssueCost, CtrlDispatchCost) so interconnect profiles can
+// rescale them: Table 1's doorbell is a couple of uncached PCI writes
+// (10 cycles), a 2026 PCIe doorbell is ~100 ns of a much faster core,
+// and a coherent-interconnect mailbox store is nearly free.
 
 // SubmitTimeout is the driver-level watchdog on a command submission:
 // if the controller has not accepted a doorbell write after this many
@@ -162,7 +159,7 @@ func (c *Controller) Submit(e *sim.Engine, j *sim.Job, fallback func()) {
 func (c *Controller) SubmitSend(e *sim.Engine, nw *network.Network, dst, bytes int, deliver func(), fallback func()) {
 	c.Submit(e, &sim.Job{
 		Name:    "send",
-		Service: DispatchCost + c.Cfg.MessagingOverhead,
+		Service: c.Cfg.CtrlDispatchCost + c.Cfg.MessagingOverhead,
 		Done: func() {
 			nw.SendReliable(c.ID, dst, bytes, 0, deliver)
 		},

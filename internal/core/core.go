@@ -217,6 +217,12 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Machine-size-dependent apps learn the processor count before ANY
+	// Setup — the sequential oracle below must use the same shared-data
+	// layout as the parallel run it validates.
+	if s, ok := app.(dsm.Sized); ok {
+		s.SetProcs(cfg.Processors)
+	}
 	// Sequential oracle first (the app's Setup must reset all state).
 	seq := dsm.RunSequential(app, cfg.PageSize)
 

@@ -79,6 +79,18 @@ func (e *Env) Unlock(l int) { e.Sys.Unlock(e.P, e.ID, l) }
 // Barrier waits on barrier b.
 func (e *Env) Barrier(b int) { e.Sys.Barrier(e.P, e.ID, b) }
 
+// Sized is optionally implemented by applications whose shared-data
+// layout depends on the machine size (per-processor histogram or rank
+// arrays, say). The harness calls SetProcs with the run's processor
+// count before Setup — including before the sequential oracle, so the
+// oracle and the parallel run agree on the layout. Implementations must
+// be a pure function of n (no ratcheting across calls): the same
+// (app, procs) pair must always produce the same layout, or run
+// fingerprints would depend on what ran earlier on the same instance.
+type Sized interface {
+	SetProcs(n int)
+}
+
 // App is a runnable workload: it sizes its shared data via Setup (called
 // once, before processors start), runs Body on every processor, and
 // reports a scalar Result (written by processor 0 through the DSM) that

@@ -1,0 +1,118 @@
+// The cross-backend ladder: the paper's protocol ladder (Base -> I ->
+// I+P+D -> AURC) re-run on every interconnect backend, answering the
+// 2026 question — which overlap mechanisms still pay off when the
+// interrupt is gone from the data path and bandwidth is 500x Table 1?
+// Each cell is a full oracle-validated simulation; the schedule is a
+// pure function of (profile, protocol, app), so the cells carry
+// fingerprints and are pinned by testdata/golden_backends.txt.
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dsm96/internal/core"
+	"dsm96/internal/params"
+	"dsm96/internal/tmk"
+)
+
+// LadderSpecs is the protocol ladder measured per backend: no controller,
+// controller-overlapped interrupts, the full overlap stack, and AURC
+// (automatic-update hardware instead of diffs).
+func LadderSpecs() []core.Spec {
+	return []core.Spec{
+		core.TM(tmk.Base), core.TM(tmk.I), core.TM(tmk.IPD), core.AURC(false),
+	}
+}
+
+// LadderApps is the application slice measured per backend: a lock-heavy
+// branch-and-bound search, a barrier-heavy sort with page-grain false
+// sharing, and the paper's sensitivity-study workload.
+func LadderApps() []string { return []string{"tsp", "radix", "em3d"} }
+
+// BackendCell is one (profile, app, protocol) measurement.
+type BackendCell struct {
+	Profile     string
+	Backend     string
+	App         string
+	Protocol    string
+	Cycles      int64
+	Events      uint64
+	Fingerprint uint64
+	// Millis is wall-clock time under the profile's timebase.
+	Millis float64
+	// NormVsBase is Cycles relative to the same profile+app Base run
+	// (1.0 = no change), the ladder's payoff measure.
+	NormVsBase float64
+}
+
+// CrossBackendLadder runs LadderSpecs x LadderApps on every given
+// profile (nil = all builtins) at the given scale. Cells come back in
+// profile-major, app-, then ladder-order.
+func CrossBackendLadder(sc Scale, profiles []*params.Profile) ([]BackendCell, error) {
+	if profiles == nil {
+		profiles = params.Builtins()
+	}
+	specs := LadderSpecs()
+	names := LadderApps()
+	runs := make([]Run, len(profiles)*len(names)*len(specs))
+	var rss []runSpec
+	idx := func(bi, ai, si int) int { return (bi*len(names)+ai)*len(specs) + si }
+	for bi, prof := range profiles {
+		for ai, name := range names {
+			for si, sp := range specs {
+				rss = append(rss, runSpec{
+					app: name, spec: sp, cfg: prof.Config(), scale: sc,
+					out: &runs[idx(bi, ai, si)],
+				})
+			}
+		}
+	}
+	execute(rss)
+	cells := make([]BackendCell, 0, len(runs))
+	for bi, prof := range profiles {
+		for ai, name := range names {
+			var base int64
+			for si, sp := range specs {
+				r := runs[idx(bi, ai, si)]
+				if r.Err != nil {
+					return nil, fmt.Errorf("ladder %s/%s/%s: %w", prof.Name, name, sp, r.Err)
+				}
+				if si == 0 {
+					base = r.Result.RunningTime
+				}
+				cells = append(cells, BackendCell{
+					Profile:     prof.Name,
+					Backend:     prof.Backend,
+					App:         name,
+					Protocol:    r.Protocol,
+					Cycles:      r.Result.RunningTime,
+					Events:      r.Result.EventsRun,
+					Fingerprint: r.Result.EventFingerprint,
+					Millis:      prof.Params.Millis(r.Result.RunningTime),
+					NormVsBase:  float64(r.Result.RunningTime) / float64(base),
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// FormatBackendLadder renders the ladder as one table per profile:
+// absolute time in the profile's own timebase plus the normalized
+// ladder, the shape EXPERIMENTS.md quotes.
+func FormatBackendLadder(cells []BackendCell) string {
+	var sb strings.Builder
+	sb.WriteString("Cross-backend protocol ladder (time normalized to each backend's Base)\n")
+	last := ""
+	for _, c := range cells {
+		if c.Profile != last {
+			fmt.Fprintf(&sb, "  [%s]\n", c.Profile)
+			last = c.Profile
+		}
+		fmt.Fprintf(&sb, "    %-6s %-8s %12d cycles %10.3f ms   %6.3fx\n",
+			c.App, c.Protocol, c.Cycles, c.Millis, c.NormVsBase)
+	}
+	return sb.String()
+}

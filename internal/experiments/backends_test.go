@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dsm96/internal/params"
+)
+
+// Regenerate the backend golden file after an INTENTIONAL protocol,
+// timing, or profile-constant change with:
+//
+//	go test ./internal/experiments -run TestBackendGoldens -update-backend-golden
+//
+// Any other diff means a profile's event schedule drifted — the rdma and
+// cxl ladders are quoted in EXPERIMENTS.md and must stay reproducible.
+var updateBackendGolden = flag.Bool("update-backend-golden", false,
+	"rewrite testdata/golden_backends.txt from the current simulator")
+
+const backendGoldenPath = "testdata/golden_backends.txt"
+
+func cellKey(c BackendCell) string { return c.Profile + "/" + c.App + "/" + c.Protocol }
+
+func cellLine(c BackendCell) string {
+	return fmt.Sprintf("%-8s %-6s %-8s cycles=%d events=%d fingerprint=%016x",
+		c.Profile, c.App, c.Protocol, c.Cycles, c.Events, c.Fingerprint)
+}
+
+func parseBackendGolden(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open(backendGoldenPath)
+	if err != nil {
+		t.Fatalf("missing backend golden file (regenerate with -update-backend-golden): %v", err)
+	}
+	defer f.Close()
+	out := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			t.Fatalf("bad backend golden line %q", line)
+		}
+		out[fields[0]+"/"+fields[1]+"/"+fields[2]] = normalizeSpaces(line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func normalizeSpaces(s string) string { return strings.Join(strings.Fields(s), " ") }
+
+// TestBackendGoldens pins the cross-backend ladder: every (builtin
+// profile, app, protocol) cell's cycles, event count, and fingerprint.
+// It also cross-checks the pci1996 rows against golden_cycles.txt —
+// running through a profile must be bit-identical to running the
+// defaults — and re-runs one ladder to prove repeat determinism.
+func TestBackendGoldens(t *testing.T) {
+	cells, err := CrossBackendLadder(ScaleTiny, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if *updateBackendGolden {
+		var sb strings.Builder
+		sb.WriteString("# Golden cross-backend ladder: ScaleTiny inputs, one row per\n")
+		sb.WriteString("# builtin profile x app x protocol (see internal/experiments/backends.go).\n")
+		sb.WriteString("# The pci1996 rows must agree with golden_cycles.txt bit-for-bit.\n")
+		sb.WriteString("# Regenerate after an intentional change with:\n")
+		sb.WriteString("#   go test ./internal/experiments -run TestBackendGoldens -update-backend-golden\n")
+		for _, c := range cells {
+			sb.WriteString(cellLine(c))
+			sb.WriteByte('\n')
+		}
+		if err := os.WriteFile(backendGoldenPath, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d rows", backendGoldenPath, len(cells))
+		return
+	}
+
+	want := parseBackendGolden(t)
+	seen := make(map[string]bool)
+	for _, c := range cells {
+		seen[cellKey(c)] = true
+		w, ok := want[cellKey(c)]
+		if !ok {
+			t.Errorf("%s: not in backend golden file (regenerate with -update-backend-golden)", cellKey(c))
+			continue
+		}
+		if got := normalizeSpaces(cellLine(c)); got != w {
+			t.Errorf("%s changed:\n  golden: %s\n  got:    %s", cellKey(c), w, got)
+		}
+	}
+	for k := range want {
+		if !seen[k] {
+			t.Errorf("%s: in backend golden file but not in the ladder", k)
+		}
+	}
+
+	// pci1996 cross-check: the profile path must reproduce the default-
+	// machine goldens exactly, for every ladder cell golden_cycles.txt
+	// also pins (Base, I+P+D, AURC — golden_cycles has no plain I).
+	defaults := parseGolden(t)
+	checked := 0
+	for _, c := range cells {
+		if c.Profile != params.BackendPCI1996 {
+			continue
+		}
+		w, ok := defaults[c.App+"/"+c.Protocol]
+		if !ok {
+			continue
+		}
+		checked++
+		if c.Cycles != w.Cycles || c.Events != w.Events || c.Fingerprint != w.Fingerprint {
+			t.Errorf("pci1996 %s/%s diverges from the default-machine golden:\n  default: %s\n  profile: %s",
+				c.App, c.Protocol, w, cellLine(c))
+		}
+	}
+	if checked == 0 {
+		t.Error("pci1996 cross-check matched no golden_cycles.txt rows — key scheme drifted?")
+	}
+}
+
+// TestBackendLadderDeterminism re-runs the modern-backend ladders under
+// GOMAXPROCS=1 and compares fingerprints cell-by-cell: per-profile
+// schedules must be independent of host parallelism and run history.
+func TestBackendLadderDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ladder repeat is expensive; run without -short")
+	}
+	profiles := []*params.Profile{}
+	for _, n := range []string{params.BackendRDMA, params.BackendCXL} {
+		p, err := params.Builtin(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+	first, err := CrossBackendLadder(ScaleTiny, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	second, err := CrossBackendLadder(ScaleTiny, profiles)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cell count changed across repeats: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		a, b := first[i], second[i]
+		if a.Fingerprint != b.Fingerprint || a.Cycles != b.Cycles || a.Events != b.Events {
+			t.Errorf("%s not deterministic across GOMAXPROCS:\n  run1: %s\n  run2: %s",
+				cellKey(a), cellLine(a), cellLine(b))
+		}
+	}
+}

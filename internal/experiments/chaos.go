@@ -6,7 +6,6 @@ import (
 
 	"dsm96/internal/core"
 	"dsm96/internal/faults"
-	"dsm96/internal/params"
 	"dsm96/internal/stats"
 	"dsm96/internal/tmk"
 )
@@ -78,7 +77,7 @@ var (
 // error. The returned points carry the degradation accounting for
 // FormatChaos's table.
 func ChaosSweep(sc Scale, seeds []uint64) ([]ChaosPoint, error) {
-	cfg := params.Default()
+	cfg := baseConfig()
 	nCells := len(chaosApps) * len(chaosProtos)
 	// Per app×proto: one fault-free baseline, then per seed a chaos run
 	// and its repeat.

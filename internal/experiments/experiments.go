@@ -108,9 +108,13 @@ var (
 	// unaffected; runs whose instrumentation pins them sequential
 	// (AURC, spans) simply ignore it.
 	poolEngineWorkers int
-	poolSeq           int
-	poolDone          int
-	poolTotal         int
+	// poolBaseCfg, when non-nil, replaces params.Default() as the machine
+	// every figure, sweep, and ablation runs on (cmd/sweep -profile). The
+	// default — nil — is Table 1, so existing goldens are untouched.
+	poolBaseCfg *params.Config
+	poolSeq     int
+	poolDone    int
+	poolTotal   int
 )
 
 // SetWorkers bounds how many simulations run concurrently (cmd/sweep
@@ -159,6 +163,31 @@ func SetEngineWorkers(n int) {
 	poolMu.Lock()
 	poolEngineWorkers = n
 	poolMu.Unlock()
+}
+
+// SetBaseConfig installs cfg as the machine model every subsequent
+// figure, sweep, and ablation runs on — how cmd/sweep plumbs -profile
+// through the whole evaluation. nil restores params.Default() (Table 1).
+// The config is copied, so later mutation by the caller has no effect.
+func SetBaseConfig(cfg *params.Config) {
+	poolMu.Lock()
+	if cfg == nil {
+		poolBaseCfg = nil
+	} else {
+		c := *cfg
+		poolBaseCfg = &c
+	}
+	poolMu.Unlock()
+}
+
+// baseConfig returns a copy of the active machine model.
+func baseConfig() params.Config {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if poolBaseCfg != nil {
+		return *poolBaseCfg
+	}
+	return params.Default()
 }
 
 // execute performs a batch of runs concurrently (each run owns its
@@ -232,9 +261,9 @@ func execute(specs []runSpec) {
 
 // Table1 renders the default system parameters (Table 1 of the paper).
 func Table1() string {
-	c := params.Default()
+	c := baseConfig()
 	var sb strings.Builder
-	sb.WriteString("Table 1: Default Values for System Parameters (1 cycle = 10 ns)\n")
+	fmt.Fprintf(&sb, "Table 1: Default Values for System Parameters (1 cycle = %g ns)\n", c.CycleNanos)
 	rows := []struct {
 		name  string
 		value string
@@ -282,7 +311,7 @@ func Fig1(sc Scale, procCounts []int) (map[string][]SpeedupPoint, error) {
 	var specs []runSpec
 	for ai, name := range names {
 		for pi, p := range all {
-			cfg := params.Default()
+			cfg := baseConfig()
 			cfg.Processors = p
 			specs = append(specs, runSpec{
 				app: name, spec: core.TM(tmk.Base), cfg: cfg, scale: sc,
@@ -378,7 +407,7 @@ func Fig2(sc Scale) ([]BreakdownRow, error) {
 	var specs []runSpec
 	for i, name := range names {
 		specs = append(specs, runSpec{
-			app: name, spec: core.TM(tmk.Base), cfg: params.Default(), scale: sc,
+			app: name, spec: core.TM(tmk.Base), cfg: baseConfig(), scale: sc,
 			out: &runs[i],
 		})
 	}
@@ -415,7 +444,7 @@ func Fig5to10(app string, sc Scale) ([]BreakdownRow, error) {
 	var specs []runSpec
 	for i, m := range tmk.Modes {
 		specs = append(specs, runSpec{
-			app: app, spec: core.TM(m), cfg: params.Default(), scale: sc,
+			app: app, spec: core.TM(m), cfg: baseConfig(), scale: sc,
 			out: &runs[i],
 		})
 	}
@@ -444,7 +473,7 @@ func Fig11_12(sc Scale) (map[string][]BreakdownRow, error) {
 	for ai, name := range names {
 		for pi, pr := range protos {
 			specs = append(specs, runSpec{
-				app: name, spec: pr, cfg: params.Default(), scale: sc,
+				app: name, spec: pr, cfg: baseConfig(), scale: sc,
 				out: &runs[ai*len(protos)+pi],
 			})
 		}
@@ -486,7 +515,7 @@ func Sweep(sc Scale, xs []float64, mutate func(*params.Config, float64)) ([]Swee
 	cells := make([]cell, len(xs))
 	var specs []runSpec
 	for i, x := range xs {
-		cfgT := params.Default()
+		cfgT := baseConfig()
 		mutate(&cfgT, x)
 		cfgA := cfgT
 		specs = append(specs,
@@ -496,7 +525,7 @@ func Sweep(sc Scale, xs []float64, mutate func(*params.Config, float64)) ([]Swee
 	}
 	// Baseline: default-parameter overlapping TreadMarks.
 	var base Run
-	specs = append(specs, runSpec{app: app, spec: core.TM(tmk.ID), cfg: params.Default(), scale: sc, out: &base})
+	specs = append(specs, runSpec{app: app, spec: core.TM(tmk.ID), cfg: baseConfig(), scale: sc, out: &base})
 	execute(specs)
 	if base.Err != nil {
 		return nil, fmt.Errorf("sweep baseline: %w", base.Err)
@@ -582,7 +611,7 @@ func PrefetchAblation(app string, sc Scale) ([]BreakdownRow, error) {
 	runs := make([]Run, len(specs))
 	var rss []runSpec
 	for i, sp := range specs {
-		rss = append(rss, runSpec{app: app, spec: sp, cfg: params.Default(), scale: sc, out: &runs[i]})
+		rss = append(rss, runSpec{app: app, spec: sp, cfg: baseConfig(), scale: sc, out: &runs[i]})
 	}
 	execute(rss)
 	if runs[0].Err != nil {

@@ -6,7 +6,6 @@ import (
 
 	"dsm96/internal/core"
 	"dsm96/internal/faults"
-	"dsm96/internal/params"
 	"dsm96/internal/stats"
 	"dsm96/internal/tmk"
 )
@@ -59,7 +58,7 @@ func ReliabilitySweep(sc Scale, seed uint64, lossPcts []float64) ([]ReliabilityP
 				sp := proto
 				sp.Faults = ReliabilityPlan(seed, loss)
 				specs = append(specs, runSpec{
-					app: name, spec: sp, cfg: params.Default(), scale: sc,
+					app: name, spec: sp, cfg: baseConfig(), scale: sc,
 					out: &runs[idx(ai, pi, li)],
 				})
 			}

@@ -102,7 +102,7 @@ func (f *FastPath) WriteThrough(p *sim.Proc, addr Addr, st *stats.ProcStats) {
 	f.tlb(p, addr, st)
 	f.Node.Cache.Access(addr, false, false)
 	f.Flush(p)
-	_, drainEnd := f.Node.MemBus.Reserve(f.Node.Eng, f.Node.Cfg.MemWordTime())
+	_, drainEnd := f.Node.MemBus.Reserve(f.Node.Eng, f.Node.Cfg.WriteThroughWordTime())
 	stall := f.Node.WB.Push(p.Now(), drainEnd)
 	if stall > 0 {
 		st.WriteBuffStalls++

@@ -150,7 +150,7 @@ func (n *Node) Write(p *sim.Proc, addr Addr, writeThrough bool, st *stats.ProcSt
 	// Write-through: update the cached copy if present (no allocate on
 	// miss), then drain the word through the write buffer.
 	n.Cache.Access(addr, false, false)
-	_, drainEnd := n.MemBus.Reserve(n.Eng, n.Cfg.MemWordTime())
+	_, drainEnd := n.MemBus.Reserve(n.Eng, n.Cfg.WriteThroughWordTime())
 	stall := n.WB.Push(p.Now(), drainEnd)
 	if stall > 0 {
 		st.WriteBuffStalls++

@@ -1,0 +1,192 @@
+package params
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPCI1996ProfileIsDefault pins the acceptance contract: the pci1996
+// builtin IS Table 1, so -profile pci1996 runs bit-identically to a run
+// with no profile at all.
+func TestPCI1996ProfileIsDefault(t *testing.T) {
+	p, err := Builtin(BackendPCI1996)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Config(), Default(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pci1996 profile diverges from Default():\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestBuiltinsValidate proves every builtin passes its own validation and
+// carries the right identity metadata.
+func TestBuiltinsValidate(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range Builtins() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("builtin %q: %v", p.Name, err)
+		}
+		if p.Schema != ProfileSchema {
+			t.Errorf("builtin %q: schema %q", p.Name, p.Schema)
+		}
+		if p.Name != p.Backend {
+			t.Errorf("builtin %q: backend %q (builtins use name == backend)", p.Name, p.Backend)
+		}
+		if p.Description == "" {
+			t.Errorf("builtin %q: empty description", p.Name)
+		}
+		names[p.Name] = true
+	}
+	for _, n := range BuiltinNames() {
+		if !names[n] {
+			t.Errorf("BuiltinNames lists %q but Builtins() did not return it", n)
+		}
+	}
+}
+
+// TestBuiltinReturnsFreshCopies guards against shared state: mutating one
+// returned profile must not leak into the next request.
+func TestBuiltinReturnsFreshCopies(t *testing.T) {
+	a, _ := Builtin(BackendRDMA)
+	a.Params.Processors = 9999
+	b, _ := Builtin(BackendRDMA)
+	if b.Params.Processors == 9999 {
+		t.Fatal("Builtin returned a shared instance, not a fresh copy")
+	}
+}
+
+// TestProfileRoundTripByteStable is the canonical-form guarantee:
+// load(save(p)) == p, and save(load(save(p))) == save(p) byte-for-byte.
+func TestProfileRoundTripByteStable(t *testing.T) {
+	for _, p := range Builtins() {
+		first, err := p.SaveBytes()
+		if err != nil {
+			t.Fatalf("%s: save: %v", p.Name, err)
+		}
+		loaded, err := LoadProfile(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("%s: load: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(loaded, p) {
+			t.Fatalf("%s: load(save(p)) != p:\n got %+v\nwant %+v", p.Name, loaded, p)
+		}
+		second, err := loaded.SaveBytes()
+		if err != nil {
+			t.Fatalf("%s: re-save: %v", p.Name, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("%s: save is not byte-stable across a round trip", p.Name)
+		}
+		if first[len(first)-1] != '\n' {
+			t.Errorf("%s: canonical form must end in a newline", p.Name)
+		}
+	}
+}
+
+// TestLoadProfileRejections: every malformed input is rejected with an
+// error that names the problem (schema, field, or structure).
+func TestLoadProfileRejections(t *testing.T) {
+	canonical := func() string {
+		b, err := Builtins()[0].SaveBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}()
+	cases := []struct {
+		name, input, wantSub string
+	}{
+		{"wrong schema", strings.Replace(canonical, "params-profile/v1", "params-profile/v2", 1), "schema"},
+		{"unknown field", strings.Replace(canonical, `"tlb_entries"`, `"tlb_entriez"`, 1), "tlb_entriez"},
+		{"trailing data", canonical + "{}\n", "trailing data"},
+		{"empty name", strings.Replace(canonical, `"name": "pci1996"`, `"name": ""`, 1), "name"},
+		{"uppercase backend", strings.Replace(canonical, `"backend": "pci1996"`, `"backend": "PCI1996"`, 1), "backend"},
+		{"not json", "hello\n", "profile"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := LoadProfile(strings.NewReader(c.input))
+			if err == nil {
+				t.Fatalf("accepted malformed input %q", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not name %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+// TestProfileValidationNamesParamField: a bad parameter value inside a
+// profile surfaces through profile validation still naming the field.
+func TestProfileValidationNamesParamField(t *testing.T) {
+	p, _ := Builtin(BackendCXL)
+	p.Params.CycleNanos = 0
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "CycleNanos") {
+		t.Fatalf("want error naming CycleNanos, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "cxl") {
+		t.Fatalf("want error naming the profile, got %v", err)
+	}
+}
+
+// TestResolveProfile covers the -profile argument semantics: builtin name,
+// file path, and the miss case.
+func TestResolveProfile(t *testing.T) {
+	if p, err := ResolveProfile("rdma"); err != nil || p.Name != "rdma" {
+		t.Fatalf("builtin resolve: %v %v", p, err)
+	}
+
+	dir := t.TempDir()
+	custom, _ := Builtin(BackendRDMA)
+	custom.Name = "my-lab-cluster"
+	custom.Description = "test fixture"
+	b, err := custom.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "lab.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ResolveProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "my-lab-cluster" {
+		t.Fatalf("file resolve: got %q", p.Name)
+	}
+
+	if _, err := ResolveProfile("no-such-profile"); err == nil ||
+		!strings.Contains(err.Error(), "neither a builtin") {
+		t.Fatalf("miss case: %v", err)
+	}
+}
+
+// TestCheckedInProfilesAreCanonical: the files under profiles/ must be
+// exactly Save(builtin) — same bytes, no drift.
+func TestCheckedInProfilesAreCanonical(t *testing.T) {
+	root := filepath.Join("..", "..", "profiles")
+	if _, err := os.Stat(root); err != nil {
+		t.Skipf("profiles/ not present: %v", err)
+	}
+	for _, p := range Builtins() {
+		path := filepath.Join(root, p.Name+".json")
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("missing checked-in profile: %v", err)
+			continue
+		}
+		want, err := p.SaveBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s is not the canonical serialization of the %s builtin; regenerate with profilecheck -write", path, p.Name)
+		}
+	}
+}

@@ -110,7 +110,7 @@ func (n *pnode) makeWritable(p *sim.Proc, pg int, pe *page, op *spans.Op) {
 			Run: func() sim.Time {
 				op.Mark(spans.StageQueue, n.eng.Now())
 				end := n.mem.DMA(cfg.PageSize)
-				base := sim.Time(controller.DispatchCost)
+				base := cfg.CtrlDispatchCost
 				if d := end - n.eng.Now(); d > base {
 					return d
 				}
@@ -130,7 +130,7 @@ func (n *pnode) makeWritable(p *sim.Proc, pg int, pe *page, op *spans.Op) {
 			}
 			n.eng.At(end, func() { done.Open(n.eng) })
 		})
-		p.SleepReason(controller.CommandIssueCost, reasonTwin)
+		p.SleepReason(cfg.CommandIssueCost, reasonTwin)
 		done.Wait(p, reasonTwin)
 	default:
 		// Software twin on the computation processor: 5 cycles/word plus
@@ -303,7 +303,7 @@ func (n *pnode) serveDiffReq(from, pg int, fromSeq int32, isPrefetch bool, op *s
 		Priority: prio,
 		Run: func() sim.Time {
 			op.Mark(spans.StageQueue, n.eng.Now())
-			cost := sim.Time(controller.DispatchCost)
+			cost := cfg.CtrlDispatchCost
 			if created != nil {
 				if createdFromVec {
 					cost += cfg.DMADiffTime(createCostWords, cfg.PageWords())
@@ -470,7 +470,7 @@ func (n *pnode) applyFetched(pg int, pe *page, f *fetchOp) {
 		Run: func() sim.Time {
 			f.op.Mark(spans.StageQueue, n.eng.Now())
 			n.mem.DMA(bytes)
-			cost := sim.Time(controller.DispatchCost)
+			cost := cfg.CtrlDispatchCost
 			if localDiff != nil {
 				if localFromVec {
 					cost += cfg.DMADiffTime(localWords, cfg.PageWords())

@@ -562,7 +562,7 @@ func (n *pnode) sendFromProc(p *sim.Proc, reason string, dst, bytes int, deliver
 	n.st.MsgsSent++
 	n.st.BytesSent += uint64(bytes)
 	if n.ctrlOK() {
-		p.SleepReason(controller.CommandIssueCost, reason)
+		p.SleepReason(n.pr.cfg.CommandIssueCost, reason)
 		n.ctl.SubmitSend(n.eng, n.pr.net, dst, bytes, deliver,
 			func() { n.softWireSend(dst, bytes, deliver) })
 		return

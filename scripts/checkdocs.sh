@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 
 fail=0
 
-docs="README.md ARCHITECTURE.md EXPERIMENTS.md"
+docs="README.md ARCHITECTURE.md EXPERIMENTS.md profiles/README.md"
 
 # 1. Every `make X` mentioned in the docs must be a real Makefile target.
 for t in $(grep -ohE 'make [a-z-]+' $docs | awk '{print $2}' | sort -u); do
@@ -18,10 +18,10 @@ for t in $(grep -ohE 'make [a-z-]+' $docs | awk '{print $2}' | sort -u); do
 done
 
 # 2. Every path-looking reference must exist: `cmd/...`, `internal/...`,
-# `examples/...` (testdata files are covered by their qualified
-# internal/... spelling), and `*.md` files.
+# `examples/...`, `profiles/...` (testdata files are covered by their
+# qualified internal/... spelling), and `*.md` files.
 refs=$(
-	grep -ohE '(\./)?(cmd|internal|examples)/[A-Za-z0-9_./-]+' $docs
+	grep -ohE '(\./)?(cmd|internal|examples|profiles|scripts)/[A-Za-z0-9_./-]+' $docs
 	grep -ohE '[A-Za-z0-9_-]+\.md' $docs
 )
 for r in $(printf '%s\n' "$refs" | sed 's|^\./||; s|[).,:;]*$||' | sort -u); do
@@ -66,7 +66,7 @@ done
 # the chaos machinery and the sharded engine, so the docs must keep
 # mentioning them (check 4 then verifies the spelling against the CLI
 # registration).
-for f in ctrl-crash ctrl-hang watchdog chaos schema workers bench; do
+for f in ctrl-crash ctrl-hang watchdog chaos schema workers bench profile backends; do
 	if ! grep -qE -- "-$f" $docs; then
 		echo "checkdocs: flag -$f is registered in a CLI but never documented" >&2
 		fail=1
