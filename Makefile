@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-snapshot golden fuzz docs timeline metricsdiff chaos profiles
+.PHONY: check fmt vet build test race bench bench-snapshot golden fuzz docs timeline metricsdiff chaos profiles experiments trend render trend-snapshot
 
-check: fmt vet build test race timeline metricsdiff chaos profiles
+check: fmt vet build test race timeline metricsdiff chaos profiles experiments trend docs
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -113,9 +113,45 @@ profiles:
 		-profile profiles/rdma.json >/dev/null; \
 	echo "profiles: ok"
 
-# Docs gate: vet + formatting, every example builds, and the prose in
-# README/ARCHITECTURE/EXPERIMENTS references only make targets and
-# paths that actually exist (scripts/checkdocs.sh).
+# Docs gate: vet + formatting, every example builds, the prose in
+# README/ARCHITECTURE/EXPERIMENTS references only make targets and paths
+# that actually exist, and the generated tables of EXPERIMENTS.md match
+# a fresh render (scripts/checkdocs.sh).
 docs: fmt vet
 	$(GO) build ./examples/...
 	sh scripts/checkdocs.sh
+
+# Experiment-pipeline smoke gate: the committed experiments.json loads
+# and validates, and the smoke grid runs end-to-end into a throwaway run
+# folder whose manifest parses and carries the run-manifest schema tag
+# with zero failed cells. Seconds of wall clock.
+experiments:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/experiment -list >/dev/null; \
+	$(GO) run ./cmd/experiment -run smoke -out "$$dir" -q; \
+	jq -e '.schema == "dsm96/run-manifest/v1" and ([.cells[] | select(.error != null and .error != "")] | length == 0)' \
+		"$$dir"/*-smoke/manifest.json >/dev/null; \
+	echo "experiments: ok"
+
+# Trend gate: take a fresh snapshot of the ladder experiment and compare
+# it against the newest committed record in trends/ with metricsdiff
+# -trend — determinism fields (cycles, events, fingerprint, metrics key
+# hash) exact, throughput only within the same host class; then prove
+# the differ bites by injecting a one-cycle drift into a copy and
+# requiring a nonzero exit naming the drifted dotted path.
+trend:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/experiment -snapshot -trend-out "$$dir/fresh.json" -q; \
+	$(GO) run ./cmd/metricsdiff -trend trends "$$dir/fresh.json"; \
+	jq '(.cells[.cells | keys | first].cycles) += 1' "$$dir/fresh.json" > "$$dir/drift.json"; \
+	if $(GO) run ./cmd/metricsdiff -trend trends "$$dir/drift.json" >/dev/null 2>&1; then \
+		echo "trend: FAILED to detect injected cycle drift"; exit 1; fi; \
+	echo "trend: drift detection ok"
+
+# Append a real trend record to trends/ (one per PR, committed).
+trend-snapshot:
+	$(GO) run ./cmd/experiment -snapshot -label "$${LABEL:-}"
+
+# Regenerate the measured tables of EXPERIMENTS.md in place.
+render:
+	$(GO) run ./cmd/experiment -render

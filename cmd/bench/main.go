@@ -24,6 +24,14 @@
 // best worker count reaches R times the events/sec of workers=1. Only
 // meaningful on a host with enough cores; scripts/bench.sh applies it
 // conditionally.
+//
+// Writing a snapshot (-out) refuses outright on a host with fewer than
+// 4 CPUs: the throughput columns of such a snapshot are measurements of
+// time-slicing, not of the engine, and a checked-in artifact must never
+// look comparable to one from real hardware. -force-host overrides the
+// refusal for local inspection (the host block still records the true
+// num_cpu, and metricsdiff -trend refuses cross-class throughput
+// comparison regardless).
 package main
 
 import (
@@ -101,7 +109,15 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions per cell; the fastest wall time wins")
 	out := flag.String("out", "", "write a dsm96/bench/v1 snapshot JSON to this file (atomic)")
 	requireSpeedup := flag.Float64("require-speedup", 0, "fail unless every mesh's best worker count reaches this multiple of workers=1 events/sec (0 = off)")
+	forceHost := flag.Bool("force-host", false, "write a snapshot even on a host with fewer than 4 CPUs (throughput will reflect time-slicing)")
 	flag.Parse()
+
+	if *out != "" && runtime.NumCPU() < 4 && !*forceHost {
+		fmt.Fprintf(os.Stderr,
+			"bench: refusing to write a snapshot on a %d-CPU host: throughput would measure time-slicing, not the engine (need 4+ CPUs, or -force-host to override)\n",
+			runtime.NumCPU())
+		os.Exit(1)
+	}
 
 	meshes, err := parseInts(*meshList)
 	if err == nil {

@@ -1,0 +1,199 @@
+// Command experiment is the reproducible experiment pipeline's CLI: it
+// runs the named grids of a committed experiments.json
+// (dsm96/experiments/v1) into dated run folders, appends per-PR trend
+// records that cmd/metricsdiff -trend gates, and regenerates the
+// measured tables of EXPERIMENTS.md in place.
+//
+// Usage:
+//
+//	experiment -list                         # name every experiment in the spec
+//	experiment -run smoke                    # one grid -> runs/<stamp>-smoke/
+//	experiment -run all -out /tmp/runs       # every grid
+//	experiment -snapshot -label 'PR 8'       # append trends/NNNN.json
+//	experiment -snapshot -trend-out new.json # write the record to a file instead
+//	experiment -render                       # regenerate EXPERIMENTS.md blocks
+//	experiment -render -check                # exit 1 if any block is stale
+//	experiment -render -only fig1-speedups,reliability
+//
+// A run folder holds a manifest.json (host metadata, per-cell
+// determinism fingerprints, SHA-256 of every artifact), a canonical
+// cells.csv, and one run-metrics JSON per cell, all written atomically
+// (temp file + rename). -snapshot runs the trend experiment (-trend-of,
+// default "ladder") and folds it into a dsm96/trend/v1 record; compare
+// records with metricsdiff -trend. -render regenerates every
+// <!-- generated:NAME --> block of EXPERIMENTS.md from fresh
+// deterministic simulations; -check compares instead of rewriting, and
+// is the staleness gate scripts/checkdocs.sh runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dsm96/internal/experiments"
+	"dsm96/internal/pipeline"
+)
+
+func main() {
+	specPath := flag.String("spec", "experiments.json", "experiments spec file (dsm96/experiments/v1)")
+	list := flag.Bool("list", false, "list the experiments in the spec and exit")
+	runName := flag.String("run", "", "run this experiment (comma-separated names, or 'all') into a dated run folder")
+	outDir := flag.String("out", "runs", "base directory for run folders")
+	stamp := flag.String("stamp", "", "run-folder timestamp override (default: current UTC time, 20060102-150405)")
+	jobs := flag.Int("j", 0, "simulation worker pool size (0 = one worker per CPU)")
+	quiet := flag.Bool("q", false, "suppress the stderr progress line")
+	snapshot := flag.Bool("snapshot", false, "run the trend experiment and append a dsm96/trend/v1 record")
+	trendOf := flag.String("trend-of", "ladder", "experiment the trend record snapshots")
+	trendDir := flag.String("trend-dir", "trends", "trend database directory")
+	trendOut := flag.String("trend-out", "", "write the trend record to this file instead of appending to -trend-dir")
+	label := flag.String("label", "", "provenance label stored in the trend record")
+	render := flag.Bool("render", false, "regenerate the generated blocks of -doc in place")
+	check := flag.Bool("check", false, "with -render: compare instead of rewriting; exit 1 naming stale blocks")
+	doc := flag.String("doc", "EXPERIMENTS.md", "document holding the generated blocks")
+	only := flag.String("only", "", "with -render: comma-separated subset of blocks")
+	flag.Parse()
+
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			os.Exit(1)
+		}
+	}
+	if flag.NArg() > 0 {
+		fail(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+	modes := 0
+	for _, m := range []bool{*list, *runName != "", *snapshot, *render} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "experiment: pick exactly one of -list, -run, -snapshot, -render")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	experiments.SetWorkers(*jobs)
+	if !*quiet && (*runName != "" || *snapshot) {
+		experiments.SetProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rexperiment: %d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
+	}
+
+	switch {
+	case *list:
+		spec, err := pipeline.LoadFile(*specPath)
+		fail(err)
+		for _, e := range spec.Experiments {
+			cells, err := e.Expand()
+			fail(err)
+			fmt.Printf("%-16s %3d cells x %d runs  scale=%-7s %s\n",
+				e.Name, len(cells), e.Warmup+e.Repeats, e.Scale, e.Description)
+		}
+
+	case *runName != "":
+		spec, err := pipeline.LoadFile(*specPath)
+		fail(err)
+		names := strings.Split(*runName, ",")
+		if *runName == "all" {
+			names = spec.Names()
+		}
+		st := *stamp
+		if st == "" {
+			st = pipeline.Stamp(time.Now())
+		}
+		failed := 0
+		for _, name := range names {
+			e, err := spec.Find(strings.TrimSpace(name))
+			fail(err)
+			res, err := pipeline.RunExperiment(e)
+			fail(err)
+			folder, err := pipeline.WriteRunFolder(*outDir, st, res)
+			fail(err)
+			fmt.Printf("experiment: %s: %d cells -> %s\n", e.Name, len(res.Cells), folder)
+			for _, id := range res.Failed() {
+				fmt.Fprintf(os.Stderr, "experiment: %s: cell %s FAILED\n", e.Name, id)
+				failed++
+			}
+		}
+		if failed > 0 {
+			fail(fmt.Errorf("%d cell(s) failed", failed))
+		}
+
+	case *snapshot:
+		spec, err := pipeline.LoadFile(*specPath)
+		fail(err)
+		e, err := spec.Find(*trendOf)
+		fail(err)
+		res, err := pipeline.RunExperiment(e)
+		fail(err)
+		seq, err := pipeline.NextTrendSeq(*trendDir)
+		fail(err)
+		rec, err := pipeline.BuildTrend(res, seq, *label)
+		fail(err)
+		if *trendOut != "" {
+			fail(experiments.WriteFileAtomic(*trendOut, rec.WriteJSON))
+			fmt.Printf("experiment: trend record (seq %d, %d cells) -> %s\n", seq, len(rec.Cells), *trendOut)
+			return
+		}
+		path, err := pipeline.AppendTrend(*trendDir, rec)
+		fail(err)
+		fmt.Printf("experiment: trend record (seq %d, %d cells) -> %s\n", seq, len(rec.Cells), path)
+
+	case *render:
+		input, err := os.ReadFile(*doc)
+		fail(err)
+		if *check {
+			if *only != "" {
+				fail(fmt.Errorf("-check verifies every block; drop -only"))
+			}
+			_, changed, err := pipeline.RenderDoc(input)
+			fail(err)
+			if len(changed) > 0 {
+				fail(fmt.Errorf("%s: stale generated block(s): %s (run `go run ./cmd/experiment -render`)",
+					*doc, strings.Join(changed, ", ")))
+			}
+			fmt.Printf("experiment: %s: all generated blocks match a fresh render\n", *doc)
+			return
+		}
+		var names []string
+		if *only != "" {
+			names = strings.Split(*only, ",")
+		}
+		output, changed, err := renderSubset(input, names)
+		fail(err)
+		fail(experiments.WriteFileAtomic(*doc, func(w io.Writer) error {
+			_, werr := w.Write(output)
+			return werr
+		}))
+		if len(changed) == 0 {
+			fmt.Printf("experiment: %s: generated blocks already current\n", *doc)
+		} else {
+			fmt.Printf("experiment: %s: regenerated %s\n", *doc, strings.Join(changed, ", "))
+		}
+	}
+}
+
+// renderSubset re-renders all blocks, or only the named ones with the
+// rest left untouched.
+func renderSubset(input []byte, names []string) ([]byte, []string, error) {
+	if len(names) == 0 {
+		return pipeline.RenderDoc(input)
+	}
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	fresh, err := pipeline.RenderBlocks(names, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pipeline.PatchDoc(input, fresh)
+}

@@ -35,6 +35,27 @@
 //	metricsdiff -bench BENCH_parallel_engine.json new.json
 //	metricsdiff -bench -bench-tol 0.25 old.json new.json
 //
+// -trend switches to trend-record comparison (cmd/experiment -snapshot,
+// schema dsm96/trend/v1): per cell, the determinism contract —
+// cells.<id>.cycles, .events, .fingerprint, .metrics_keys — must match
+// exactly (these are machine-independent facts of the simulator), while
+// throughput (.wall_ns, .events_per_sec) may drift by -trend-tol
+// relative, and then only when both records carry the same host class
+// (host.num_cpu); across host classes throughput is skipped with a
+// note, never compared. seq, label, and the host block are provenance,
+// not measurements, and are ignored. Arguments name two record files,
+// or the trend directory (newest two records), or a directory plus a
+// candidate file:
+//
+//	metricsdiff -trend trends/                 # previous vs newest
+//	metricsdiff -trend trends/ /tmp/new.json   # newest committed vs fresh
+//	metricsdiff -trend trends/0001.json trends/0002.json
+//
+// This is the `make trend` gate: a ladder cell whose cycle count or
+// event fingerprint moves fails with the named dotted path
+// (cells.<profile>/<app>/<proto>/pN/wM.cycles), so protocol changes
+// re-snapshot deliberately instead of drifting silently.
+//
 // Exit status: 0 when the artifacts match, 1 on drift (each drifted
 // path is reported), 2 on usage or read errors.
 package main
@@ -48,6 +69,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"dsm96/internal/pipeline"
 )
 
 // pattern is one -tol/-ignore rule; star means trailing-* prefix match.
@@ -163,29 +186,70 @@ func main() {
 	schema := flag.String("schema", "", "require both files to carry exactly this schema tag")
 	bench := flag.Bool("bench", false, "compare dsm96/bench/v1 snapshots: determinism fields exact, throughput within -bench-tol, host block ignored")
 	benchTol := flag.Float64("bench-tol", 0.5, "relative tolerance on events_per_sec and wall_ns in -bench mode")
+	trend := flag.Bool("trend", false, "compare dsm96/trend/v1 records: per-cell determinism exact, throughput within -trend-tol and only across equal host classes")
+	trendTol := flag.Float64("trend-tol", 0.5, "relative tolerance on cell throughput in -trend mode (same host class only)")
 	flag.Parse()
 	if *bench && *schema == "" {
 		*schema = "dsm96/bench/v1"
 	}
-	if flag.NArg() != 2 {
+	if *trend && *schema == "" {
+		*schema = pipeline.TrendSchema
+	}
+	goldenPath, nextPath := flag.Arg(0), flag.Arg(1)
+	if *trend {
+		var err error
+		goldenPath, nextPath, err = resolveTrendArgs(flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metricsdiff:", err)
+			os.Exit(2)
+		}
+	} else if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: metricsdiff [-tol PATH=FRAC]... [-ignore PATH]... [-allow-extra] golden.json new.json")
 		os.Exit(2)
 	}
-	golden, err := load(flag.Arg(0))
+	golden, err := load(goldenPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metricsdiff:", err)
 		os.Exit(2)
 	}
-	next, err := load(flag.Arg(1))
+	next, err := load(nextPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "metricsdiff:", err)
 		os.Exit(2)
 	}
 
+	// Host class: throughput facts (wall clock, events/sec) are only
+	// comparable between records measured on hosts with the same CPU
+	// count. Across classes they are skipped — neither a pass nor a
+	// fail — so a trend database can span machine upgrades without
+	// faking comparability.
+	sameHostClass := true
+	if *trend {
+		gc, _ := golden["host.num_cpu"].(json.Number)
+		nc, _ := next["host.num_cpu"].(json.Number)
+		sameHostClass = gc.String() == nc.String()
+		if !sameHostClass {
+			fmt.Fprintf(os.Stderr, "metricsdiff: host classes differ (num_cpu %s vs %s); skipping throughput fields\n",
+				gc, nc)
+		}
+	}
+
+	throughput := func(path string) bool {
+		return strings.HasSuffix(path, ".events_per_sec") || strings.HasSuffix(path, ".wall_ns")
+	}
 	ignored := func(path string) bool {
-		// Bench snapshots record the measuring host for provenance; two
-		// honest snapshots from different machines must still compare.
-		if *bench && strings.HasPrefix(path, "host.") {
+		// Bench and trend records carry the measuring host for
+		// provenance; two honest records from different machines must
+		// still compare.
+		if (*bench || *trend) && strings.HasPrefix(path, "host.") {
+			return true
+		}
+		// Trend sequence position and label are bookkeeping, and
+		// throughput across host classes is not a comparison at all.
+		if *trend && (path == "seq" || path == "label") {
+			return true
+		}
+		if *trend && !sameHostClass && throughput(path) {
 			return true
 		}
 		for _, p := range ignores {
@@ -199,10 +263,13 @@ func main() {
 		// The last matching -tol wins, so broad patterns can be
 		// overridden by later, more specific ones.
 		frac := 0.0
-		if *bench && (strings.HasSuffix(path, ".events_per_sec") || strings.HasSuffix(path, ".wall_ns")) {
+		if (*bench || *trend) && throughput(path) {
 			// Throughput wobbles run to run; fingerprints, event counts,
 			// and simulated cycles stay exact (the engine's contract).
 			frac = *benchTol
+			if *trend {
+				frac = *trendTol
+			}
 		}
 		for _, p := range tols {
 			if p.matches(path) {
@@ -230,8 +297,9 @@ func main() {
 	}
 	if *schema != "" {
 		for i, flat := range []map[string]any{golden, next} {
+			name := []string{goldenPath, nextPath}[i]
 			if got, _ := flat["schema"].(string); got != *schema {
-				report("%s: schema %q, want %q", flag.Arg(i), got, *schema)
+				report("%s: schema %q, want %q", name, got, *schema)
 			}
 		}
 	}
@@ -243,10 +311,10 @@ func main() {
 		nv, inNext := next[p]
 		switch {
 		case !inNext:
-			report("%s: missing from %s (golden has %v)", p, flag.Arg(1), gv)
+			report("%s: missing from %s (golden has %v)", p, nextPath, gv)
 		case !inGolden:
 			if !*allowExtra {
-				report("%s: only in %s (value %v)", p, flag.Arg(1), nv)
+				report("%s: only in %s (value %v)", p, nextPath, nv)
 			}
 		case !equal(gv, nv, tolFor(p)):
 			report("%s: golden %v, got %v", p, gv, nv)
@@ -254,9 +322,58 @@ func main() {
 	}
 	if drift > 0 {
 		fmt.Fprintf(os.Stderr, "metricsdiff: %d path(s) drifted between %s and %s\n",
-			drift, flag.Arg(0), flag.Arg(1))
+			drift, goldenPath, nextPath)
 		os.Exit(1)
 	}
 	fmt.Printf("metricsdiff: %s and %s match (%d paths compared)\n",
-		flag.Arg(0), flag.Arg(1), len(paths))
+		goldenPath, nextPath, len(paths))
+}
+
+// resolveTrendArgs turns the -trend argument forms into an ordered
+// (older, newer) pair of record files: a bare trend directory compares
+// its previous record against its newest; a directory plus a file
+// compares the directory's newest record against that file; two files
+// compare as given.
+func resolveTrendArgs(args []string) (older, newer string, err error) {
+	isDir := func(p string) bool {
+		st, serr := os.Stat(p)
+		return serr == nil && st.IsDir()
+	}
+	switch len(args) {
+	case 1:
+		if !isDir(args[0]) {
+			return "", "", fmt.Errorf("-trend with one argument needs a trend directory, got %q", args[0])
+		}
+		files, ferr := pipeline.TrendFiles(args[0])
+		if ferr != nil {
+			return "", "", ferr
+		}
+		if len(files) < 2 {
+			return "", "", fmt.Errorf("%s: need at least 2 trend records to compare, have %d", args[0], len(files))
+		}
+		return files[len(files)-2], files[len(files)-1], nil
+	case 2:
+		a, b := args[0], args[1]
+		for i, p := range []string{a, b} {
+			if !isDir(p) {
+				continue
+			}
+			files, ferr := pipeline.TrendFiles(p)
+			if ferr != nil {
+				return "", "", ferr
+			}
+			if len(files) == 0 {
+				return "", "", fmt.Errorf("%s: no trend records", p)
+			}
+			newest := files[len(files)-1]
+			if i == 0 {
+				a = newest
+			} else {
+				b = newest
+			}
+		}
+		return a, b, nil
+	default:
+		return "", "", fmt.Errorf("-trend takes a trend directory, or two records, or a directory and a record")
+	}
 }

@@ -28,14 +28,16 @@
 //     the application-facing API with its sequential oracle, the six
 //     applications, and the random program fuzzer.
 //   - internal/core, internal/stats, internal/trace,
-//     internal/timeline, internal/experiments — the harness: the Run
-//     facade, the paper's time accounting, protocol event tracing, the
-//     timeline recorder with its Perfetto and run-metrics exporters,
-//     and the figure/table and reliability-sweep generators.
+//     internal/timeline, internal/experiments, internal/pipeline — the
+//     harness: the Run facade, the paper's time accounting, protocol
+//     event tracing, the timeline recorder with its Perfetto and
+//     run-metrics exporters, the figure/table and sweep generators, and
+//     the reproducible experiment pipeline (grid runner, trend
+//     database, generated-table renderer).
 //
 // The runnable tools live under cmd/ (dsmsim, figures, sweep, ablation,
-// profile, validate) and examples/ (quickstart, protocol-compare,
-// em3d-study).
+// profile, validate, metricsdiff, profilecheck, bench, experiment) and
+// examples/ (quickstart, protocol-compare, em3d-study).
 //
 // # Where to start
 //

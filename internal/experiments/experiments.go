@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"dsm96/internal/apps"
 	"dsm96/internal/core"
@@ -70,6 +71,10 @@ type Run struct {
 	// Spans is the run's causal-span tracker (nil unless SetSpans(true)
 	// armed per-run span collection); cmd/sweep streams it as JSONL.
 	Spans *spans.Tracker
+	// Wall is the run's wall-clock duration — the only wall-clock
+	// reading in the figures path. The simulated results never depend
+	// on it; the experiment pipeline reports it as throughput.
+	Wall time.Duration
 }
 
 // runSpec describes one run to perform.
@@ -230,7 +235,9 @@ func execute(specs []runSpec) {
 					if engWorkers > 1 && rs.spec.Workers == 0 {
 						rs.spec.Workers = engWorkers
 					}
+					start := time.Now()
 					res, rerr := core.Run(rs.cfg, rs.spec, app)
+					rs.out.Wall = time.Since(start)
 					rs.out.App = rs.app
 					rs.out.Protocol = rs.spec.String()
 					rs.out.Procs = rs.cfg.Processors

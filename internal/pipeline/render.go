@@ -1,0 +1,409 @@
+package pipeline
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"dsm96/internal/experiments"
+	"dsm96/internal/faults"
+	"dsm96/internal/params"
+	"dsm96/internal/tmk"
+
+	"dsm96/internal/core"
+)
+
+// The regenerable blocks of EXPERIMENTS.md. Each block is a measured
+// markdown table produced by a fresh, deterministic simulation at the
+// scale the document declares; `cmd/experiment -render` rewrites the
+// content between its markers:
+//
+//	<!-- generated:NAME -->
+//	| ... measured table ...
+//	<!-- /generated:NAME -->
+//
+// and `cmd/experiment -render -check` (run by scripts/checkdocs.sh)
+// fails when the committed content differs from a fresh render — the
+// document cannot drift from the code that measures it. Because the
+// simulator is bit-deterministic, a render is byte-stable across runs
+// and GOMAXPROCS settings (TestRenderByteStable); only an intentional
+// timing or protocol change can alter a block, and such a change also
+// trips the golden-cycle and trend gates, so the tables and the
+// numbers they quote move together, reviewed in one diff.
+
+// Block is one regenerable table.
+type Block struct {
+	Name string
+	// Scale is the problem scale the document quotes for this block.
+	Scale experiments.Scale
+	// Generate renders the markdown table (inner content only, ending
+	// in a newline) at the given scale.
+	Generate func(sc experiments.Scale) (string, error)
+}
+
+// Blocks returns the registry, in document order.
+func Blocks() []Block {
+	return []Block{
+		{Name: "fig1-speedups", Scale: experiments.ScaleDefault, Generate: renderFig1},
+		{Name: "backend-ladder", Scale: experiments.ScaleDefault, Generate: renderBackendLadder},
+		{Name: "reliability", Scale: experiments.ScaleDefault, Generate: renderReliability},
+		{Name: "chaos-ladder", Scale: experiments.ScaleTiny, Generate: renderChaosLadder},
+		{Name: "chaos-sweep", Scale: experiments.ScaleTiny, Generate: renderChaosSweep},
+	}
+}
+
+// BlockNames lists the registered block names in document order.
+func BlockNames() []string {
+	var out []string
+	for _, b := range Blocks() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+var markerRE = regexp.MustCompile(
+	`(?s)<!-- generated:([a-z0-9-]+) -->\n(.*?)<!-- /generated:([a-z0-9-]+) -->`)
+
+// parseBlocks extracts the marker sections of a document, keyed by
+// name, and validates marker pairing against the registry: every
+// registered block must appear exactly once, no unknown or mismatched
+// markers.
+func parseBlocks(doc []byte) (map[string]string, error) {
+	found := map[string]string{}
+	for _, m := range markerRE.FindAllSubmatch(doc, -1) {
+		open, inner, closing := string(m[1]), string(m[2]), string(m[3])
+		if open != closing {
+			return nil, fmt.Errorf("pipeline: generated block %q closed by %q", open, closing)
+		}
+		if _, dup := found[open]; dup {
+			return nil, fmt.Errorf("pipeline: generated block %q appears twice", open)
+		}
+		found[open] = inner
+	}
+	known := map[string]bool{}
+	for _, b := range Blocks() {
+		known[b.Name] = true
+		if _, ok := found[b.Name]; !ok {
+			return nil, fmt.Errorf("pipeline: document is missing generated block %q", b.Name)
+		}
+	}
+	for name := range found {
+		if !known[name] {
+			return nil, fmt.Errorf("pipeline: document has unregistered generated block %q", name)
+		}
+	}
+	return found, nil
+}
+
+// RenderBlocks generates every registered block (or the named subset).
+// tiny forces ScaleTiny everywhere — the fast path the byte-stability
+// tests use; the document itself always renders at registry scales.
+func RenderBlocks(only []string, tiny bool) (map[string]string, error) {
+	want := map[string]bool{}
+	for _, n := range only {
+		want[n] = true
+	}
+	out := map[string]string{}
+	for _, b := range Blocks() {
+		if len(want) > 0 && !want[b.Name] {
+			continue
+		}
+		sc := b.Scale
+		if tiny {
+			sc = experiments.ScaleTiny
+		}
+		s, err := b.Generate(sc)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: render %s: %w", b.Name, err)
+		}
+		out[b.Name] = s
+	}
+	if len(want) > 0 {
+		for n := range want {
+			if _, ok := out[n]; !ok {
+				return nil, fmt.Errorf("pipeline: no generated block %q (have %s)",
+					n, strings.Join(BlockNames(), ", "))
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderDoc returns the document with every registered block's content
+// replaced by a fresh render, plus the names of blocks whose content
+// changed. The input must contain exactly the registered markers.
+func RenderDoc(doc []byte) ([]byte, []string, error) {
+	existing, err := parseBlocks(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	fresh, err := RenderBlocks(nil, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	var changed []string
+	for name, inner := range fresh {
+		if existing[name] != inner {
+			changed = append(changed, name)
+		}
+	}
+	sort.Strings(changed)
+	out := markerRE.ReplaceAllFunc(doc, func(m []byte) []byte {
+		name := string(markerRE.FindSubmatch(m)[1])
+		return []byte(fmt.Sprintf("<!-- generated:%s -->\n%s<!-- /generated:%s -->",
+			name, fresh[name], name))
+	})
+	return out, changed, nil
+}
+
+// PatchDoc replaces only the blocks present in fresh, leaving the rest
+// of the document byte-identical (the -only path of cmd/experiment
+// -render). Marker validation still covers the whole document.
+func PatchDoc(doc []byte, fresh map[string]string) ([]byte, []string, error) {
+	existing, err := parseBlocks(doc)
+	if err != nil {
+		return nil, nil, err
+	}
+	var changed []string
+	for name, inner := range fresh {
+		if existing[name] != inner {
+			changed = append(changed, name)
+		}
+	}
+	sort.Strings(changed)
+	out := markerRE.ReplaceAllFunc(doc, func(m []byte) []byte {
+		name := string(markerRE.FindSubmatch(m)[1])
+		inner, ok := fresh[name]
+		if !ok {
+			return m
+		}
+		return []byte(fmt.Sprintf("<!-- generated:%s -->\n%s<!-- /generated:%s -->",
+			name, inner, name))
+	})
+	return out, changed, nil
+}
+
+// markdown table helpers
+
+func tableRow(cells ...string) string { return "| " + strings.Join(cells, " | ") + " |\n" }
+
+func tableRule(n int) string {
+	return "|" + strings.Repeat("---|", n) + "\n"
+}
+
+// humanInt formats n with thousands separators (1228971 -> 1,228,971).
+func humanInt(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// renderFig1 regenerates the Figure 1 speedup table: base TreadMarks
+// at 16 processors, rows ordered best to worst. The "paper's
+// character" column is the paper's claim, constant by construction.
+func renderFig1(sc experiments.Scale) (string, error) {
+	character := map[string]string{
+		"tsp":    "best, ~9-10",
+		"water":  "good",
+		"barnes": "middling",
+		"em3d":   "middling-poor",
+		"radix":  "poor",
+		"ocean":  `worst, "unacceptable"`,
+	}
+	data, err := experiments.Fig1(sc, []int{16})
+	if err != nil {
+		return "", err
+	}
+	type row struct {
+		app     string
+		speedup float64
+	}
+	var rows []row
+	for app, pts := range data {
+		rows = append(rows, row{app, pts[len(pts)-1].Speedup})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].speedup != rows[j].speedup {
+			return rows[i].speedup > rows[j].speedup
+		}
+		return rows[i].app < rows[j].app
+	})
+	var sb strings.Builder
+	sb.WriteString(tableRow("app", "measured speedup @16p", "paper's character"))
+	sb.WriteString(tableRule(3))
+	for _, r := range rows {
+		sb.WriteString(tableRow(r.app, fmt.Sprintf("%.2f", r.speedup), character[r.app]))
+	}
+	return sb.String(), nil
+}
+
+// renderBackendLadder regenerates the 2026 cross-backend ladder table:
+// running time normalized to the same backend's Base, one column per
+// builtin profile.
+func renderBackendLadder(sc experiments.Scale) (string, error) {
+	cells, err := experiments.CrossBackendLadder(sc, nil)
+	if err != nil {
+		return "", err
+	}
+	profiles := params.BuiltinNames()
+	norm := map[string]float64{}
+	for _, c := range cells {
+		norm[c.Profile+"\x00"+c.App+"\x00"+c.Protocol] = c.NormVsBase
+	}
+	var sb strings.Builder
+	sb.WriteString(tableRow(append([]string{"app", "proto"}, profiles...)...))
+	sb.WriteString(tableRule(2 + len(profiles)))
+	for _, app := range experiments.LadderApps() {
+		for _, spec := range experiments.LadderSpecs() {
+			label := spec.String()
+			if label == "Base" {
+				continue // normalization denominator: identically 1.0
+			}
+			row := []string{app, label}
+			for _, p := range profiles {
+				row = append(row, fmt.Sprintf("%.3f", norm[p+"\x00"+app+"\x00"+label]))
+			}
+			sb.WriteString(tableRow(row...))
+		}
+	}
+	return sb.String(), nil
+}
+
+// renderReliability regenerates the message-loss table: slowdown per
+// loss rate plus the transport's recovery work at the highest rate.
+func renderReliability(sc experiments.Scale) (string, error) {
+	losses := experiments.DefaultLossPcts()
+	pts, err := experiments.ReliabilitySweep(sc, 1, losses)
+	if err != nil {
+		return "", err
+	}
+	// Group points by (app, proto) in sweep order.
+	type key struct{ app, proto string }
+	var order []key
+	grouped := map[key][]experiments.ReliabilityPoint{}
+	for _, p := range pts {
+		k := key{p.App, p.Protocol}
+		if _, ok := grouped[k]; !ok {
+			order = append(order, k)
+		}
+		grouped[k] = append(grouped[k], p)
+	}
+	last := losses[len(losses)-1]
+	header := []string{"app", "proto"}
+	for _, l := range losses[1:] {
+		header = append(header, fmt.Sprintf("%g%%", l))
+	}
+	header = append(header, fmt.Sprintf("retries@%g%% (drops@%g%%)", last, last))
+	var sb strings.Builder
+	sb.WriteString(tableRow(header...))
+	sb.WriteString(tableRule(len(header)))
+	for _, k := range order {
+		row := []string{k.app, k.proto}
+		var tail string
+		for _, p := range grouped[k] {
+			if p.LossPct == 0 {
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", p.Norm))
+			if p.LossPct == last {
+				tail = fmt.Sprintf("%d (%d)", p.Rel.Retries, p.Rel.MessagesDropped)
+			}
+		}
+		row = append(row, tail)
+		sb.WriteString(tableRow(row...))
+	}
+	return sb.String(), nil
+}
+
+// renderChaosLadder regenerates the controller-degradation ladder:
+// I+P+D at 8 processors, healthy vs one controller crashed at cycle 0
+// vs all crashed, against Base as the reference, at tiny scale.
+func renderChaosLadder(experiments.Scale) (string, error) {
+	const procs = 8
+	apps := []string{"water", "radix"}
+	crash := func(spec string) *faults.Plan {
+		p := &faults.Plan{}
+		if err := faults.ParseCtrlCrash(p, spec, procs); err != nil {
+			panic(err) // literal specs below
+		}
+		return p
+	}
+	variants := []struct {
+		name string
+		spec core.Spec
+	}{
+		{"healthy", core.TM(tmk.IPD)},
+		{"one", func() core.Spec { s := core.TM(tmk.IPD); s.Faults = crash("0@0"); return s }()},
+		{"all", func() core.Spec { s := core.TM(tmk.IPD); s.Faults = crash("all@0"); return s }()},
+		{"base", core.TM(tmk.Base)},
+	}
+	cfg := params.Default()
+	cfg.Processors = procs
+	var batch []experiments.Cell
+	for _, app := range apps {
+		for _, v := range variants {
+			batch = append(batch, experiments.Cell{
+				App: app, Spec: v.spec, Cfg: cfg, Scale: experiments.ScaleTiny,
+			})
+		}
+	}
+	runs := experiments.RunCells(batch)
+	var sb strings.Builder
+	sb.WriteString(tableRow("app", "healthy", "one node crashed@0", "all crashed@0", "Base (reference)"))
+	sb.WriteString(tableRule(5))
+	for ai, app := range apps {
+		row := []string{app}
+		healthy := int64(0)
+		for vi, v := range variants {
+			r := runs[ai*len(variants)+vi]
+			if r.Err != nil {
+				return "", fmt.Errorf("chaos ladder %s/%s: %w", app, v.name, r.Err)
+			}
+			cyc := int64(r.Result.RunningTime)
+			switch v.name {
+			case "healthy":
+				healthy = cyc
+				row = append(row, humanInt(cyc))
+			case "base":
+				row = append(row, humanInt(cyc))
+			default:
+				row = append(row, fmt.Sprintf("%s (%.2f×)", humanInt(cyc), float64(cyc)/float64(healthy)))
+			}
+		}
+		sb.WriteString(tableRow(row...))
+	}
+	return sb.String(), nil
+}
+
+// renderChaosSweep regenerates the seed-1 chaos-sweep table: link
+// faults plus randomized controller crash/hang over the full matrix,
+// with the graceful-degradation accounting.
+func renderChaosSweep(experiments.Scale) (string, error) {
+	pts, err := experiments.ChaosSweep(experiments.ScaleTiny, []uint64{1})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString(tableRow("app", "proto", "norm", "failovers", "degraded node-cycles", "fallback diffs"))
+	sb.WriteString(tableRule(6))
+	for _, p := range pts {
+		sb.WriteString(tableRow(p.App, p.Protocol, fmt.Sprintf("%.3f", p.Norm),
+			fmt.Sprintf("%d", p.Failovers), humanInt(int64(p.DegradedCycles)),
+			fmt.Sprintf("%d", p.FallbackDiffs)))
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRenderByteStableTiny renders every block twice at tiny scale, the
+// second time under GOMAXPROCS=1: a generated table is a pure function
+// of the (deterministic) simulation, so the bytes must be identical
+// across runs and scheduler settings.
+func TestRenderByteStableTiny(t *testing.T) {
+	first, err := RenderBlocks(nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RenderBlocks(nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	single, err := RenderBlocks(nil, true)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range BlockNames() {
+		if first[name] == "" {
+			t.Errorf("%s: empty render", name)
+		}
+		if first[name] != again[name] {
+			t.Errorf("%s: two renders differ:\n--- first\n%s--- again\n%s", name, first[name], again[name])
+		}
+		if first[name] != single[name] {
+			t.Errorf("%s: GOMAXPROCS=1 render differs:\n--- first\n%s--- single\n%s", name, first[name], single[name])
+		}
+	}
+}
+
+// TestCommittedDocCurrent is the in-test form of `cmd/experiment
+// -render -check`: the committed EXPERIMENTS.md blocks must match a
+// fresh render at the registry scales. This runs the default-scale
+// sweeps (~20s), so short mode skips it; `make check` still covers it
+// through both this test and scripts/checkdocs.sh.
+func TestCommittedDocCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale render in short mode")
+	}
+	doc, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, changed, err := RenderDoc(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) > 0 {
+		t.Errorf("stale generated block(s) in EXPERIMENTS.md: %v (run `go run ./cmd/experiment -render`)", changed)
+	}
+}
+
+func markedDoc(inner map[string]string) string {
+	var sb strings.Builder
+	for _, name := range BlockNames() {
+		sb.WriteString("prose before " + name + "\n\n")
+		sb.WriteString("<!-- generated:" + name + " -->\n")
+		sb.WriteString(inner[name])
+		sb.WriteString("<!-- /generated:" + name + " -->\n\n")
+	}
+	return sb.String()
+}
+
+func TestParseBlocksErrors(t *testing.T) {
+	blank := map[string]string{}
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{"missing block",
+			strings.Replace(markedDoc(blank), "generated:fig1-speedups", "generated:fig1-speedup", 2),
+			"missing generated block"},
+		{"mismatched markers",
+			strings.Replace(markedDoc(blank), "<!-- /generated:reliability -->", "<!-- /generated:chaos-l -->", 1),
+			`"reliability" closed by`},
+		{"duplicate block",
+			markedDoc(blank) + "<!-- generated:reliability -->\n<!-- /generated:reliability -->\n",
+			`"reliability" appears twice`},
+		{"unregistered block",
+			markedDoc(blank) + "<!-- generated:bogus-table -->\n<!-- /generated:bogus-table -->\n",
+			"unregistered generated block"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseBlocks([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("parseBlocks error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestPatchDoc verifies the -only path: named blocks are replaced,
+// everything else — including the other blocks — stays byte-identical.
+func TestPatchDoc(t *testing.T) {
+	doc := []byte(markedDoc(map[string]string{"chaos-ladder": "old ladder\n", "chaos-sweep": "old sweep\n"}))
+	fresh, err := RenderBlocks([]string{"chaos-ladder"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, changed, err := PatchDoc(doc, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != "chaos-ladder" {
+		t.Errorf("changed = %v, want [chaos-ladder]", changed)
+	}
+	s := string(out)
+	if !strings.Contains(s, fresh["chaos-ladder"]) {
+		t.Error("patched doc lacks the fresh chaos-ladder table")
+	}
+	if !strings.Contains(s, "old sweep\n") {
+		t.Error("PatchDoc touched a block it was not asked to render")
+	}
+	if _, err := RenderBlocks([]string{"no-such-block"}, true); err == nil {
+		t.Error("RenderBlocks accepted an unknown block name")
+	}
+}
+
+func TestHumanInt(t *testing.T) {
+	for n, want := range map[int64]string{
+		0: "0", 999: "999", 1000: "1,000", 1228971: "1,228,971", -4567: "-4,567",
+	} {
+		if got := humanInt(n); got != want {
+			t.Errorf("humanInt(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+// TrendSchema tags the per-PR trend records under trends/.
+const TrendSchema = "dsm96/trend/v1"
+
+// Trend is one appended snapshot of the ladder experiment: every
+// cell's determinism contract (cycles, events, fingerprint, metrics
+// key hash — identical on any host) next to its throughput on the
+// recorded host. cmd/metricsdiff -trend compares consecutive records:
+// determinism fields exactly, throughput within a tolerance and only
+// when both records came from the same host class (host.num_cpu).
+type Trend struct {
+	Schema string `json:"schema"`
+	// Seq is the record's position in the trend sequence (file 0001.json
+	// has seq 1).
+	Seq int `json:"seq"`
+	// Label is free-form provenance ("PR 8 snapshot", a commit subject).
+	Label      string               `json:"label,omitempty"`
+	Experiment string               `json:"experiment"`
+	Scale      string               `json:"scale"`
+	Host       Host                 `json:"host"`
+	Cells      map[string]TrendCell `json:"cells"`
+}
+
+// TrendCell is one ladder cell's trend entry.
+type TrendCell struct {
+	Cycles      int64  `json:"cycles"`
+	Events      uint64 `json:"events"`
+	Fingerprint string `json:"fingerprint"`
+	MetricsKeys string `json:"metrics_keys"`
+	// WallNS and EventsPerSec are host-class-scoped throughput facts.
+	WallNS       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// BuildTrend folds a completed experiment run into a trend record.
+// A run with failed cells cannot become a trend record: the database
+// only accumulates grids that ran clean.
+func BuildTrend(r *RunResult, seq int, label string) (*Trend, error) {
+	if failed := r.Failed(); len(failed) > 0 {
+		return nil, fmt.Errorf("pipeline: %d cell(s) failed, refusing a trend record: %v",
+			len(failed), failed)
+	}
+	t := &Trend{
+		Schema:     TrendSchema,
+		Seq:        seq,
+		Label:      label,
+		Experiment: r.Experiment.Name,
+		Scale:      r.Experiment.Scale,
+		Host:       r.Host,
+		Cells:      make(map[string]TrendCell, len(r.Cells)),
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if _, dup := t.Cells[c.ID]; dup {
+			return nil, fmt.Errorf("pipeline: duplicate cell id %q in trend record", c.ID)
+		}
+		t.Cells[c.ID] = TrendCell{
+			Cycles: c.Cycles, Events: c.Events,
+			Fingerprint: c.Fingerprint, MetricsKeys: c.MetricsKeys,
+			WallNS: c.WallNS, EventsPerSec: c.EventsPerSec,
+		}
+	}
+	return t, nil
+}
+
+// WriteJSON serializes the record (indented, trailing newline; map keys
+// sort, so the byte stream is deterministic for fixed measurements).
+func (t *Trend) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+var trendFileRE = regexp.MustCompile(`^(\d{4})\.json$`)
+
+// TrendFiles lists the trend records in dir in sequence order.
+func TrendFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() && trendFileRE.MatchString(e.Name()) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// NextTrendSeq returns the sequence number the next appended record
+// gets: one past the highest existing record (1 for an empty dir).
+func NextTrendSeq(dir string) (int, error) {
+	files, err := TrendFiles(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 1, nil
+		}
+		return 0, err
+	}
+	if len(files) == 0 {
+		return 1, nil
+	}
+	last := filepath.Base(files[len(files)-1])
+	var n int
+	fmt.Sscanf(last, "%04d.json", &n)
+	return n + 1, nil
+}
+
+// AppendTrend writes the record as the next numbered file in dir
+// (created if missing), atomically. The record's Seq must match the
+// next sequence number — the caller obtained it from NextTrendSeq, so
+// a mismatch means two writers raced, and the loser fails loudly
+// rather than renumbering history.
+func AppendTrend(dir string, t *Trend) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("pipeline: %w", err)
+	}
+	next, err := NextTrendSeq(dir)
+	if err != nil {
+		return "", err
+	}
+	if t.Seq != next {
+		return "", fmt.Errorf("pipeline: trend seq %d, but next record in %s is %04d", t.Seq, dir, next)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%04d.json", t.Seq))
+	if err := writeArtifact(path, t.WriteJSON); err != nil {
+		return "", fmt.Errorf("pipeline: %w", err)
+	}
+	return path, nil
+}

@@ -1,0 +1,142 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func syntheticRun() *RunResult {
+	return &RunResult{
+		Experiment: Experiment{Name: "ladder", Scale: "tiny"},
+		Host:       CurrentHost(),
+		Cells: []CellResult{
+			{ID: "pci1996/water/Base/p4/w1", Cycles: 100, Events: 10,
+				Fingerprint: "00000000000000aa", MetricsKeys: "00000000000000bb",
+				WallNS: 1000, EventsPerSec: 1e7},
+			{ID: "pci1996/water/I/p4/w1", Cycles: 90, Events: 12,
+				Fingerprint: "00000000000000cc", MetricsKeys: "00000000000000bb",
+				WallNS: 1100, EventsPerSec: 1.1e7},
+		},
+	}
+}
+
+func TestBuildTrend(t *testing.T) {
+	tr, err := BuildTrend(syntheticRun(), 1, "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Schema != TrendSchema || tr.Seq != 1 || tr.Experiment != "ladder" {
+		t.Errorf("record header: %+v", tr)
+	}
+	c, ok := tr.Cells["pci1996/water/Base/p4/w1"]
+	if !ok || c.Cycles != 100 || c.Fingerprint != "00000000000000aa" {
+		t.Errorf("cell not folded: %+v", c)
+	}
+}
+
+func TestBuildTrendRefusesFailedCells(t *testing.T) {
+	r := syntheticRun()
+	r.Cells[1].Error = "boom"
+	if _, err := BuildTrend(r, 1, ""); err == nil ||
+		!strings.Contains(err.Error(), "refusing a trend record") {
+		t.Fatalf("BuildTrend accepted a failed run (err=%v)", err)
+	}
+}
+
+func TestBuildTrendRefusesDuplicateIDs(t *testing.T) {
+	r := syntheticRun()
+	r.Cells[1].ID = r.Cells[0].ID
+	if _, err := BuildTrend(r, 1, ""); err == nil ||
+		!strings.Contains(err.Error(), "duplicate cell id") {
+		t.Fatalf("BuildTrend accepted duplicate cell IDs (err=%v)", err)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	tr, err := BuildTrend(syntheticRun(), 1, "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := tr.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two serializations of the same record differ")
+	}
+}
+
+func TestAppendTrendSequencing(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "trends") // does not exist yet
+	if seq, err := NextTrendSeq(dir); err != nil || seq != 1 {
+		t.Fatalf("NextTrendSeq on missing dir: %d, %v (want 1, nil)", seq, err)
+	}
+	tr, err := BuildTrend(syntheticRun(), 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := AppendTrend(dir, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "0001.json" {
+		t.Errorf("first record at %s, want 0001.json", path)
+	}
+	if seq, _ := NextTrendSeq(dir); seq != 2 {
+		t.Errorf("NextTrendSeq after one append: %d, want 2", seq)
+	}
+	// A stale Seq (two writers raced) must fail loudly, not renumber.
+	if _, err := AppendTrend(dir, tr); err == nil {
+		t.Fatal("AppendTrend accepted a stale seq")
+	}
+	tr.Seq = 2
+	if _, err := AppendTrend(dir, tr); err != nil {
+		t.Fatal(err)
+	}
+	files, err := TrendFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 || filepath.Base(files[1]) != "0002.json" {
+		t.Errorf("TrendFiles = %v", files)
+	}
+}
+
+// TestCommittedTrendRecord pins trends/0001.json: the database's first
+// record must parse, carry the schema tag, and record the host class
+// that makes its throughput columns interpretable.
+func TestCommittedTrendRecord(t *testing.T) {
+	files, err := TrendFiles("../../trends")
+	if err != nil {
+		t.Fatalf("trends/: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatal("trends/ has no records; run `make trend-snapshot`")
+	}
+	for _, f := range files {
+		buf, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr Trend
+		if err := json.Unmarshal(buf, &tr); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if tr.Schema != TrendSchema {
+			t.Errorf("%s: schema %q, want %q", f, tr.Schema, TrendSchema)
+		}
+		if tr.Host.NumCPU < 1 {
+			t.Errorf("%s: host class (num_cpu) missing", f)
+		}
+		if len(tr.Cells) == 0 {
+			t.Errorf("%s: no cells", f)
+		}
+	}
+}

@@ -7,17 +7,25 @@
 # itself verifies the determinism contract — every cell's fingerprint,
 # event count, and cycle total must match its mesh's workers=1 cell.
 #
+# Hosts with fewer than 4 CPUs are refused outright: their throughput
+# columns would measure OS time-slicing, not the engine, and a snapshot
+# from such a host must never be committed as if it were comparable
+# (cmd/bench -out enforces the same floor; metricsdiff -trend separately
+# refuses to compare throughput across host classes via host.num_cpu).
 # The >= 2x speedup assertion (best worker count vs workers=1 on the
-# 64-node mesh and up) only holds on hardware that can actually run
+# 64-node mesh and up) additionally needs hardware that can actually run
 # the shards concurrently, so it is applied when the host has 8+ CPUs
-# and skipped — loudly — otherwise. A 1-CPU container still runs the
-# full grid and still checks determinism; it just cannot prove scaling.
+# and skipped — loudly — otherwise.
 set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_parallel_engine.json}"
 
 ncpu="$(go run ./scripts/ncpu 2>/dev/null || echo 1)"
+if [ "$ncpu" -lt 4 ]; then
+	echo "bench.sh: refusing to snapshot on a $ncpu-CPU host (need 4+): throughput would measure time-slicing, not the engine" >&2
+	exit 1
+fi
 speedup=0
 if [ "$ncpu" -ge 8 ]; then
 	speedup=2.0

@@ -47,11 +47,16 @@ for d in $(grep -ohE 'go run \./[A-Za-z0-9/_-]+' $docs | awk '{print $3}' | sort
 	fi
 done
 
-# 4. Every flag a documented dsmsim/sweep/metricsdiff invocation uses
-# must still be registered in that command's main.go (catches stale flag
-# names when a CLI flag is renamed but the docs keep the old spelling).
-for tool in dsmsim sweep metricsdiff; do
-	flags=$(grep -ohE "$tool [^\`|]*" $docs |
+# 4. Every flag a documented dsmsim/sweep/metricsdiff/experiment/bench
+# invocation uses must still be registered in that command's main.go
+# (catches stale flag names when a CLI flag is renamed but the docs keep
+# the old spelling).
+for tool in dsmsim sweep metricsdiff experiment bench; do
+	# Anchor on a non-flag, non-word char before the tool name so that
+	# "metricsdiff -bench" or "go test -benchtime" never parse as an
+	# invocation of cmd/bench, and stop at # so `make bench  # = go
+	# test ...` comments don't leak go-test flags into the scan.
+	flags=$(grep -ohE "(^|[^-A-Za-z])$tool [^\`|#]*" $docs |
 		grep -oE ' -[a-z][a-z-]*' | sed 's/^ -//' | sort -u)
 	for f in $flags; do
 		if ! grep -qE "flag\.[A-Za-z0-9]+\(\&?[A-Za-z]*,? ?\"$f\"" "cmd/$tool/main.go"; then
@@ -66,12 +71,23 @@ done
 # the chaos machinery and the sharded engine, so the docs must keep
 # mentioning them (check 4 then verifies the spelling against the CLI
 # registration).
-for f in ctrl-crash ctrl-hang watchdog chaos schema workers bench profile backends; do
+for f in ctrl-crash ctrl-hang watchdog chaos schema workers bench profile backends \
+	trend snapshot render force-host; do
 	if ! grep -qE -- "-$f" $docs; then
 		echo "checkdocs: flag -$f is registered in a CLI but never documented" >&2
 		fail=1
 	fi
 done
+
+# 6. The generated tables of EXPERIMENTS.md must match a fresh render:
+# cmd/experiment -render -check re-runs the underlying simulations and
+# exits nonzero naming any stale block. This is the slow check (~20s of
+# simulation), so it runs last, after the cheap greps have had their
+# chance to fail fast.
+if ! go run ./cmd/experiment -render -check; then
+	echo "checkdocs: EXPERIMENTS.md generated blocks are stale (run: go run ./cmd/experiment -render)" >&2
+	fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
 	echo "checkdocs: FAILED" >&2
