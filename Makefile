@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-snapshot golden fuzz docs timeline metricsdiff chaos profiles experiments trend render trend-snapshot
+.PHONY: check fmt vet build test race bench bench-snapshot golden fuzz docs timeline metricsdiff chaos profiles experiments trend render trend-snapshot obsparity
 
-check: fmt vet build test race timeline metricsdiff chaos profiles experiments trend docs
+check: fmt vet build test race timeline metricsdiff chaos profiles experiments obsparity trend docs
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -133,12 +133,35 @@ experiments:
 		"$$dir"/*-smoke/manifest.json >/dev/null; \
 	echo "experiments: ok"
 
+# Parallel-observability gate: the worker-parity matrix (Perfetto
+# timeline, run-metrics JSON, spans JSONL, rendered trace byte-identical
+# across worker counts, fingerprint equal to the uninstrumented run) and
+# the engine self-profiler's determinism contract, run under the race
+# detector; then the artifact-level proof through the real CLI — two
+# dsmsim runs of the same sharded configuration must carry the
+# dsm96/engine-profile/v1 schema tag and pass metricsdiff
+# -engine-profile (deterministic block exact, host block ignored).
+obsparity:
+	$(GO) test -race ./internal/core -count 1 \
+		-run 'TestObservabilityWorkerParity|TestObservabilityParityLargeMesh|TestEngineProfileDeterministic'
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/dsmsim -p 8 -app water -mode ipd -scale tiny -workers 4 \
+		-engine-profile "$$dir/a.json" >/dev/null; \
+	$(GO) run ./cmd/dsmsim -p 8 -app water -mode ipd -scale tiny -workers 4 \
+		-engine-profile "$$dir/b.json" >/dev/null; \
+	jq -e '.schema == "dsm96/engine-profile/v1" and .workers == 4 and (.deterministic.windows > 0)' \
+		"$$dir/a.json" >/dev/null; \
+	$(GO) run ./cmd/metricsdiff -engine-profile "$$dir/a.json" "$$dir/b.json"; \
+	echo "obsparity: ok"
+
 # Trend gate: take a fresh snapshot of the ladder experiment and compare
 # it against the newest committed record in trends/ with metricsdiff
 # -trend — determinism fields (cycles, events, fingerprint, metrics key
 # hash) exact, throughput only within the same host class; then prove
 # the differ bites by injecting a one-cycle drift into a copy and
-# requiring a nonzero exit naming the drifted dotted path.
+# requiring a nonzero exit naming the drifted dotted path. The chaos
+# grid gets the same treatment against its own record sequence in
+# trends/chaos, so fault-injection cells are regression-gated too.
 trend:
 	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
 	$(GO) run ./cmd/experiment -snapshot -trend-out "$$dir/fresh.json" -q; \
@@ -146,6 +169,9 @@ trend:
 	jq '(.cells[.cells | keys | first].cycles) += 1' "$$dir/fresh.json" > "$$dir/drift.json"; \
 	if $(GO) run ./cmd/metricsdiff -trend trends "$$dir/drift.json" >/dev/null 2>&1; then \
 		echo "trend: FAILED to detect injected cycle drift"; exit 1; fi; \
+	$(GO) run ./cmd/experiment -snapshot -trend-of chaos -trend-dir trends/chaos \
+		-trend-out "$$dir/fresh-chaos.json" -q; \
+	$(GO) run ./cmd/metricsdiff -trend trends/chaos "$$dir/fresh-chaos.json"; \
 	echo "trend: drift detection ok"
 
 # Append a real trend record to trends/ (one per PR, committed).

@@ -20,6 +20,14 @@
 // metricsdiff -bench, which holds the determinism fields exact and
 // allows relative drift on throughput.
 //
+// -engine-profile FILE writes the last cell's engine self-profile
+// (schema dsm96/engine-profile/v1, atomically): merge-window accounting
+// and lookahead histograms in a deterministic block, per-shard
+// busy/merge-wait wall time in a host block. The per-cell table also
+// prints the merge-wait fraction — the coordinator's serial share of
+// the run, the number Amdahl charges against further worker scaling.
+// The bench snapshot schema itself is unchanged.
+//
 // -require-speedup R fails the run unless, for every mesh size, the
 // best worker count reaches R times the events/sec of workers=1. Only
 // meaningful on a host with enough cores; scripts/bench.sh applies it
@@ -50,6 +58,7 @@ import (
 	"dsm96/internal/dsm"
 	"dsm96/internal/experiments"
 	"dsm96/internal/params"
+	"dsm96/internal/sim"
 	"dsm96/internal/tmk"
 )
 
@@ -110,6 +119,7 @@ func main() {
 	out := flag.String("out", "", "write a dsm96/bench/v1 snapshot JSON to this file (atomic)")
 	requireSpeedup := flag.Float64("require-speedup", 0, "fail unless every mesh's best worker count reaches this multiple of workers=1 events/sec (0 = off)")
 	forceHost := flag.Bool("force-host", false, "write a snapshot even on a host with fewer than 4 CPUs (throughput will reflect time-slicing)")
+	engineProfileOut := flag.String("engine-profile", "", "write the last cell's engine self-profile JSON (schema dsm96/engine-profile/v1) to this file (atomic)")
 	flag.Parse()
 
 	if *out != "" && runtime.NumCPU() < 4 && !*forceHost {
@@ -157,13 +167,15 @@ func main() {
 		},
 	}
 
-	fmt.Printf("%-6s %-8s %12s %14s %18s %12s\n",
-		"mesh", "workers", "events", "sim cycles", "fingerprint", "events/sec")
+	fmt.Printf("%-6s %-8s %12s %14s %18s %12s %10s\n",
+		"mesh", "workers", "events", "sim cycles", "fingerprint", "events/sec", "merge-wait")
 	failed := false
+	var lastProfile *sim.EngineProfile
 	for _, mesh := range meshes {
 		var base Cell
 		for wi, w := range workerCounts {
 			cell := Cell{Mesh: mesh, Workers: w, WallNS: int64(1) << 62}
+			var prof *sim.EngineProfile
 			for r := 0; r < *reps; r++ {
 				app, err := newApp()
 				if err != nil {
@@ -185,8 +197,10 @@ func main() {
 				cell.Fingerprint = fmt.Sprintf("%016x", res.EventFingerprint)
 				if ns := wall.Nanoseconds(); ns < cell.WallNS {
 					cell.WallNS = ns
+					prof = res.EngineProfile
 				}
 			}
+			lastProfile = prof
 			cell.EventsPerSec = float64(cell.Events) / (float64(cell.WallNS) / 1e9)
 			if wi == 0 {
 				base = cell
@@ -199,8 +213,9 @@ func main() {
 				failed = true
 			}
 			snap.Cells = append(snap.Cells, cell)
-			fmt.Printf("%-6d %-8d %12d %14d %18s %12.0f\n",
-				mesh, w, cell.Events, cell.SimCycles, cell.Fingerprint, cell.EventsPerSec)
+			fmt.Printf("%-6d %-8d %12d %14d %18s %12.0f %9.1f%%\n",
+				mesh, w, cell.Events, cell.SimCycles, cell.Fingerprint,
+				cell.EventsPerSec, 100*prof.MergeWaitFraction())
 		}
 		if *requireSpeedup > 0 {
 			best := base.EventsPerSec
@@ -227,6 +242,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("snapshot: %s\n", *out)
+	}
+	if *engineProfileOut != "" {
+		// The last cell's profile (largest mesh, highest worker count):
+		// the configuration where the merge barrier matters most. The
+		// snapshot schema (dsm96/bench/v1) is unchanged — the profile is
+		// a separate artifact with its own schema tag.
+		err := experiments.WriteFileAtomic(*engineProfileOut, lastProfile.WriteJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("engine-profile: %s (%d worker(s), merge-wait %.1f%% of run wall time)\n",
+			*engineProfileOut, lastProfile.Workers, 100*lastProfile.MergeWaitFraction())
 	}
 }
 

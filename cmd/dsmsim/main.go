@@ -49,9 +49,19 @@
 // -workers N shards the event engine across N OS threads for big
 // meshes (see ARCHITECTURE.md, "Parallel engine"). The fired event
 // schedule is bit-identical at any worker count, so the breakdown,
-// fingerprint, and every artifact are unchanged; AURC, -trace,
-// -timeline, -metrics, and -spans runs fall back to a sequential
-// engine (their instrumentation is inherently global).
+// fingerprint, and every artifact — including -trace, -timeline,
+// -metrics, and -spans output — are byte-identical to a sequential
+// run: globally-ordered instrumentation records shard-locally and is
+// replayed in global (time, seq) order at each merge barrier. Only
+// AURC falls back to a sequential engine (its update path mutates
+// remote nodes' state inline).
+//
+// -engine-profile FILE writes the engine's self-profile (schema
+// dsm96/engine-profile/v1): merge-window and deferred-replay
+// accounting plus lookahead-window histograms in a deterministic
+// block, and per-shard busy/merge-wait wall time in a host block.
+// `metricsdiff -engine-profile a b` compares the deterministic block
+// exactly while ignoring the host block.
 package main
 
 import (
@@ -138,10 +148,11 @@ func main() {
 	ctrlCrash := flag.String("ctrl-crash", "", "crash controllers: NODE@CYCLE,... (NODE may be \"all\")")
 	ctrlHang := flag.String("ctrl-hang", "", "hang controllers: NODE@CYCLE+WINDOW,... (NODE may be \"all\")")
 	watchdog := flag.Int64("watchdog", 0, "liveness watchdog window in cycles (0 = default, negative = off)")
-	workers := flag.Int("workers", 1, "shard the event engine across this many OS threads (schedule stays bit-identical; AURC/traced/timeline/span runs fall back to 1)")
+	workers := flag.Int("workers", 1, "shard the event engine across this many OS threads (schedule and every artifact stay bit-identical; AURC falls back to 1)")
 	timelineOut := flag.String("timeline", "", "write a Perfetto-loadable timeline (Chrome trace-event JSON) to this file")
 	metricsOut := flag.String("metrics", "", "write machine-readable run metrics JSON to this file")
 	spansOut := flag.String("spans", "", "write one causal span per blocking protocol operation as JSONL to this file")
+	engineProfileOut := flag.String("engine-profile", "", "write the engine self-profile JSON (schema dsm96/engine-profile/v1) to this file")
 	flag.Parse()
 
 	var app dsm.App
@@ -311,6 +322,12 @@ func main() {
 	if *spansOut != "" {
 		writeArtifact(*spansOut, tracker.WriteJSONL)
 		fmt.Printf("  spans:          %s (%d operations)\n", *spansOut, len(tracker.Ops()))
+	}
+	if *engineProfileOut != "" {
+		prof := res.EngineProfile
+		writeArtifact(*engineProfileOut, prof.WriteJSON)
+		fmt.Printf("  engine-profile: %s (%d worker(s), %d window(s), merge-wait %.1f%% of shard wall time)\n",
+			*engineProfileOut, prof.Workers, prof.Deterministic.Windows, 100*prof.MergeWaitFraction())
 	}
 	if res.Spans != nil {
 		ov := res.Spans.Overlap

@@ -35,6 +35,17 @@
 //	metricsdiff -bench BENCH_parallel_engine.json new.json
 //	metricsdiff -bench -bench-tol 0.25 old.json new.json
 //
+// -engine-profile switches to engine self-profile comparison (dsmsim
+// -engine-profile / cmd/bench -engine-profile output, schema
+// dsm96/engine-profile/v1): the deterministic block — window counts,
+// replayed-action totals, lookahead histograms, per-shard event counts
+// — must match exactly (it is a pure function of the simulated
+// schedule and the worker count), while the host block (wall-clock
+// timings, CPU counts) is ignored entirely; it measures the machine,
+// not the simulator:
+//
+//	metricsdiff -engine-profile run1.json run2.json
+//
 // -trend switches to trend-record comparison (cmd/experiment -snapshot,
 // schema dsm96/trend/v1): per cell, the determinism contract —
 // cells.<id>.cycles, .events, .fingerprint, .metrics_keys — must match
@@ -71,6 +82,7 @@ import (
 	"strings"
 
 	"dsm96/internal/pipeline"
+	"dsm96/internal/sim"
 )
 
 // pattern is one -tol/-ignore rule; star means trailing-* prefix match.
@@ -188,12 +200,16 @@ func main() {
 	benchTol := flag.Float64("bench-tol", 0.5, "relative tolerance on events_per_sec and wall_ns in -bench mode")
 	trend := flag.Bool("trend", false, "compare dsm96/trend/v1 records: per-cell determinism exact, throughput within -trend-tol and only across equal host classes")
 	trendTol := flag.Float64("trend-tol", 0.5, "relative tolerance on cell throughput in -trend mode (same host class only)")
+	engineProfile := flag.Bool("engine-profile", false, "compare dsm96/engine-profile/v1 profiles: deterministic block exact, host block (wall-clock timings) ignored")
 	flag.Parse()
 	if *bench && *schema == "" {
 		*schema = "dsm96/bench/v1"
 	}
 	if *trend && *schema == "" {
 		*schema = pipeline.TrendSchema
+	}
+	if *engineProfile && *schema == "" {
+		*schema = sim.EngineProfileSchema
 	}
 	goldenPath, nextPath := flag.Arg(0), flag.Arg(1)
 	if *trend {
@@ -238,10 +254,12 @@ func main() {
 		return strings.HasSuffix(path, ".events_per_sec") || strings.HasSuffix(path, ".wall_ns")
 	}
 	ignored := func(path string) bool {
-		// Bench and trend records carry the measuring host for
-		// provenance; two honest records from different machines must
-		// still compare.
-		if (*bench || *trend) && strings.HasPrefix(path, "host.") {
+		// Bench, trend, and engine-profile records carry the measuring
+		// host for provenance; two honest records from different
+		// machines must still compare. For engine profiles the host
+		// block also holds every wall-clock timing — the whole
+		// host-dependent half of the artifact.
+		if (*bench || *trend || *engineProfile) && strings.HasPrefix(path, "host.") {
 			return true
 		}
 		// Trend sequence position and label are bookkeeping, and

@@ -81,9 +81,13 @@ type Spec struct {
 	// cross-node delivery latency. The fired event schedule — and with it
 	// the fingerprint, golden cycles, and every metric — is bit-identical
 	// at any worker count. 0 or 1 runs sequentially. Clamped to the
-	// processor count; AURC, traced, timeline, and span-tracked runs
-	// fall back to 1 worker (their instrumentation reads or appends
-	// cross-node state inline).
+	// processor count. Traced, timeline, and span-tracked runs shard like
+	// any other: their globally-ordered writes (trace ring appends, span
+	// IDs and completion order) are logged shard-locally and replayed in
+	// global (time, seq) order at the merge barrier, so every artifact is
+	// byte-identical at any worker count. Only AURC falls back to 1
+	// worker — its update path reads and writes remote nodes' protocol
+	// state inline, which the shard partitioning cannot express.
 	Workers int
 }
 
@@ -171,6 +175,12 @@ type Result struct {
 	// EngineStats is the engine's internal counter block (handoffs,
 	// elided parks, heap high-water mark) for diagnostics and benchmarks.
 	EngineStats sim.Stats
+	// EngineProfile is the engine's self-profile (schema
+	// dsm96/engine-profile/v1): window/merge-round accounting and
+	// per-shard busy/merge-wait wall time. Always present; the
+	// deterministic block is schedule-determined, the host block is
+	// wall-clock (see sim.EngineProfile).
+	EngineProfile *sim.EngineProfile
 	// Protocol is the spec's label.
 	Protocol string
 	// App is the application's name.
@@ -238,11 +248,15 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 	}
 	if workers := spec.Workers; workers > 1 {
 		// AURC applies remote updates by reaching into other nodes' state
-		// inline, and the trace/timeline/span buffers are global
-		// append-only logs with globally ordered IDs; those run
-		// sequentially — same schedule, same results, just unsharded.
-		// The TreadMarks family without inline instrumentation shards.
-		if spec.Kind != KindAURC && spec.Tracer == nil && spec.Timeline == nil && spec.Spans == nil {
+		// inline, so it alone pins the engine sequential — same schedule,
+		// same results, just unsharded. Everything else shards, including
+		// traced, timeline, and span-tracked runs: instrumentation whose
+		// order is global (the trace ring, span IDs, span completion)
+		// records shard-locally through sim.Engine.Deferred and is merged
+		// in global (time, seq) order at the barrier, so the artifacts are
+		// byte-identical at any worker count (see internal/spans and
+		// tmk's emit).
+		if spec.Kind != KindAURC {
 			eng.Parallelize(workers, cfg.Processors, network.MinDeliveryLookahead(&cfg))
 		}
 	}
@@ -281,7 +295,10 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 	if spec.Spans != nil {
 		// After SetTimeline (the controller trace hook chains onto the
 		// recorder's) and before InstallProc (the charging accounting hook
-		// must be the one installed).
+		// must be the one installed). Bind resolves each node's shard view
+		// so the tracker's globally-ordered writes defer to the merge
+		// barrier on a sharded engine.
+		spec.Spans.Bind(eng)
 		net.SetSpans(spec.Spans)
 		if sp, ok := sys.(interface{ SetSpans(*spans.Tracker) }); ok {
 			sp.SetSpans(spec.Spans)
@@ -318,6 +335,7 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 			EventsRun:        eng.EventsRun(),
 			EventFingerprint: eng.Fingerprint(),
 			EngineStats:      eng.Stats(),
+			EngineProfile:    eng.Profile(),
 			Protocol:         spec.String(),
 			App:              app.Name(),
 			Stall: &StallInfo{
@@ -346,6 +364,7 @@ func Run(cfg params.Config, spec Spec, app dsm.App) (*Result, error) {
 		EventsRun:        eng.EventsRun(),
 		EventFingerprint: eng.Fingerprint(),
 		EngineStats:      eng.Stats(),
+		EngineProfile:    eng.Profile(),
 		Protocol:         spec.String(),
 		App:              app.Name(),
 	}

@@ -57,7 +57,11 @@ type CellResult struct {
 	Profile  string `json:"profile"`
 	Procs    int    `json:"procs"`
 	Workers  int    `json:"workers"`
-	Scale    string `json:"scale"`
+	// Fault is the fault scenario's name; empty (and omitted) on
+	// fault-free cells, so pre-chaos manifests and trend records keep
+	// their byte-exact shape.
+	Fault string `json:"fault,omitempty"`
+	Scale string `json:"scale"`
 
 	Cycles      int64  `json:"cycles"`
 	Events      uint64 `json:"events"`
@@ -117,11 +121,13 @@ func RunExperiment(e *Experiment) (*RunResult, error) {
 		out.Cells = append(out.Cells, runCell(&cells[i], e.Repeats, e.Warmup, timeout))
 	}
 	// The cross-worker determinism contract: within one (app, protocol,
-	// profile, procs) group, every worker count must fire the same
-	// schedule.
+	// profile, procs, fault) group, every worker count must fire the
+	// same schedule — fault injections are keyed by message identity,
+	// not by shard, so a chaos cell shards as deterministically as a
+	// clean one.
 	type groupKey struct {
-		app, proto, prof string
-		procs            int
+		app, proto, prof, fault string
+		procs                   int
 	}
 	first := map[groupKey]*CellResult{}
 	for i := range out.Cells {
@@ -129,7 +135,7 @@ func RunExperiment(e *Experiment) (*RunResult, error) {
 		if c.Error != "" {
 			continue
 		}
-		k := groupKey{c.App, c.Protocol, c.Profile, c.Procs}
+		k := groupKey{c.App, c.Protocol, c.Profile, c.Fault, c.Procs}
 		if prev, ok := first[k]; !ok {
 			first[k] = c
 		} else if c.Fingerprint != prev.Fingerprint || c.Events != prev.Events || c.Cycles != prev.Cycles {
@@ -146,7 +152,7 @@ func RunExperiment(e *Experiment) (*RunResult, error) {
 func runCell(c *Cell, repeats, warmup int, timeout time.Duration) CellResult {
 	res := CellResult{
 		ID: c.ID(), App: c.App, Protocol: c.Protocol, Profile: c.Profile,
-		Procs: c.Procs, Workers: c.Workers, Scale: c.ScaleName,
+		Procs: c.Procs, Workers: c.Workers, Fault: c.Fault, Scale: c.ScaleName,
 		Repeats: repeats, Warmup: warmup,
 	}
 	total := warmup + repeats
@@ -327,7 +333,7 @@ func WriteRunFolder(dir, stamp string, r *RunResult) (string, error) {
 			// Re-derive the cell to name the artifact; c.ID is unique, the
 			// stem adds the sequence number for sortable listings.
 			stem := (&Cell{App: c.App, Protocol: c.Protocol, Profile: c.Profile,
-				Procs: c.Procs, Workers: c.Workers}).Stem(i)
+				Procs: c.Procs, Workers: c.Workers, Fault: c.Fault}).Stem(i)
 			rel := filepath.Join("metrics", stem+".json")
 			h := sha256.New()
 			err := writeArtifact(filepath.Join(folder, rel), func(w io.Writer) error {
@@ -358,7 +364,7 @@ func WriteRunFolder(dir, stamp string, r *RunResult) (string, error) {
 
 // csvHeader is the canonical cells.csv column set, in order.
 var csvHeader = []string{
-	"experiment", "app", "protocol", "profile", "procs", "workers", "scale",
+	"experiment", "app", "protocol", "profile", "procs", "workers", "fault", "scale",
 	"repeats", "warmup", "cycles", "events", "fingerprint", "metrics_keys",
 	"wall_ns", "events_per_sec", "error",
 }
@@ -372,7 +378,7 @@ func writeCSV(w io.Writer, r *RunResult) error {
 		c := &r.Cells[i]
 		row := []string{
 			r.Experiment.Name, c.App, c.Protocol, c.Profile,
-			strconv.Itoa(c.Procs), strconv.Itoa(c.Workers), c.Scale,
+			strconv.Itoa(c.Procs), strconv.Itoa(c.Workers), c.Fault, c.Scale,
 			strconv.Itoa(c.Repeats), strconv.Itoa(c.Warmup),
 			strconv.FormatInt(c.Cycles, 10), strconv.FormatUint(c.Events, 10),
 			c.Fingerprint, c.MetricsKeys,

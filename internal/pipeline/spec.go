@@ -27,6 +27,7 @@ import (
 	"dsm96/internal/apps"
 	"dsm96/internal/core"
 	"dsm96/internal/experiments"
+	"dsm96/internal/faults"
 	"dsm96/internal/params"
 	"dsm96/internal/tmk"
 )
@@ -62,7 +63,7 @@ type Experiment struct {
 
 // Grid is the cartesian product the experiment measures. Expansion
 // order is fixed — apps outermost, then protocols, profiles, procs,
-// workers — so cell numbering is stable across runs and hosts.
+// workers, faults — so cell numbering is stable across runs and hosts.
 type Grid struct {
 	Apps      []string `json:"apps"`
 	Protocols []string `json:"protocols"`
@@ -71,6 +72,51 @@ type Grid struct {
 	Profiles []string `json:"profiles"`
 	Procs    []int    `json:"procs"`
 	Workers  []int    `json:"workers,omitempty"`
+	// Faults, when present, crosses the grid with named fault-injection
+	// scenarios (a chaos grid). Absent means one fault-free pass; the
+	// scenario named "" is not allowed — fault cells are always
+	// distinguishable by ID.
+	Faults []FaultScenario `json:"faults,omitempty"`
+}
+
+// FaultScenario is one named fault-injection configuration: the same
+// knobs dsmsim exposes (-drop/-dup/-delay/-fault-seed/-ctrl-crash/
+// -ctrl-hang), made reproducible by committing them to the spec. The
+// injections are deterministic given the seed, so a fault cell has a
+// stable fingerprint and cycle count like any other — the property
+// that lets chaos runs live in a trend database.
+type FaultScenario struct {
+	Name string `json:"name"`
+	// Seed keys every injection decision (faults.Plan.Seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Drop, Dup, and Delay are per-link probabilities in [0, 1].
+	Drop  float64 `json:"drop,omitempty"`
+	Dup   float64 `json:"dup,omitempty"`
+	Delay float64 `json:"delay,omitempty"`
+	// CtrlCrash and CtrlHang schedule controller failures using
+	// dsmsim's syntax: NODE@CYCLE,... and NODE@CYCLE+WINDOW,...
+	// (NODE may be "all").
+	CtrlCrash string `json:"ctrl_crash,omitempty"`
+	CtrlHang  string `json:"ctrl_hang,omitempty"`
+}
+
+// plan resolves the scenario into a validated fault plan for a mesh of
+// the given processor count.
+func (f *FaultScenario) plan(procs int) (*faults.Plan, error) {
+	p := &faults.Plan{
+		Seed:    f.Seed,
+		Default: faults.Link{Drop: f.Drop, Dup: f.Dup, Delay: f.Delay},
+	}
+	if err := faults.ParseCtrlCrash(p, f.CtrlCrash, procs); err != nil {
+		return nil, err
+	}
+	if err := faults.ParseCtrlHang(p, f.CtrlHang, procs); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Cell is one fully-resolved grid point.
@@ -81,23 +127,35 @@ type Cell struct {
 	Profile    string
 	Procs      int
 	Workers    int
-	Scale      experiments.Scale
-	ScaleName  string
+	// Fault is the fault scenario's name ("" = fault-free).
+	Fault     string
+	Scale     experiments.Scale
+	ScaleName string
 
 	spec core.Spec
 	cfg  params.Config
 }
 
-// ID names the cell: profile/app/protocol/pN/wM — the key the CSV,
-// manifest, and trend records agree on.
+// ID names the cell: profile/app/protocol/pN/wM, with a trailing
+// /SCENARIO segment on fault cells — the key the CSV, manifest, and
+// trend records agree on. Fault-free cells keep the historical
+// five-segment form, so existing trend records stay comparable.
 func (c *Cell) ID() string {
-	return fmt.Sprintf("%s/%s/%s/p%d/w%d", c.Profile, c.App, c.Protocol, c.Procs, c.Workers)
+	id := fmt.Sprintf("%s/%s/%s/p%d/w%d", c.Profile, c.App, c.Protocol, c.Procs, c.Workers)
+	if c.Fault != "" {
+		id += "/" + c.Fault
+	}
+	return id
 }
 
 // Stem is the cell's artifact file stem (no slashes, '+' stripped).
 func (c *Cell) Stem(seq int) string {
-	return fmt.Sprintf("cell-%04d-%s-%s-%s-p%d-w%d", seq, c.App,
+	stem := fmt.Sprintf("cell-%04d-%s-%s-%s-p%d-w%d", seq, c.App,
 		strings.ReplaceAll(c.Protocol, "+", ""), c.Profile, c.Procs, c.Workers)
+	if c.Fault != "" {
+		stem += "-" + c.Fault
+	}
+	return stem
 }
 
 var nameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9-]*$`)
@@ -221,6 +279,25 @@ func (s *Spec) Validate() error {
 				return fmt.Errorf("%s: grid.workers[%d]: %d, need >= 1", where, j, w)
 			}
 		}
+		seenFault := map[string]bool{}
+		for j := range e.Grid.Faults {
+			f := &e.Grid.Faults[j]
+			if !nameRE.MatchString(f.Name) {
+				return fmt.Errorf("%s: grid.faults[%d].name: must match %s", where, j, nameRE)
+			}
+			if seenFault[f.Name] {
+				return fmt.Errorf("%s: grid.faults[%d].name: duplicate %q", where, j, f.Name)
+			}
+			seenFault[f.Name] = true
+			// Resolve the plan against every processor count in the grid
+			// so a ctrl schedule naming an out-of-range node fails at
+			// load time, not mid-run.
+			for _, procs := range e.Grid.Procs {
+				if _, err := f.plan(procs); err != nil {
+					return fmt.Errorf("%s: grid.faults[%d] (%q) at p%d: %w", where, j, f.Name, procs, err)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -255,6 +332,10 @@ func (e *Experiment) Expand() ([]Cell, error) {
 	if len(workers) == 0 {
 		workers = []int{1}
 	}
+	scenarios := e.Grid.Faults
+	if len(scenarios) == 0 {
+		scenarios = []FaultScenario{{}} // one fault-free pass
+	}
 	var cells []Cell
 	for _, app := range e.Grid.Apps {
 		for _, label := range e.Grid.Protocols {
@@ -271,20 +352,32 @@ func (e *Experiment) Expand() ([]Cell, error) {
 					cfg := prof.Config()
 					cfg.Processors = procs
 					for _, w := range workers {
-						sp := spec
-						sp.Workers = w
-						cells = append(cells, Cell{
-							Experiment: e.Name,
-							App:        app,
-							Protocol:   sp.String(),
-							Profile:    prof.Name,
-							Procs:      procs,
-							Workers:    w,
-							Scale:      sc,
-							ScaleName:  e.Scale,
-							spec:       sp,
-							cfg:        cfg,
-						})
+						for fi := range scenarios {
+							f := &scenarios[fi]
+							sp := spec
+							sp.Workers = w
+							if f.Name != "" {
+								plan, err := f.plan(procs)
+								if err != nil {
+									return nil, fmt.Errorf("pipeline: experiment %q: grid.faults (%q) at p%d: %w",
+										e.Name, f.Name, procs, err)
+								}
+								sp.Faults = plan
+							}
+							cells = append(cells, Cell{
+								Experiment: e.Name,
+								App:        app,
+								Protocol:   sp.String(),
+								Profile:    prof.Name,
+								Procs:      procs,
+								Workers:    w,
+								Fault:      f.Name,
+								Scale:      sc,
+								ScaleName:  e.Scale,
+								spec:       sp,
+								cfg:        cfg,
+							})
+						}
 					}
 				}
 			}

@@ -19,6 +19,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Time is simulated time in processor cycles (the paper uses 10 ns cycles).
@@ -63,6 +64,10 @@ type Engine struct {
 	// root and each shard); sh only on shards. See parallel.go.
 	par *parRuntime
 	sh  *shardState
+
+	// runWallNS accumulates Run's wall-clock time for the self-profile
+	// (profile.go). Host-dependent; never feeds the simulation.
+	runWallNS int64
 
 	// Stats.
 	eventsRun    uint64
@@ -286,6 +291,8 @@ func (e *Engine) Run() error {
 	}
 	e.stopped = false
 	e.limit = math.MaxInt64
+	runStart := time.Now()
+	defer func() { e.runWallNS += time.Since(runStart).Nanoseconds() }()
 	watched := e.watchdog > 0
 	for len(e.events) > 0 && !e.stopped {
 		ev := e.pop()

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Parallel execution: the engine can be sharded across OS threads with
@@ -86,6 +87,15 @@ type shardState struct {
 	renum map[uint64]uint64
 	start chan Time     // coordinator -> worker: run a window to this horizon
 	done  chan struct{} // worker -> coordinator: window complete
+
+	// Self-profile accounting (see profile.go). eventsFired is
+	// deterministic; busyNS and waitNS are wall-clock. All three are
+	// written only by the shard's worker goroutine inside a window, so
+	// the coordinator (and post-run readers) see them race-free through
+	// the done-channel synchronization.
+	eventsFired uint64
+	busyNS      int64
+	waitNS      int64
 }
 
 // parRuntime coordinates a parallel run. It hangs off the root engine
@@ -98,6 +108,18 @@ type parRuntime struct {
 	phase     int
 	horizon   Time  // exclusive upper bound of the current window
 	cursor    []int // replay merge position per shard
+
+	// Self-profile accounting (see profile.go): merge-round counters
+	// and per-window histograms (deterministic), plus the coordinator's
+	// merge-barrier wall time (host-dependent).
+	windows         uint64
+	replayedActions uint64
+	deferredCalls   uint64
+	winEvents       hist
+	winAdvance      hist
+	winActions      hist
+	prevMinNext     Time
+	mergeWallNS     int64
 }
 
 // Parallelize shards the engine across `workers` OS threads, with nodes
@@ -221,6 +243,8 @@ func (par *parRuntime) run() error {
 	root := par.root
 	root.stopped = false
 	root.limit = math.MaxInt64
+	runStart := time.Now()
+	defer func() { root.runWallNS += time.Since(runStart).Nanoseconds() }()
 	// Workers live for one Run call: fresh channels each time so Run can
 	// be called again after a drain or a Stop.
 	for _, se := range par.shards {
@@ -253,9 +277,18 @@ func (par *parRuntime) run() error {
 			<-se.sh.done
 		}
 		par.phase = phaseReplay
-		par.replay()
+		mergeStart := time.Now()
+		evs, acts := par.replay()
 		par.phase = phaseStaging
 		par.rekey()
+		par.mergeWallNS += time.Since(mergeStart).Nanoseconds()
+		par.windows++
+		par.winEvents.add(evs)
+		par.winActions.add(acts)
+		if par.windows > 1 {
+			par.winAdvance.add(uint64(minNext - par.prevMinNext))
+		}
+		par.prevMinNext = minNext
 		if watched {
 			// Progress is stamped on the shard a process belongs to;
 			// merge the stamps before the (coarsened, once-per-window)
@@ -305,7 +338,12 @@ func (par *parRuntime) run() error {
 // view, touching only shard-owned simulation state.
 func shardWorker(e *Engine) {
 	sh := e.sh
+	var lastDone time.Time
 	for horizon := range sh.start {
+		windowStart := time.Now()
+		if !lastDone.IsZero() {
+			sh.waitNS += windowStart.Sub(lastDone).Nanoseconds()
+		}
 		for len(e.events) > 0 && e.events[0].at < horizon {
 			ev := e.pop()
 			e.now = ev.at
@@ -314,7 +352,10 @@ func shardWorker(e *Engine) {
 			ev.fn()
 			sh.cur = nil
 			sh.log = append(sh.log, rec)
+			sh.eventsFired++
 		}
+		lastDone = time.Now()
+		sh.busyNS += lastDone.Sub(windowStart).Nanoseconds()
 		sh.done <- struct{}{}
 	}
 }
@@ -338,8 +379,9 @@ func (par *parRuntime) finalSeq(sh *shardState, rec *record) uint64 {
 // the exact order the sequential engine fired these events — folding
 // each into the root fingerprint and re-executing the logged scheduling
 // side effects so sequence allocation interleaves as it did (or would
-// have) sequentially.
-func (par *parRuntime) replay() {
+// have) sequentially. Returns the window's event and action counts for
+// the self-profile.
+func (par *parRuntime) replay() (evs, acts uint64) {
 	root := par.root
 	for i := range par.cursor {
 		par.cursor[i] = 0
@@ -360,16 +402,20 @@ func (par *parRuntime) replay() {
 			}
 		}
 		if best == -1 {
-			return
+			par.replayedActions += acts
+			return evs, acts
 		}
 		sh := par.shards[best].sh
 		rec := sh.log[par.cursor[best]]
 		par.cursor[best]++
 		root.now = rec.at
 		root.fired(rec.at, bestSeq)
+		evs++
+		acts += uint64(len(rec.acts))
 		for _, a := range rec.acts {
 			if a.fn != nil {
 				a.fn()
+				par.deferredCalls++
 				continue
 			}
 			root.seq++

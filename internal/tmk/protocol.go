@@ -603,7 +603,7 @@ func (n *pnode) serveCPUSpan(cost sim.Time, op *spans.Op, fn func()) {
 	n.st.Interrupts++
 	total := n.pr.cfg.InterruptTime + cost
 	start, end := n.cpu.Reserve(n.eng, total)
-	op.Mark(spans.StageQueue, start)
-	op.Mark(spans.StageRemote, end)
+	op.Mark(n.eng, spans.StageQueue, start)
+	op.Mark(n.eng, spans.StageRemote, end)
 	n.eng.At(end, fn)
 }

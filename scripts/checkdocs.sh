@@ -72,7 +72,7 @@ done
 # mentioning them (check 4 then verifies the spelling against the CLI
 # registration).
 for f in ctrl-crash ctrl-hang watchdog chaos schema workers bench profile backends \
-	trend snapshot render force-host; do
+	trend snapshot render force-host engine-profile; do
 	if ! grep -qE -- "-$f" $docs; then
 		echo "checkdocs: flag -$f is registered in a CLI but never documented" >&2
 		fail=1
