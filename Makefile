@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-snapshot golden fuzz docs timeline metricsdiff chaos profiles experiments trend render trend-snapshot obsparity
+.PHONY: check fmt vet build test race bench bench-snapshot golden fuzz docs timeline metricsdiff chaos profiles experiments trend render trend-snapshot obsparity serve
 
-check: fmt vet build test race timeline metricsdiff chaos profiles experiments obsparity trend docs
+check: fmt vet build test race timeline metricsdiff chaos profiles experiments obsparity serve trend docs
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -153,6 +153,14 @@ obsparity:
 		"$$dir/a.json" >/dev/null; \
 	$(GO) run ./cmd/metricsdiff -engine-profile "$$dir/a.json" "$$dir/b.json"; \
 	echo "obsparity: ok"
+
+# Service gate: boot dsmserve on a throwaway store, submit the same job
+# twice through the built-in client, and require the second answer to be
+# a cache hit with the same fingerprint and a byte-identical
+# content-addressed artifact; then SIGTERM-drain and require exit 0
+# (scripts/serve_smoke.sh).
+serve:
+	sh scripts/serve_smoke.sh
 
 # Trend gate: take a fresh snapshot of the ladder experiment and compare
 # it against the newest committed record in trends/ with metricsdiff

@@ -1,0 +1,180 @@
+// Command dsmserve is simulation-as-a-service: a crash-safe job server
+// that accepts dsm96/job/v1 simulation specs over HTTP, dedupes and
+// memoizes them by canonical content hash (the simulator is
+// deterministic, so a spec's result never changes), executes misses on
+// a bounded worker pool with explicit backpressure, and journals every
+// job transition so a kill -9 at any point is repaired by the next
+// start's recovery scan.
+//
+// Server mode:
+//
+//	dsmserve -store DIR [-addr HOST:PORT] [-addr-file FILE] [-runs DIR]
+//	         [-pool N] [-queue N] [-retries N] [-retry-base DUR]
+//	         [-job-timeout DUR] [-drain-timeout DUR]
+//
+// The store directory holds the job journal (jobs/<key>.json), the
+// content-addressed artifacts (objects/<sha256>), and the derived
+// manifest.json ledger. On SIGTERM or SIGINT the server drains: it
+// stops accepting jobs, finishes every accepted one, and exits 0.
+// -addr-file writes the actually-bound address (useful with port 0)
+// once the listener is up.
+//
+// Endpoints: POST /jobs (?wait=1 long-polls; 429 + Retry-After when the
+// queue is full), GET /jobs/{key}, GET /artifacts/{sha} (hash-verified),
+// GET /runs/... (dated run folders served through their manifest, every
+// artifact SHA-256-verified), GET /healthz, GET /statsz.
+//
+// Client mode (so scripts need no curl):
+//
+//	dsmserve -server URL -submit spec.json [-wait]
+//	dsmserve -server URL -get KEY
+//	dsmserve -server URL -artifact SHA   (raw artifact to stdout)
+//	dsmserve -server URL -statsz
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dsm96/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8096", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	storeDir := flag.String("store", "", "job store directory (journal + content-addressed artifacts); required in server mode")
+	runsDir := flag.String("runs", "", "serve this dated-run-folder directory under /runs (read-only, manifest-verified)")
+	pool := flag.Int("pool", 2, "simulation worker pool size (the capacity bound)")
+	queueCap := flag.Int("queue", 16, "accepted-job queue bound; a full queue answers 429 + Retry-After")
+	retries := flag.Int("retries", 3, "quarantine a job after this many failed attempts")
+	retryBase := flag.Duration("retry-base", time.Second, "first retry backoff (doubles per attempt, capped at 32x)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "wall-clock ceiling per attempt (0 = none; the in-sim watchdog still bounds stalls)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a signal-triggered drain may take before hard exit")
+	server := flag.String("server", "", "client mode: job server base URL")
+	submit := flag.String("submit", "", "client mode: POST this job spec JSON file")
+	wait := flag.Bool("wait", false, "client mode: long-poll -submit until the job rests")
+	get := flag.String("get", "", "client mode: fetch a job record by key")
+	artifact := flag.String("artifact", "", "client mode: fetch a content-addressed artifact to stdout")
+	statsz := flag.Bool("statsz", false, "client mode: fetch server stats")
+	flag.Parse()
+
+	if *server != "" {
+		os.Exit(clientMain(&serve.Client{Base: *server}, *submit, *wait, *get, *artifact, *statsz))
+	}
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "dsmserve: -store is required (or -server for client mode)")
+		os.Exit(2)
+	}
+
+	srv, err := serve.NewServer(*storeDir, serve.Options{
+		Workers:     *pool,
+		QueueCap:    *queueCap,
+		MaxAttempts: *retries,
+		RetryBase:   *retryBase,
+		JobTimeout:  *jobTimeout,
+		RunsDir:     *runsDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmserve:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmserve:", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dsmserve:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dsmserve: listening on %s, store %s\n", bound, *storeDir)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "dsmserve: %s: draining (finishing accepted jobs, refusing new ones)\n", got)
+		drained := make(chan struct{})
+		go func() {
+			srv.Drain()
+			close(drained)
+		}()
+		select {
+		case <-drained:
+		case <-time.After(*drainTimeout):
+			fmt.Fprintln(os.Stderr, "dsmserve: drain timeout; exiting anyway (journal will recover)")
+			os.Exit(1)
+		}
+		hs.Close()
+		fmt.Fprintln(os.Stderr, "dsmserve: drained")
+		os.Exit(0)
+	case err := <-done:
+		fmt.Fprintln(os.Stderr, "dsmserve:", err)
+		os.Exit(1)
+	}
+}
+
+// clientMain is the no-curl client so scripts and Makefiles can talk to
+// the server with the same binary they booted.
+func clientMain(c *serve.Client, submit string, wait bool, get, artifact string, statsz bool) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "dsmserve:", err)
+		return 1
+	}
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	switch {
+	case submit != "":
+		data, err := os.ReadFile(submit)
+		if err != nil {
+			return fail(err)
+		}
+		var spec serve.JobSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return fail(fmt.Errorf("%s: %w", submit, err))
+		}
+		st, err := c.Submit(&spec, wait)
+		if err != nil {
+			return fail(err)
+		}
+		out.Encode(st)
+		return 0
+	case get != "":
+		st, err := c.Record(get)
+		if err != nil {
+			return fail(err)
+		}
+		out.Encode(st)
+		return 0
+	case artifact != "":
+		data, err := c.Artifact(artifact)
+		if err != nil {
+			return fail(err)
+		}
+		os.Stdout.Write(data)
+		return 0
+	case statsz:
+		st, err := c.Stats()
+		if err != nil {
+			return fail(err)
+		}
+		out.Encode(st)
+		return 0
+	}
+	fmt.Fprintln(os.Stderr, "dsmserve: client mode needs one of -submit, -get, -artifact, -statsz")
+	return 2
+}

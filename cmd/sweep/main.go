@@ -48,6 +48,14 @@
 // operation) to the same name with a .spans.jsonl suffix. Both are
 // written atomically (temp file + rename), so a sweep killed mid-write
 // never leaves a truncated artifact behind.
+//
+// With -server URL the sweep becomes a thin client of a dsmserve job
+// server: every cell is submitted as a dsm96/job/v1 spec and executed
+// (or answered from the server's memoized store — the simulator is
+// deterministic, so a repeated grid is served entirely from cache)
+// remotely. Output stays deterministic and ordered because cells still
+// land in their submission-order slots. -metrics/-spans cannot combine
+// with -server: they collect through in-process pointers.
 package main
 
 import (
@@ -58,8 +66,10 @@ import (
 	"path/filepath"
 	"strings"
 
+	"dsm96/internal/core"
 	"dsm96/internal/experiments"
 	"dsm96/internal/params"
+	"dsm96/internal/serve"
 )
 
 func main() {
@@ -79,8 +89,19 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
 	metricsDir := flag.String("metrics", "", "write per-cell run metrics JSON files into this directory")
 	spansDir := flag.String("spans", "", "write per-cell causal span JSONL files into this directory")
+	server := flag.String("server", "", "run every cell through this dsmserve job server instead of locally (repeat sweeps answer from its cache)")
 	flag.Parse()
 
+	if *server != "" {
+		if *metricsDir != "" || *spansDir != "" {
+			fmt.Fprintln(os.Stderr, "sweep: -metrics and -spans collect through in-process pointers and cannot be combined with -server")
+			os.Exit(2)
+		}
+		client := &serve.Client{Base: *server}
+		experiments.SetRemoteRunner(func(rr experiments.RemoteRun) (*core.Result, error) {
+			return client.RunRemote(rr.App, rr.Spec, rr.Cfg, rr.Scale)
+		})
+	}
 	experiments.SetWorkers(*jobs)
 	experiments.SetEngineWorkers(*engWorkers)
 	if *profileArg != "" {

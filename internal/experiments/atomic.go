@@ -7,12 +7,18 @@ import (
 )
 
 // WriteFileAtomic streams write into a temporary file in path's
-// directory and renames it over path only after the write (and close)
-// fully succeeded. A reader — or a later run resuming from a partially
-// written sweep directory — therefore never observes a truncated
-// artifact: either the old content survives or the complete new content
-// appears. On any error the temporary file is removed and path is left
-// untouched.
+// directory and renames it over path only after the write fully
+// succeeded and reached the disk: the file is fsynced before the
+// rename, and the parent directory is fsynced after it, so the
+// rename-commit is durable — a crash (or kill -9) at any point leaves
+// either the old content or the complete new content, never a
+// half-written artifact and never a committed name pointing at
+// unsynced bytes. A reader — or a later run resuming from a partially
+// written sweep directory, or the job server's recovery scan — can
+// therefore trust any committed artifact it finds. On any error the
+// temporary file is removed and path is left untouched. A temporary
+// file may survive only a hard kill; its ".tmp-" infix makes it
+// recognizable to cleanup scans (see internal/serve recovery).
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
@@ -24,6 +30,13 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	}
 	tmp := f.Name()
 	err = write(f)
+	if err == nil {
+		// Flush the bytes before the rename publishes the name: rename
+		// is atomic in the namespace, but without this barrier a crash
+		// after the rename could still leave a committed name with
+		// truncated content.
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -33,6 +46,14 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	// Persist the directory entry so the committed name itself survives
+	// a crash. Some filesystems refuse to fsync a directory; that only
+	// weakens durability of the name (content durability is already
+	// guaranteed above), so it is not an error we can act on.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }

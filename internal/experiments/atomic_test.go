@@ -2,11 +2,16 @@ package experiments
 
 import (
 	"errors"
+	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestWriteFileAtomic(t *testing.T) {
@@ -67,5 +72,85 @@ func TestWriteFileAtomicKilledMidWrite(t *testing.T) {
 	}
 	if len(ents) != 1 {
 		t.Fatalf("temp file left behind after failed write: %v", ents)
+	}
+}
+
+// atomicVictimBody is what the re-exec'd crash victim writes: a large
+// recognizable payload whose completeness the parent can verify after
+// killing the writer at an arbitrary point. The generation number makes
+// every committed artifact identify which write round produced it.
+func atomicVictimBody(gen int) string {
+	return fmt.Sprintf("gen %08d\n%sEND gen %08d\n", gen,
+		strings.Repeat(fmt.Sprintf("payload line for generation %08d\n", gen), 4096), gen)
+}
+
+// TestMain re-execs the test binary as the crash victim when
+// ATOMIC_CRASH_VICTIM names a target path: it rewrites the target with
+// WriteFileAtomic in a tight loop until killed. The parent test SIGKILLs
+// it, so this helper never returns normally.
+func TestMain(m *testing.M) {
+	if target := os.Getenv("ATOMIC_CRASH_VICTIM"); target != "" {
+		for gen := 0; ; gen++ {
+			body := atomicVictimBody(gen)
+			err := WriteFileAtomic(target, func(w io.Writer) error {
+				_, werr := io.WriteString(w, body)
+				return werr
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "victim:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// TestWriteFileAtomicCrashConsistency is the crash-consistency property
+// behind the durable write path: a process SIGKILLed at an arbitrary
+// point inside WriteFileAtomic — including between the data write and
+// the sync/rename commit — must never leave a committed path holding a
+// half-written artifact. It re-execs the test binary as a victim that
+// rewrites one path in a loop, kills it after a randomized delay, and
+// asserts the surviving committed content is exactly one complete
+// generation. Orphaned ".tmp-" files are legal debris of a hard kill
+// (the job server's recovery scan removes them); a torn committed file
+// is not.
+func TestWriteFileAtomicCrashConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs and kills subprocesses; skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(20260809))
+	for round := 0; round < 6; round++ {
+		dir := t.TempDir()
+		target := filepath.Join(dir, "artifact.json")
+		cmd := exec.Command(os.Args[0], "-test.run=TestMain")
+		cmd.Env = append(os.Environ(), "ATOMIC_CRASH_VICTIM="+target)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Let some writes commit, then kill mid-flight: the victim loops
+		// continuously, so a random delay lands the SIGKILL at an
+		// arbitrary point of the write/sync/rename/dirsync sequence.
+		time.Sleep(time.Duration(20+rng.Intn(80)) * time.Millisecond)
+		if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+			t.Fatal(err)
+		}
+		cmd.Wait()
+
+		got, err := os.ReadFile(target)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // killed before the first commit: old state (nothing) survived
+			}
+			t.Fatal(err)
+		}
+		var gen int
+		if n, serr := fmt.Sscanf(string(got), "gen %d\n", &gen); n != 1 || serr != nil {
+			t.Fatalf("round %d: committed artifact does not start with a generation header: %.64q", round, got)
+		}
+		if want := atomicVictimBody(gen); string(got) != want {
+			t.Fatalf("round %d: committed artifact for generation %d is torn: %d bytes, want %d",
+				round, gen, len(got), len(want))
+		}
 	}
 }

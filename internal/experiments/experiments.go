@@ -35,6 +35,24 @@ const (
 	ScalePaper
 )
 
+// Name returns the spelling ParseScale accepts for the scale — the
+// form job specs and experiments.json carry.
+func (s Scale) Name() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScalePaper:
+		return "paper"
+	default:
+		return "default"
+	}
+}
+
+// AppAt builds the named application at the given scale — the same
+// construction every figure and sweep cell uses, exported for external
+// executors (the job server runs submitted specs through it).
+func AppAt(name string, sc Scale) (dsm.App, error) { return appAt(name, sc) }
+
 // appAt builds the named application at the given scale.
 func appAt(name string, sc Scale) (dsm.App, error) {
 	switch sc {
@@ -117,10 +135,36 @@ var (
 	// every figure, sweep, and ablation runs on (cmd/sweep -profile). The
 	// default — nil — is Table 1, so existing goldens are untouched.
 	poolBaseCfg *params.Config
-	poolSeq     int
-	poolDone    int
-	poolTotal   int
+	// poolRemote, when set, replaces local core.Run execution: every
+	// run is handed to the callback instead (cmd/sweep -server hands
+	// cells to a dsmserve job server and gets memoized results back).
+	// Simulations are deterministic, so a remote result is the local
+	// result; only wall-clock changes.
+	poolRemote func(RemoteRun) (*core.Result, error)
+	poolSeq    int
+	poolDone   int
+	poolTotal  int
 )
+
+// RemoteRun is one simulation handed to a remote executor: everything a
+// dsm96/job/v1 spec needs to reproduce the cell bit-identically.
+type RemoteRun struct {
+	App   string
+	Spec  core.Spec
+	Cfg   params.Config
+	Scale Scale
+}
+
+// SetRemoteRunner installs fn as the executor for every subsequent run:
+// instead of simulating locally, each cell is handed to fn (cmd/sweep's
+// -server thin client). nil restores local execution. Per-run span
+// collection (SetSpans) is incompatible with remote execution — the
+// tracker lives in the executing process — and makes runs fail loudly.
+func SetRemoteRunner(fn func(RemoteRun) (*core.Result, error)) {
+	poolMu.Lock()
+	poolRemote = fn
+	poolMu.Unlock()
+}
 
 // SetWorkers bounds how many simulations run concurrently (cmd/sweep
 // -j). n <= 0 restores the default of one worker per CPU.
@@ -206,6 +250,7 @@ func execute(specs []runSpec) {
 	progress, observer := poolProgress, poolObserver
 	withSpans := poolSpans
 	engWorkers := poolEngineWorkers
+	remote := poolRemote
 	poolMu.Unlock()
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -224,10 +269,27 @@ func execute(specs []runSpec) {
 			defer wg.Done()
 			for i := range ch {
 				rs := specs[i]
-				app, err := appAt(rs.app, rs.scale)
-				if err != nil {
-					rs.out.Err = err
-				} else {
+				switch {
+				case remote != nil && withSpans:
+					rs.out.Err = fmt.Errorf("experiments: per-run span collection cannot be served remotely")
+				case remote != nil:
+					if engWorkers > 1 && rs.spec.Workers == 0 {
+						rs.spec.Workers = engWorkers
+					}
+					start := time.Now()
+					res, rerr := remote(RemoteRun{App: rs.app, Spec: rs.spec, Cfg: rs.cfg, Scale: rs.scale})
+					rs.out.Wall = time.Since(start)
+					rs.out.App = rs.app
+					rs.out.Protocol = rs.spec.String()
+					rs.out.Procs = rs.cfg.Processors
+					rs.out.Result = res
+					rs.out.Err = rerr
+				default:
+					app, err := appAt(rs.app, rs.scale)
+					if err != nil {
+						rs.out.Err = err
+						break
+					}
 					if withSpans {
 						rs.spec.Spans = spans.NewTracker(rs.cfg.Processors)
 						rs.out.Spans = rs.spec.Spans

@@ -197,7 +197,7 @@ func runCell(c *Cell, repeats, warmup int, timeout time.Duration) CellResult {
 	res.Fingerprint = fmt.Sprintf("%016x", ref.Result.EventFingerprint)
 	res.EventsPerSec = float64(res.Events) / (float64(res.WallNS) / 1e9)
 	res.result = ref.Result
-	if keys, err := metricsKeyHash(ref.Result); err != nil {
+	if keys, err := MetricsKeyHash(ref.Result); err != nil {
 		res.Error = fmt.Sprintf("metrics key hash: %v", err)
 	} else {
 		res.MetricsKeys = keys
@@ -223,9 +223,11 @@ func runWithTimeout(batch []experiments.Cell, timeout time.Duration) ([]experime
 	}
 }
 
-// metricsKeyHash hashes the run-metrics schema tag plus the sorted
-// flattened key paths of the cell's metrics JSON.
-func metricsKeyHash(res *core.Result) (string, error) {
+// MetricsKeyHash hashes the run-metrics schema tag plus the sorted
+// flattened key paths of a result's metrics JSON — the metrics *shape*
+// drift detector the manifest, trend records, and job-server results
+// all carry.
+func MetricsKeyHash(res *core.Result) (string, error) {
 	var buf jsonBuffer
 	if err := res.Metrics().WriteJSON(&buf); err != nil {
 		return "", err

@@ -1,0 +1,451 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"dsm96/internal/experiments"
+)
+
+// Store state machine. Every transition is journaled write-ahead: the
+// record file is rewritten atomically (write + fsync + rename + dir
+// fsync) BEFORE the server acts on the new state, so the on-disk
+// journal is always at least as advanced as the in-memory view, and a
+// kill -9 at any point leaves a state the recovery scan maps back to
+// pending/done/quarantined deterministically.
+const (
+	StatePending     = "pending"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateQuarantined = "quarantined"
+)
+
+// RecordSchema tags the per-job journal record.
+const RecordSchema = "dsm96/job-record/v1"
+
+// StoreManifestSchema tags the store's ledger.
+const StoreManifestSchema = "dsm96/store-manifest/v1"
+
+// JobRecord is one job's journal entry — the unit of crash safety. The
+// canonical spec is embedded so a record is self-describing: recovery
+// can requeue an interrupted job from the record alone.
+type JobRecord struct {
+	Schema string          `json:"schema"`
+	Key    string          `json:"key"`
+	Spec   json.RawMessage `json:"spec"`
+	State  string          `json:"state"`
+	// Attempts counts execution attempts started (including any that a
+	// crash interrupted); when it reaches the server's retry cap the
+	// job is quarantined as poisoned rather than retried forever.
+	Attempts int           `json:"attempts"`
+	Error    string        `json:"error,omitempty"`
+	Stall    *StallSummary `json:"stall,omitempty"`
+	Result   *JobResult    `json:"result,omitempty"`
+}
+
+// ErrStoreFailed is returned by every durable operation after the
+// store's write path has failed (or a test crash hook fired): the
+// server degrades to read-only and keeps serving cached results.
+var ErrStoreFailed = errors.New("serve: store write path failed")
+
+// Store is the crash-safe job store:
+//
+//	<root>/jobs/<key>.json   journal records (atomic rewrite per transition)
+//	<root>/objects/<sha256>  content-addressed artifacts
+//	<root>/manifest.json     hash-anchored ledger (derived, rewritten last)
+//
+// All mutation goes through WriteFileAtomic-style temp+fsync+rename, so
+// the only debris a hard kill can leave is ".tmp-" files (scrubbed by
+// Recover) and artifacts not yet referenced by a done record (GC'd by
+// Recover).
+type Store struct {
+	root string
+
+	mu     sync.Mutex
+	failed bool
+	// writeHook, when set, is consulted before every durable write —
+	// the crash-injection seam the recovery property test uses. A
+	// non-nil return marks the store failed (as a real write error
+	// does) and the operation reports it.
+	writeHook func(op string) error
+}
+
+// OpenStore creates (or reopens) the store layout under root. It does
+// not scan for crash debris; call Recover for that.
+func OpenStore(root string) (*Store, error) {
+	for _, d := range []string{root, filepath.Join(root, "jobs"), filepath.Join(root, "objects")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: store: %w", err)
+		}
+	}
+	return &Store{root: root}, nil
+}
+
+// setWriteHook installs the crash/degraded-injection test seam: fn is
+// consulted before every durable write, and its first non-nil return
+// latches the store failed exactly as a real write error would.
+func (s *Store) setWriteHook(fn func(op string) error) {
+	s.mu.Lock()
+	s.writeHook = fn
+	s.mu.Unlock()
+}
+
+// Failed reports whether a durable write has failed since open — the
+// trigger for the server's degraded read-only mode.
+func (s *Store) Failed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// checkWrite applies the failure latch and the test crash hook.
+func (s *Store) checkWrite(op string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return ErrStoreFailed
+	}
+	if s.writeHook != nil {
+		if err := s.writeHook(op); err != nil {
+			s.failed = true
+			return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+		}
+	}
+	return nil
+}
+
+// markFailed latches the failure state after a real write error.
+func (s *Store) markFailed(err error) error {
+	s.mu.Lock()
+	s.failed = true
+	s.mu.Unlock()
+	return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+}
+
+func (s *Store) recordPath(key string) string { return filepath.Join(s.root, "jobs", key+".json") }
+
+// objectPath returns the artifact path for a hex SHA-256.
+func (s *Store) objectPath(sha string) string { return filepath.Join(s.root, "objects", sha) }
+
+// PutRecord journals a record transition (atomic, durable).
+func (s *Store) PutRecord(rec *JobRecord) error {
+	if err := s.checkWrite("record:" + rec.State); err != nil {
+		return err
+	}
+	err := experiments.WriteFileAtomic(s.recordPath(rec.Key), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rec)
+	})
+	if err != nil {
+		return s.markFailed(err)
+	}
+	return nil
+}
+
+// GetRecord loads one record; (nil, nil) when absent.
+func (s *Store) GetRecord(key string) (*JobRecord, error) {
+	data, err := os.ReadFile(s.recordPath(key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	var rec JobRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("serve: store: record %s: %w", key, err)
+	}
+	return &rec, nil
+}
+
+// ListRecords loads every record, sorted by key.
+func (s *Store) ListRecords() ([]*JobRecord, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	var out []*JobRecord
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") || strings.Contains(name, ".tmp-") {
+			continue
+		}
+		rec, err := s.GetRecord(strings.TrimSuffix(name, ".json"))
+		if err != nil || rec == nil {
+			continue // corrupt records are recovery's business
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// PutObject streams write into the content-addressed object area and
+// returns the artifact's hex SHA-256 (its name) and size. Writing an
+// object that already exists is a no-op that re-verifies nothing — the
+// name IS the content, so an existing file is already correct.
+func (s *Store) PutObject(write func(io.Writer) error) (sha string, size int64, err error) {
+	if err := s.checkWrite("object"); err != nil {
+		return "", 0, err
+	}
+	f, err := os.CreateTemp(filepath.Join(s.root, "objects"), "obj.tmp-*")
+	if err != nil {
+		return "", 0, s.markFailed(err)
+	}
+	tmp := f.Name()
+	h := sha256.New()
+	cw := &countWriter{w: io.MultiWriter(f, h)}
+	err = write(cw)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", 0, s.markFailed(err)
+	}
+	sha = hex.EncodeToString(h.Sum(nil))
+	if err := os.Rename(tmp, s.objectPath(sha)); err != nil {
+		os.Remove(tmp)
+		return "", 0, s.markFailed(err)
+	}
+	if d, derr := os.Open(filepath.Join(s.root, "objects")); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return sha, cw.n, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// GetObject reads an artifact and verifies its content against its
+// name; a mismatch (disk corruption, tampering) is an error, never
+// silently served.
+func (s *Store) GetObject(sha string) ([]byte, error) {
+	if len(sha) != 64 || strings.ContainsAny(sha, "/\\.") {
+		return nil, fmt.Errorf("serve: store: malformed object name %q", sha)
+	}
+	data, err := os.ReadFile(s.objectPath(sha))
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != sha {
+		return nil, fmt.Errorf("serve: store: object %s fails verification (content hashes to %s)", sha, got)
+	}
+	return data, nil
+}
+
+// StoreManifest is the hash-anchored ledger: one entry per job keyed by
+// job hash, each done entry naming its artifact by SHA-256. Derived
+// state — recovery rebuilds it from the journal — kept current so the
+// store is inspectable without walking every record.
+type StoreManifest struct {
+	Schema string                 `json:"schema"`
+	Jobs   map[string]ManifestJob `json:"jobs"`
+}
+
+// ManifestJob is one ledger line.
+type ManifestJob struct {
+	State         string `json:"state"`
+	Attempts      int    `json:"attempts"`
+	Cycles        int64  `json:"cycles,omitempty"`
+	Events        uint64 `json:"events,omitempty"`
+	Fingerprint   string `json:"fingerprint,omitempty"`
+	MetricsSHA256 string `json:"metrics_sha256,omitempty"`
+}
+
+// WriteManifest rebuilds the ledger from the journal and commits it
+// atomically.
+func (s *Store) WriteManifest() error {
+	if err := s.checkWrite("manifest"); err != nil {
+		return err
+	}
+	recs, err := s.ListRecords()
+	if err != nil {
+		return err
+	}
+	man := StoreManifest{Schema: StoreManifestSchema, Jobs: map[string]ManifestJob{}}
+	for _, rec := range recs {
+		mj := ManifestJob{State: rec.State, Attempts: rec.Attempts}
+		if rec.Result != nil {
+			mj.Cycles = rec.Result.Cycles
+			mj.Events = rec.Result.Events
+			mj.Fingerprint = rec.Result.Fingerprint
+			mj.MetricsSHA256 = rec.Result.MetricsSHA256
+		}
+		man.Jobs[rec.Key] = mj
+	}
+	werr := experiments.WriteFileAtomic(filepath.Join(s.root, "manifest.json"), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&man)
+	})
+	if werr != nil {
+		return s.markFailed(werr)
+	}
+	return nil
+}
+
+// RecoveryReport summarizes what a restart scan repaired.
+type RecoveryReport struct {
+	// Done is how many completed, verified results survived.
+	Done int `json:"done"`
+	// Requeued counts interrupted jobs (journaled pending/running, or
+	// failed below the retry cap) put back in line.
+	Requeued int `json:"requeued"`
+	// Quarantined counts jobs at or over the retry cap.
+	Quarantined int `json:"quarantined"`
+	// TmpRemoved counts orphaned temporary files scrubbed.
+	TmpRemoved int `json:"tmp_removed"`
+	// ObjectsRemoved counts artifacts no done record references
+	// (written just before a crash that ate their commit).
+	ObjectsRemoved int `json:"objects_removed"`
+	// CorruptRemoved counts unreadable journal records dropped.
+	CorruptRemoved int `json:"corrupt_removed"`
+	// ResultsInvalidated counts done records whose artifact was missing
+	// or failed hash verification; the jobs were requeued.
+	ResultsInvalidated int `json:"results_invalidated"`
+}
+
+// Recover scans the store after a restart and repairs it to a
+// consistent state: orphaned temp files deleted, interrupted jobs
+// (pending/running) requeued, failed jobs requeued or — at or past
+// maxAttempts — quarantined, done results hash-verified (invalidated
+// and requeued on mismatch), unreferenced objects removed, and the
+// ledger rebuilt. Idempotent: a second scan finds nothing to repair.
+// The returned records are the requeue backlog in key order.
+func (s *Store) Recover(maxAttempts int) (*RecoveryReport, []*JobRecord, error) {
+	rep := &RecoveryReport{}
+	// 1. Scrub temp files anywhere under the store: the only debris an
+	// atomic-write kill can leave.
+	for _, dir := range []string{s.root, filepath.Join(s.root, "jobs"), filepath.Join(s.root, "objects")} {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: recover: %w", err)
+		}
+		for _, e := range ents {
+			if strings.Contains(e.Name(), ".tmp-") {
+				if err := os.Remove(filepath.Join(dir, e.Name())); err == nil {
+					rep.TmpRemoved++
+				}
+			}
+		}
+	}
+	// 2. Walk the journal, repairing each record to pending / done /
+	// quarantined.
+	jobsDir := filepath.Join(s.root, "jobs")
+	ents, err := os.ReadDir(jobsDir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: recover: %w", err)
+	}
+	referenced := map[string]bool{}
+	var requeue []*JobRecord
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".json")
+		rec, rerr := s.GetRecord(key)
+		if rerr != nil || rec == nil || rec.Schema != RecordSchema || rec.Key != key {
+			// Atomic rewrites make a torn record impossible; anything
+			// unreadable is foreign or pre-crash corruption. Drop it.
+			if err := os.Remove(filepath.Join(jobsDir, name)); err == nil {
+				rep.CorruptRemoved++
+			}
+			continue
+		}
+		switch rec.State {
+		case StateDone:
+			if rec.Result == nil {
+				rec.State = StatePending
+				rec.Result = nil
+				rep.ResultsInvalidated++
+			} else if _, oerr := s.GetObject(rec.Result.MetricsSHA256); oerr != nil {
+				// The record vouches for an artifact the disk no longer
+				// backs: the job re-runs (determinism reproduces the
+				// identical artifact).
+				rec.State = StatePending
+				rec.Result = nil
+				rep.ResultsInvalidated++
+			} else {
+				referenced[rec.Result.MetricsSHA256] = true
+				rep.Done++
+				continue
+			}
+		case StatePending, StateRunning:
+			// Interrupted before completion; the attempt counter stays
+			// (a crash mid-attempt consumed the attempt).
+			rec.State = StatePending
+			rec.Result = nil
+		case StateFailed:
+			if maxAttempts > 0 && rec.Attempts >= maxAttempts {
+				rec.State = StateQuarantined
+			} else {
+				rec.State = StatePending
+				rec.Result = nil
+			}
+		case StateQuarantined:
+			rep.Quarantined++
+			continue
+		default:
+			if err := os.Remove(filepath.Join(jobsDir, name)); err == nil {
+				rep.CorruptRemoved++
+			}
+			continue
+		}
+		if err := s.PutRecord(rec); err != nil {
+			return nil, nil, err
+		}
+		switch rec.State {
+		case StatePending:
+			rep.Requeued++
+			requeue = append(requeue, rec)
+		case StateQuarantined:
+			rep.Quarantined++
+		}
+	}
+	// 3. GC objects no done record references — artifacts whose commit
+	// record the crash ate. Their jobs are pending again; re-execution
+	// regenerates byte-identical content.
+	objs, err := os.ReadDir(filepath.Join(s.root, "objects"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: recover: %w", err)
+	}
+	for _, e := range objs {
+		if !referenced[e.Name()] {
+			if err := os.Remove(s.objectPath(e.Name())); err == nil {
+				rep.ObjectsRemoved++
+			}
+		}
+	}
+	// 4. Rebuild the ledger last, like a run folder's manifest.
+	if err := s.WriteManifest(); err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(requeue, func(i, j int) bool { return requeue[i].Key < requeue[j].Key })
+	return rep, requeue, nil
+}

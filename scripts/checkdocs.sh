@@ -51,7 +51,7 @@ done
 # invocation uses must still be registered in that command's main.go
 # (catches stale flag names when a CLI flag is renamed but the docs keep
 # the old spelling).
-for tool in dsmsim sweep metricsdiff experiment bench; do
+for tool in dsmsim sweep metricsdiff experiment bench dsmserve; do
 	# Anchor on a non-flag, non-word char before the tool name so that
 	# "metricsdiff -bench" or "go test -benchtime" never parse as an
 	# invocation of cmd/bench, and stop at # so `make bench  # = go
@@ -72,7 +72,7 @@ done
 # mentioning them (check 4 then verifies the spelling against the CLI
 # registration).
 for f in ctrl-crash ctrl-hang watchdog chaos schema workers bench profile backends \
-	trend snapshot render force-host engine-profile; do
+	trend snapshot render force-host engine-profile server store; do
 	if ! grep -qE -- "-$f" $docs; then
 		echo "checkdocs: flag -$f is registered in a CLI but never documented" >&2
 		fail=1

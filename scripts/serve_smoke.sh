@@ -1,0 +1,69 @@
+#!/bin/sh
+# Serve gate (make serve): boot dsmserve on a throwaway store, submit
+# the same job twice, and hold the service to its contract — the first
+# submission runs, the second is answered from the memoized store with
+# an identical fingerprint and a byte-identical artifact — then
+# SIGTERM-drain and require a clean exit 0.
+set -eu
+cd "$(dirname "$0")/.."
+
+dir="$(mktemp -d)"
+srv_pid=""
+trap '[ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null || true; rm -rf "$dir"' EXIT
+
+go build -o "$dir/dsmserve" ./cmd/dsmserve
+
+"$dir/dsmserve" -store "$dir/store" -addr 127.0.0.1:0 -addr-file "$dir/addr" \
+	-pool 2 -queue 8 2>"$dir/server.log" &
+srv_pid=$!
+
+i=0
+while [ ! -s "$dir/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "serve: server never bound" >&2
+		cat "$dir/server.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+url="http://$(cat "$dir/addr")"
+
+cat >"$dir/job.json" <<'EOF'
+{"schema": "dsm96/job/v1", "app": "radix", "protocol": "I+P+D", "scale": "tiny", "procs": 4}
+EOF
+
+"$dir/dsmserve" -server "$url" -submit "$dir/job.json" -wait >"$dir/first.json"
+"$dir/dsmserve" -server "$url" -submit "$dir/job.json" -wait >"$dir/second.json"
+
+jq -e '.state == "done" and .cached == false' "$dir/first.json" >/dev/null ||
+	{ echo "serve: first submission was not a fresh run"; cat "$dir/first.json"; exit 1; }
+jq -e '.state == "done" and .cached == true' "$dir/second.json" >/dev/null ||
+	{ echo "serve: second submission was not a cache hit"; cat "$dir/second.json"; exit 1; }
+[ "$(jq -r .result.fingerprint "$dir/first.json")" = "$(jq -r .result.fingerprint "$dir/second.json")" ] ||
+	{ echo "serve: fingerprints differ between run and cache hit"; exit 1; }
+
+sha="$(jq -r .result.metrics_sha256 "$dir/first.json")"
+[ "$sha" = "$(jq -r .result.metrics_sha256 "$dir/second.json")" ] ||
+	{ echo "serve: artifact names differ between run and cache hit"; exit 1; }
+
+# Two verified fetches of the content-addressed artifact must agree byte
+# for byte and carry the run-metrics schema.
+"$dir/dsmserve" -server "$url" -artifact "$sha" >"$dir/a1.json"
+"$dir/dsmserve" -server "$url" -artifact "$sha" >"$dir/a2.json"
+cmp "$dir/a1.json" "$dir/a2.json"
+jq -e '.schema == "dsm96/run-metrics/v3"' "$dir/a1.json" >/dev/null
+
+"$dir/dsmserve" -server "$url" -statsz >"$dir/stats.json"
+jq -e '.cache_hits == 1 and .completed == 1 and .degraded == false' "$dir/stats.json" >/dev/null ||
+	{ echo "serve: stats disagree with the two-submission script"; cat "$dir/stats.json"; exit 1; }
+
+kill -TERM "$srv_pid"
+if ! wait "$srv_pid"; then
+	echo "serve: SIGTERM drain exited nonzero" >&2
+	cat "$dir/server.log" >&2
+	exit 1
+fi
+srv_pid=""
+
+echo "serve: ok"
